@@ -1,0 +1,151 @@
+//! Criterion micro-benchmarks for TeraHeap's mechanisms — the *real-time*
+//! costs of the reproduction's hot paths, complementing the simulated-time
+//! figure harnesses:
+//!
+//! * `barrier/*` — post-write barrier with and without the TeraHeap
+//!   reference range check (the §4 DaCapo ≤3% overhead claim);
+//! * `h2_cards/*` — H2 card-table scanning at several segment sizes;
+//! * `regions/*` — region allocation and bulk reclamation;
+//! * `serde/*` — kryo-sim serialize/deserialize round trips;
+//! * `promo/*` — promotion-buffer staging.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use teraheap_core::{Addr, H2CardTable, Label, Promoter, RegionId, RegionManager};
+use teraheap_runtime::{Heap, HeapConfig};
+use teraheap_storage::DeviceSpec;
+
+fn bench_barrier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("barrier");
+    for (name, enable) in [("vanilla", false), ("teraheap", true)] {
+        group.bench_function(name, |b| {
+            let mut heap = Heap::new(HeapConfig::small());
+            if enable {
+                heap.enable_teraheap(teraheap_core::H2Config::default(), DeviceSpec::nvme_ssd());
+            }
+            let class = heap.register_class("N", 1, 1);
+            let x = heap.alloc(class).unwrap();
+            let y = heap.alloc(class).unwrap();
+            b.iter(|| {
+                heap.write_ref(black_box(x), 0, black_box(y));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_h2_cards(c: &mut Criterion) {
+    let mut group = c.benchmark_group("h2_cards");
+    for seg_words in [64usize, 1024, 2048] {
+        group.bench_with_input(BenchmarkId::new("scan", seg_words * 8), &seg_words, |b, &seg| {
+            let mut t = H2CardTable::new(1 << 22, seg, 1 << 16);
+            // Dirty every 50th card.
+            for i in (0..t.card_count()).step_by(50) {
+                t.mark_dirty(Addr::h2_at((i * seg) as u64));
+            }
+            b.iter(|| black_box(t.minor_scan_cards()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_regions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("regions");
+    group.bench_function("alloc", |b| {
+        b.iter_with_setup(
+            || RegionManager::new(1 << 14, 256),
+            |mut m| {
+                for i in 0..200u64 {
+                    black_box(m.alloc(Label::new(i % 8), 64).unwrap());
+                }
+            },
+        );
+    });
+    group.bench_function("bulk_reclaim", |b| {
+        b.iter_with_setup(
+            || {
+                let mut m = RegionManager::new(1 << 12, 128);
+                for i in 0..100u64 {
+                    m.alloc(Label::new(i), 1 << 12).unwrap();
+                }
+                m.clear_live_bits();
+                m
+            },
+            |mut m| {
+                black_box(m.sweep_dead());
+            },
+        );
+    });
+    group.bench_function("liveness_propagation", |b| {
+        b.iter_with_setup(
+            || {
+                let mut m = RegionManager::new(256, 512);
+                let mut addrs = Vec::new();
+                for i in 0..400u64 {
+                    addrs.push(m.alloc(Label::new(i), 16).unwrap());
+                }
+                // Chain dependencies.
+                for w in addrs.windows(2) {
+                    let (a, b2) = (m.region_of(w[0]), m.region_of(w[1]));
+                    m.add_dependency(a, b2);
+                }
+                m.clear_live_bits();
+                m.mark_live(addrs[0]);
+                m
+            },
+            |mut m| {
+                black_box(m.propagate_liveness());
+            },
+        );
+    });
+    group.finish();
+}
+
+fn bench_serde(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serde");
+    group.bench_function("round_trip_1k_objects", |b| {
+        let mut heap = Heap::new(HeapConfig::with_words(256 << 10, 1 << 20));
+        let class = heap.register_class("E", 0, 4);
+        let arr = heap.alloc_ref_array(1000).unwrap();
+        for i in 0..1000 {
+            let e = heap.alloc(class).unwrap();
+            heap.write_prim(e, 0, i as u64);
+            heap.write_ref(arr, i, e);
+            heap.release(e);
+        }
+        b.iter(|| {
+            let bytes = kryo_sim::serialize(&mut heap, arr).unwrap();
+            let out = kryo_sim::deserialize(&mut heap, black_box(&bytes)).unwrap();
+            heap.release(out);
+        });
+    });
+    group.finish();
+}
+
+fn bench_promo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("promo");
+    for buf in [4096usize, 2 << 20] {
+        group.bench_with_input(BenchmarkId::new("stage", buf), &buf, |b, &buf| {
+            b.iter_with_setup(
+                || Promoter::new(buf),
+                |mut p| {
+                    for i in 0..512u32 {
+                        black_box(p.stage(RegionId(i % 8), 512));
+                    }
+                    black_box(p.flush_all());
+                },
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_barrier,
+    bench_h2_cards,
+    bench_regions,
+    bench_serde,
+    bench_promo
+);
+criterion_main!(benches);

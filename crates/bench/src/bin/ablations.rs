@@ -1,0 +1,122 @@
+//! Ablations for the design choices DESIGN.md calls out, beyond the paper's
+//! own sweeps:
+//!
+//! 1. **Directional dependency lists vs union-find region groups** (§3.3):
+//!    the paper argues direction matters for reclamation; this quantifies
+//!    how many regions each scheme can reclaim on the same reference
+//!    structure.
+//! 2. **Huge pages (HugeMap) vs 4 KB pages** for H2 (§6): fault counts and
+//!    simulated time for a streaming ML scan.
+//! 3. **Promotion buffer size** (§3.2): device write batching vs per-object
+//!    writes during H2 moves.
+
+use mini_spark::{run_workload, Workload};
+use teraheap_bench::harness::{spark_dataset, spark_row, spark_th, write_csv};
+use teraheap_core::{Label, RegionGroups, RegionManager};
+use teraheap_storage::DeviceSpec;
+
+fn main() {
+    let mut csv: Vec<String> = Vec::new();
+
+    println!("=== Ablation 1: directional dependency lists vs union-find groups ===\n");
+    // Chain structure from §3.3: X -> Y -> Z per chain, H1 references only
+    // the chain tails. The directional scheme reclaims heads and middles;
+    // the group scheme keeps whole chains.
+    for chains in [8usize, 32, 128] {
+        let mut mgr = RegionManager::new(256, chains * 3);
+        let mut groups = RegionGroups::new(chains * 3);
+        let mut h1_ref = vec![false; chains * 3];
+        let mut tails = Vec::new();
+        for c in 0..chains {
+            let x = mgr.alloc(Label::new(3 * c as u64 + 1), 64).unwrap();
+            let y = mgr.alloc(Label::new(3 * c as u64 + 2), 64).unwrap();
+            let z = mgr.alloc(Label::new(3 * c as u64 + 3), 64).unwrap();
+            let (rx, ry, rz) = (mgr.region_of(x), mgr.region_of(y), mgr.region_of(z));
+            mgr.add_dependency(rx, ry);
+            mgr.add_dependency(ry, rz);
+            groups.merge(rx, ry);
+            groups.merge(ry, rz);
+            h1_ref[rz.0 as usize] = true;
+            tails.push(z);
+        }
+        mgr.clear_live_bits();
+        for &z in &tails {
+            mgr.mark_live(z);
+        }
+        mgr.propagate_liveness();
+        let directional_reclaimed = mgr.sweep_dead().len();
+        let group_live = groups.group_liveness(&h1_ref);
+        let group_reclaimed = group_live.iter().filter(|&&l| !l).count();
+        println!(
+            "  {chains:4} chains: directional reclaims {directional_reclaimed:4} regions, union-find reclaims {group_reclaimed:4}"
+        );
+        csv.push(format!("deps,{chains},{directional_reclaimed},{group_reclaimed}"));
+    }
+
+    println!("\n=== Ablation 2: H2 page size (4 KB vs 2 MB HugeMap) for ML scans ===\n");
+    let row = spark_row(Workload::Lr);
+    let scale = spark_dataset(&row);
+    for (label, page) in [("4KB", 4096usize), ("2MB-HugeMap", 2 << 20)] {
+        let mut cfg = spark_th(&row, 70, DeviceSpec::nvme_ssd());
+        if let mini_spark::ExecMode::TeraHeap { h2, .. } = &mut cfg.mode {
+            h2.page_size = page;
+        }
+        let r = run_workload(Workload::Lr, cfg, scale);
+        if r.oom {
+            println!("  LR with {label}: OOM");
+        } else {
+            println!("  LR with {label}: total {:9.1} ms (other {:9.1} ms)", r.total_ms(), r.breakdown.other_ns as f64 / 1e6);
+            csv.push(format!("hugepages,{label},{}", r.breakdown.total_ns()));
+        }
+    }
+
+    println!("\n=== Ablation 3: promotion buffer size (device write batching) ===\n");
+    let row = spark_row(Workload::Pr);
+    let scale = spark_dataset(&row);
+    for buf in [4096usize, 64 << 10, 2 << 20] {
+        let mut cfg = spark_th(&row, 80, DeviceSpec::nvme_ssd());
+        if let mini_spark::ExecMode::TeraHeap { h2, .. } = &mut cfg.mode {
+            h2.promo_buffer_bytes = buf;
+        }
+        let r = run_workload(Workload::Pr, cfg, scale);
+        if r.oom {
+            println!("  PR with {:>7} B buffers: OOM", buf);
+        } else {
+            println!(
+                "  PR with {:>7} B buffers: major GC {:9.2} ms",
+                buf,
+                r.breakdown.major_gc_ns as f64 / 1e6
+            );
+            csv.push(format!("promo,{buf},{}", r.breakdown.major_gc_ns));
+        }
+    }
+    println!("\n=== Ablation 4: dynamic high threshold (§7.2 future work) ===\n");
+    {
+        use mini_giraph::{run_giraph, GiraphWorkload};
+        use teraheap_bench::harness::{giraph_rows, giraph_th, giraph_vertices};
+        let row = giraph_rows()
+            .into_iter()
+            .find(|r| r.workload == GiraphWorkload::Sssp)
+            .expect("SSSP row");
+        let vertices = giraph_vertices(&row);
+        for (label, adaptive) in [("fixed 85%", false), ("adaptive", true)] {
+            let mut cfg = giraph_th(&row, row.dram_gb[0]);
+            cfg.adaptive_threshold = adaptive;
+            let r = run_giraph(row.workload, cfg, vertices, 8, 42);
+            if r.oom {
+                println!("  SSSP with {label}: OOM");
+            } else {
+                println!(
+                    "  SSSP with {label:>10}: total {:9.2} ms (gc {:7.2} ms, {} majors)",
+                    r.total_ms(),
+                    (r.breakdown.minor_gc_ns + r.breakdown.major_gc_ns) as f64 / 1e6,
+                    r.major_gcs
+                );
+                csv.push(format!("adaptive,{label},{}", r.breakdown.total_ns()));
+            }
+        }
+    }
+
+    let path = write_csv("ablations", "ablation,param,a,b", &csv);
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,106 @@
+//! Figure 12: TeraHeap on the NVM server — vs Spark-SD (a), vs Spark-MO
+//! (NVM Memory mode) (b), and vs Panthera (c).
+//!
+//! Expected shape (paper, §7.5): with byte-addressable NVM backing H2,
+//! TeraHeap eliminates S/D entirely (direct loads/stores) and wins up to
+//! 79% vs Spark-SD; Spark-MO pays NVM latency on *every* heap access
+//! including GC (minor GC +36% vs Spark-SD), so TeraHeap wins up to 86%;
+//! Panthera still scans its whole (partly NVM-resident) old generation
+//! every major GC, so TeraHeap wins 7–69%.
+
+use mini_spark::{run_workload, RunReport, Workload};
+use teraheap_bench::harness::{bar, spark_dataset, spark_row, spark_rows, spark_sd, spark_th, write_csv, WORDS_PER_GB};
+use teraheap_runtime::{GcVariant, HeapConfig, MemoryMode};
+use teraheap_storage::DeviceSpec;
+
+fn main() {
+    let mut csv: Vec<String> = Vec::new();
+    let nvm = DeviceSpec::optane_nvm();
+
+    println!("=== Figure 12a: Spark-SD vs TeraHeap over NVM (App Direct) ===\n");
+    for row in spark_rows() {
+        let scale = spark_dataset(&row);
+        let dram = row.th_dram_gb[row.th_dram_gb.len() - 1];
+        let sd = run_workload(row.workload, spark_sd(&row, dram, nvm), scale);
+        let th = run_workload(row.workload, spark_th(&row, dram, nvm), scale);
+        print_pair(&mut csv, "12a", row.workload.name(), ("SD", &sd), ("TH", &th));
+    }
+
+    println!("\n=== Figure 12b: Spark-MO (Memory mode) vs TeraHeap ===\n");
+    for row in spark_rows() {
+        let scale = spark_dataset(&row);
+        let dram = row.th_dram_gb[row.th_dram_gb.len() - 1];
+        // Spark-MO: heap big enough to cache everything, backed by NVM in
+        // Memory mode with DRAM acting as a cache.
+        let mut mo_cfg = mini_spark::SparkConfig {
+            heap: teraheap_bench::harness::heap_split(row.dataset_gb * 2),
+            mode: mini_spark::ExecMode::OnHeap,
+            partitions: row.partitions,
+            iterations: row.iterations,
+        };
+        mo_cfg.heap.memory_mode = Some(MemoryMode { nvm, miss_percent: 40 });
+        let mo = run_workload(row.workload, mo_cfg, scale);
+        let th = run_workload(row.workload, spark_th(&row, dram, nvm), scale);
+        print_pair(&mut csv, "12b", row.workload.name(), ("MO", &mo), ("TH", &th));
+    }
+
+    println!("\n=== Figure 12c: Panthera vs TeraHeap (64 GB heap, 16 GB DRAM) ===\n");
+    // Paper config: 64 GB heap; young 10 GB in DRAM; old = 6 GB DRAM +
+    // 48 GB NVM. TeraHeap: 16 GB H1, H2 on NVM.
+    let panthera_workloads = [
+        Workload::Pr,
+        Workload::Cc,
+        Workload::Sssp,
+        Workload::Svd,
+        Workload::Lr,
+        Workload::Lgr,
+        Workload::Km,
+        Workload::Svm,
+        Workload::Bc,
+    ];
+    for w in panthera_workloads {
+        let row = spark_row(w);
+        let mut scale = spark_dataset(&row);
+        // The Panthera study uses datasets that fit a 64 GB heap.
+        scale.vertices = scale.vertices.min(40 * WORDS_PER_GB / 17);
+        scale.rows = scale.rows.min(40 * WORDS_PER_GB / 34);
+        let mut p_cfg = mini_spark::SparkConfig {
+            heap: HeapConfig::with_words(10 * WORDS_PER_GB, 54 * WORDS_PER_GB),
+            mode: mini_spark::ExecMode::OnHeap,
+            partitions: row.partitions,
+            iterations: row.iterations,
+        };
+        p_cfg.heap.variant = GcVariant::Panthera { old_dram_words: 6 * WORDS_PER_GB, nvm };
+        let p = run_workload(w, p_cfg, scale);
+        let th = run_workload(w, spark_th(&row, 32, nvm), scale);
+        print_pair(&mut csv, "12c", w.name(), ("P", &p), ("TH", &th));
+    }
+    let path = write_csv("fig12_nvm", &format!("panel,config,{}", RunReport::csv_header()), &csv);
+    println!("\nwrote {}", path.display());
+}
+
+fn print_pair(
+    csv: &mut Vec<String>,
+    panel: &str,
+    workload: &str,
+    a: (&str, &RunReport),
+    b: (&str, &RunReport),
+) {
+    let reference = [a.1, b.1]
+        .iter()
+        .find(|r| !r.oom)
+        .map(|r| r.breakdown.total_ns())
+        .unwrap_or(1)
+        .max(1);
+    let fmt = |r: &RunReport| {
+        if r.oom {
+            "OOM".to_string()
+        } else {
+            bar(&r.breakdown, reference)
+        }
+    };
+    println!("  {workload:>5}  {:>3}: {}", a.0, fmt(a.1));
+    println!("  {workload:>5}  {:>3}: {}", b.0, fmt(b.1));
+    csv.push(format!("{panel},{},{}", a.0, a.1.csv_row()));
+    csv.push(format!("{panel},{},{}", b.0, b.1.csv_row()));
+}

@@ -1,0 +1,122 @@
+//! Figure 13: performance scaling with (a) mutator threads and (b) dataset
+//! size, for Spark CC and LR and Giraph CDLP.
+//!
+//! Expected shape (paper, §7.6): TeraHeap keeps scaling to 16 threads
+//! (up to 23% better with 2× threads) while the natives stall because GC
+//! grows with the allocation rate; TeraHeap's win holds or grows with
+//! larger datasets (up to 70%).
+
+use mini_giraph::run_giraph;
+use mini_spark::{run_workload, Workload};
+use teraheap_bench::harness::{
+    giraph_rows, giraph_th, giraph_ooc, spark_dataset, spark_row, spark_sd, spark_th, write_csv,
+    WORDS_PER_GB,
+};
+use teraheap_storage::DeviceSpec;
+
+fn main() {
+    let mut csv: Vec<String> = Vec::new();
+
+    println!("=== Figure 13a: scaling with mutator threads (4/8/16) ===\n");
+    for w in [Workload::Cc, Workload::Lr] {
+        let row = spark_row(w);
+        let scale = spark_dataset(&row);
+        let dram = row.th_dram_gb[row.th_dram_gb.len() - 1];
+        for (label, base) in [
+            ("Spark-SD", spark_sd(&row, dram, DeviceSpec::nvme_ssd())),
+            ("TeraHeap", spark_th(&row, dram, DeviceSpec::nvme_ssd())),
+        ] {
+            let mut line = format!("  Spark-{} {label:>9}:", w.name());
+            for threads in [4usize, 8, 16] {
+                let mut cfg = base;
+                cfg.heap.mutator_threads = threads;
+                let r = run_workload(w, cfg, scale);
+                if r.oom {
+                    line.push_str("      OOM");
+                } else {
+                    line.push_str(&format!(" {:8.1}ms", r.total_ms()));
+                }
+                csv.push(format!(
+                    "13a,{},{label},{threads},{},{}",
+                    w.name(),
+                    r.oom,
+                    r.breakdown.total_ns()
+                ));
+            }
+            println!("{line}   (4 / 8 / 16 threads)");
+        }
+    }
+    {
+        let row = giraph_rows().into_iter().find(|r| r.workload == mini_giraph::GiraphWorkload::Cdlp).unwrap();
+        let vertices = teraheap_bench::harness::giraph_vertices(&row);
+        for (label, base) in [
+            ("Giraph-OOC", giraph_ooc(&row, row.dram_gb[1])),
+            ("TeraHeap", giraph_th(&row, row.dram_gb[1])),
+        ] {
+            let mut line = format!("  Giraph-CDLP {label:>10}:");
+            for threads in [4usize, 8, 16] {
+                let mut cfg = base;
+                cfg.heap.mutator_threads = threads;
+                let r = run_giraph(row.workload, cfg, vertices, 8, 42);
+                if r.oom {
+                    line.push_str("      OOM");
+                } else {
+                    line.push_str(&format!(" {:8.1}ms", r.total_ms()));
+                }
+                csv.push(format!("13a,CDLP,{label},{threads},{},{}", r.oom, r.breakdown.total_ns()));
+            }
+            println!("{line}   (4 / 8 / 16 threads)");
+        }
+    }
+
+    println!("\n=== Figure 13b: scaling with dataset size ===\n");
+    // Paper pairs: CC 32→73 GB, LR 64→256 GB, CDLP 25→91 GB; DRAM scales
+    // with the dataset as in the paper's configurations.
+    for (w, sizes) in [(Workload::Cc, [32usize, 73]), (Workload::Lr, [64, 256])] {
+        for gb in sizes {
+            let mut row = spark_row(w);
+            row.dataset_gb = gb;
+            let scale = spark_dataset(&row);
+            let dram = gb + 16;
+            let sd = run_workload(w, spark_sd(&row, dram, DeviceSpec::nvme_ssd()), scale);
+            let th = run_workload(w, spark_th(&row, dram, DeviceSpec::nvme_ssd()), scale);
+            report_pair(&mut csv, &format!("Spark-{} {gb}GB", w.name()), &sd.oom, sd.breakdown.total_ns(), &th.oom, th.breakdown.total_ns());
+        }
+    }
+    {
+        let base = giraph_rows().into_iter().find(|r| r.workload == mini_giraph::GiraphWorkload::Cdlp).unwrap();
+        for gb in [25usize, 91] {
+            let mut row = base;
+            row.dataset_gb = gb;
+            let vertices = gb * WORDS_PER_GB / row.words_per_vertex;
+            let dram = gb + 15;
+            let ooc = run_giraph(row.workload, giraph_ooc(&row, dram), vertices, 8, 42);
+            let th = run_giraph(row.workload, giraph_th(&row, dram), vertices, 8, 42);
+            report_pair(&mut csv, &format!("Giraph-CDLP {gb}GB"), &ooc.oom, ooc.breakdown.total_ns(), &th.oom, th.breakdown.total_ns());
+        }
+    }
+    let path = write_csv("fig13_scaling", "panel,workload,config,threads_or_size,oom,total_ns", &csv);
+    println!("\nwrote {}", path.display());
+}
+
+fn report_pair(csv: &mut Vec<String>, label: &str, native_oom: &bool, native_ns: u64, th_oom: &bool, th_ns: u64) {
+    let fmt = |oom: bool, ns: u64| {
+        if oom {
+            "OOM".to_string()
+        } else {
+            format!("{:.1}ms", ns as f64 / 1e6)
+        }
+    };
+    let speedup = if *native_oom || *th_oom || th_ns == 0 {
+        "-".to_string()
+    } else {
+        format!("{:.0}%", 100.0 * (1.0 - th_ns as f64 / native_ns as f64))
+    };
+    println!(
+        "  {label:>18}: native {}  TH {}  (TH saves {speedup})",
+        fmt(*native_oom, native_ns),
+        fmt(*th_oom, th_ns)
+    );
+    csv.push(format!("13b,{label},native,-,{},{}", native_oom, native_ns));
+    csv.push(format!("13b,{label},TH,-,{},{}", th_oom, th_ns));
+}

@@ -1,0 +1,51 @@
+//! Figure 6 (Spark half): TeraHeap vs Spark-SD on the NVMe server.
+//!
+//! For each of the ten Spark workloads, sweeps the Spark-SD DRAM sizes and
+//! the two TeraHeap DRAM sizes from the figure, printing normalized
+//! execution-time breakdowns (normalized to the first completing bar, as in
+//! the paper) and marking OOM bars. Writes `results/fig6_spark.csv`.
+//!
+//! Expected shape (paper): TeraHeap completes at DRAM sizes where Spark-SD
+//! OOMs, and at equal DRAM reduces execution time 18–73%, mostly from major
+//! GC and S/D reductions.
+
+use mini_spark::{run_workload, RunReport};
+use teraheap_bench::harness::{spark_dataset, spark_rows, spark_sd, spark_th, bar, write_csv};
+use teraheap_storage::DeviceSpec;
+
+fn main() {
+    let mut csv: Vec<String> = Vec::new();
+    println!("=== Figure 6 (Spark): TeraHeap (TH) vs Spark-SD, NVMe ===\n");
+    for row in spark_rows() {
+        let scale = spark_dataset(&row);
+        println!("--- Spark-{} (dataset {} GB-scaled) ---", row.workload.name(), row.dataset_gb);
+        let mut reference_ns = 0u64;
+        let mut report_bar = |label: String, report: &RunReport, csv: &mut Vec<String>| {
+            if report.oom {
+                println!("  {label:>18}: OOM");
+            } else {
+                if reference_ns == 0 {
+                    reference_ns = report.breakdown.total_ns();
+                }
+                println!(
+                    "  {label:>18}: {}  [minor {} major {}]",
+                    bar(&report.breakdown, reference_ns),
+                    report.minor_gcs,
+                    report.major_gcs
+                );
+            }
+            csv.push(format!("{},{}", label.replace(' ', "_"), report.csv_row()));
+        };
+        for &dram in row.sd_dram_gb {
+            let r = run_workload(row.workload, spark_sd(&row, dram, DeviceSpec::nvme_ssd()), scale);
+            report_bar(format!("Spark-SD {dram}GB"), &r, &mut csv);
+        }
+        for &dram in row.th_dram_gb {
+            let r = run_workload(row.workload, spark_th(&row, dram, DeviceSpec::nvme_ssd()), scale);
+            report_bar(format!("TH {dram}GB"), &r, &mut csv);
+        }
+        println!();
+    }
+    let path = write_csv("fig6_spark", &format!("bar,{}", RunReport::csv_header()), &csv);
+    println!("wrote {}", path.display());
+}

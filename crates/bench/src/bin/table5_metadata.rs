@@ -1,0 +1,26 @@
+//! Table 5: H2 DRAM metadata size per TB of H2 space, for region sizes
+//! between 1 MB and 256 MB.
+//!
+//! Expected values (paper): 417 MB at 1 MB regions down to ~2 MB at 256 MB
+//! regions — metadata is inversely proportional to region size.
+
+use teraheap_bench::harness::write_csv;
+use teraheap_core::RegionManager;
+
+fn main() {
+    println!("=== Table 5: H2 metadata per TB vs region size ===\n");
+    println!("  {:>12} | {:>14}", "region (MB)", "metadata (MB)");
+    println!("  {:->12}-+-{:->14}", "", "");
+    let tb_bytes: usize = 1 << 40;
+    let mut csv = Vec::new();
+    for region_mb in [1usize, 2, 4, 8, 16, 32, 64, 128, 256] {
+        let region_words = region_mb * (1 << 20) / 8;
+        let n_regions = tb_bytes / (region_mb * (1 << 20));
+        let meta = RegionManager::new(region_words, n_regions).metadata_bytes();
+        let meta_mb = meta as f64 / (1 << 20) as f64;
+        println!("  {region_mb:>12} | {meta_mb:>14.1}");
+        csv.push(format!("{region_mb},{meta_mb:.2}"));
+    }
+    let path = write_csv("table5_metadata", "region_mb,metadata_mb", &csv);
+    println!("\nwrote {}", path.display());
+}

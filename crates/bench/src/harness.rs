@@ -1,0 +1,296 @@
+//! Scaled experiment configurations.
+//!
+//! The paper's Tables 3 and 4 give per-workload dataset sizes, DRAM sizes
+//! and heap splits in GB on the authors' servers. The reproduction preserves
+//! every *ratio* while scaling absolute sizes down by [`WORDS_PER_GB`]:
+//! one paper-GB becomes 24 Ki heap words (192 KiB), so a 256 GB
+//! configuration becomes a 48 MiB simulation that runs in seconds.
+
+use mini_giraph::{GiraphConfig, GiraphMode};
+use mini_spark::{DatasetScale, ExecMode, SparkConfig, Workload};
+use teraheap_core::H2Config;
+use teraheap_runtime::HeapConfig;
+use teraheap_storage::DeviceSpec;
+
+/// Heap words standing in for one paper-GB.
+pub const WORDS_PER_GB: usize = 24 << 10;
+
+/// DRAM the paper reserves for the system outside the heap (DR2): 16 GB for
+/// Spark.
+pub const SPARK_DR2_GB: usize = 16;
+
+/// Per-workload Table 3 row: dataset GB, Figure 6's Spark-SD DRAM sweep and
+/// TeraHeap DRAM pair, plus iteration count and partitioning.
+#[derive(Debug, Clone)]
+pub struct SparkRow {
+    /// The workload.
+    pub workload: Workload,
+    /// Dataset size in paper-GB.
+    pub dataset_gb: usize,
+    /// Figure 6's Spark-SD DRAM sizes (GB).
+    pub sd_dram_gb: &'static [usize],
+    /// Figure 6's TeraHeap DRAM sizes (GB).
+    pub th_dram_gb: &'static [usize],
+    /// Iterations (scaled from the paper's counts).
+    pub iterations: usize,
+    /// RDD partitions.
+    pub partitions: usize,
+}
+
+/// The Table 3 rows, with Figure 6's DRAM sweeps.
+pub fn spark_rows() -> Vec<SparkRow> {
+    let row = |workload, dataset_gb, sd, th, iterations, partitions| SparkRow {
+        workload,
+        dataset_gb,
+        sd_dram_gb: sd,
+        th_dram_gb: th,
+        iterations,
+        partitions,
+    };
+    vec![
+        row(Workload::Pr, 80, &[32, 48, 80, 144], &[32, 80], 6, 64),
+        row(Workload::Cc, 84, &[33, 50, 84, 152], &[33, 84], 6, 64),
+        row(Workload::Sssp, 58, &[27, 37, 58, 100], &[37, 58], 6, 64),
+        row(Workload::Svd, 40, &[22, 28, 40, 64], &[28, 40], 5, 64),
+        row(Workload::Tr, 80, &[59, 70, 80], &[59, 80], 1, 64),
+        row(Workload::Lr, 70, &[29, 43, 70, 124], &[43, 70], 8, 64),
+        row(Workload::Lgr, 70, &[29, 43, 70, 124], &[43, 70], 8, 64),
+        row(Workload::Svm, 48, &[28, 32, 36, 48], &[36, 48], 8, 160),
+        row(Workload::Bc, 98, &[53, 57, 98, 180], &[57, 98], 2, 260),
+        row(Workload::Rl, 63, &[24, 37, 63], &[37, 63], 5, 120),
+    ]
+}
+
+/// The row for one workload.
+pub fn spark_row(w: Workload) -> SparkRow {
+    if w == Workload::Km {
+        // KM only appears in Figure 12c; size it like the other MLlib jobs.
+        return SparkRow {
+            workload: Workload::Km,
+            dataset_gb: 70,
+            sd_dram_gb: &[43, 70],
+            th_dram_gb: &[43, 70],
+            iterations: 6,
+            partitions: 64,
+        };
+    }
+    spark_rows()
+        .into_iter()
+        .find(|r| r.workload == w)
+        .expect("workload has a Table 3 row")
+}
+
+/// The dataset for a Table 3 row, sized to `dataset_gb` scaled paper-GB.
+pub fn spark_dataset(row: &SparkRow) -> DatasetScale {
+    let words = row.dataset_gb * WORDS_PER_GB;
+    let dims = 32;
+    DatasetScale {
+        // Graphs: ≈(9 + avg_degree) words per vertex at degree 8.
+        vertices: words / 17,
+        avg_degree: 8,
+        // ML: (dims + ~2) words per row.
+        rows: words / (dims + 2),
+        dims,
+        // Relational: ~2.3 words per row.
+        rel_rows: words * 10 / 23,
+        rel_keys: 256,
+        seed: 42,
+    }
+}
+
+/// Splits `heap_gb` into young/old with the 1:4 ratio big-data Spark/Giraph
+/// deployments use (small young generation, large tenured space for cached
+/// data).
+pub fn heap_split(heap_gb: usize) -> HeapConfig {
+    let words = heap_gb * WORDS_PER_GB;
+    HeapConfig::with_words(words / 5, words - words / 5)
+}
+
+/// H1 heap sized for `dram_gb` of DRAM with the paper's DR2 share removed.
+pub fn spark_heap(dram_gb: usize) -> HeapConfig {
+    heap_split(dram_gb.saturating_sub(SPARK_DR2_GB).max(4))
+}
+
+/// H2 sized to hold the workload's dataset several times over (lazy bulk
+/// reclamation needs slack), with the paper's defaults: 8 KB card segments
+/// and 2 MB promotion buffers.
+pub fn h2_for(dataset_gb: usize) -> H2Config {
+    let region_words = 64 << 10;
+    let capacity_words = 6 * dataset_gb * WORDS_PER_GB;
+    H2Config {
+        region_words,
+        n_regions: capacity_words.div_ceil(region_words).max(16),
+        card_seg_words: 1 << 10,
+        resident_budget_bytes: 16 * WORDS_PER_GB * 8, // DR2 page-cache share
+        page_size: 4096,
+        promo_buffer_bytes: 2 << 20,
+    }
+}
+
+/// Spark-SD configuration at `dram_gb` on `device`.
+pub fn spark_sd(row: &SparkRow, dram_gb: usize, device: DeviceSpec) -> SparkConfig {
+    SparkConfig {
+        heap: spark_heap(dram_gb),
+        mode: ExecMode::SparkSd { device },
+        partitions: row.partitions,
+        iterations: row.iterations,
+    }
+}
+
+/// TeraHeap configuration at `dram_gb` on `device`.
+pub fn spark_th(row: &SparkRow, dram_gb: usize, device: DeviceSpec) -> SparkConfig {
+    SparkConfig {
+        heap: spark_heap(dram_gb),
+        mode: ExecMode::TeraHeap { h2: h2_for(row.dataset_gb), device },
+        partitions: row.partitions,
+        iterations: row.iterations,
+    }
+}
+
+/// Per-workload Table 4 row for Giraph.
+#[derive(Debug, Clone, Copy)]
+pub struct GiraphRow {
+    /// The workload.
+    pub workload: mini_giraph::GiraphWorkload,
+    /// Dataset size in paper-GB.
+    pub dataset_gb: usize,
+    /// Figure 6's DRAM pair (small has the OOC OOM, large runs).
+    pub dram_gb: [usize; 2],
+    /// Giraph-OOC heap at the large DRAM size (Table 4 Heap column).
+    pub ooc_heap_gb: usize,
+    /// TeraHeap H1 at the large DRAM size (Table 4 H1 column).
+    pub th_h1_gb: usize,
+    /// Supersteps.
+    pub supersteps: usize,
+    /// In-memory words per vertex (vertex + edges + both message stores);
+    /// CDLP lacks a combiner so its message stores are degree-sized.
+    pub words_per_vertex: usize,
+}
+
+/// The Table 4 rows.
+pub fn giraph_rows() -> Vec<GiraphRow> {
+    use mini_giraph::GiraphWorkload as W;
+    vec![
+        GiraphRow { workload: W::Pr, dataset_gb: 85, dram_gb: [74, 85], ooc_heap_gb: 70, th_h1_gb: 50, supersteps: 6, words_per_vertex: 48 },
+        GiraphRow { workload: W::Cdlp, dataset_gb: 85, dram_gb: [74, 85], ooc_heap_gb: 70, th_h1_gb: 60, supersteps: 6, words_per_vertex: 48 },
+        GiraphRow { workload: W::Wcc, dataset_gb: 85, dram_gb: [74, 85], ooc_heap_gb: 70, th_h1_gb: 60, supersteps: 8, words_per_vertex: 24 },
+        GiraphRow { workload: W::Bfs, dataset_gb: 65, dram_gb: [57, 65], ooc_heap_gb: 48, th_h1_gb: 35, supersteps: 8, words_per_vertex: 24 },
+        GiraphRow { workload: W::Sssp, dataset_gb: 90, dram_gb: [78, 90], ooc_heap_gb: 75, th_h1_gb: 50, supersteps: 8, words_per_vertex: 24 },
+    ]
+}
+
+/// Graph vertices for a Giraph row. Table 4's footprint covers the loaded
+/// graph *plus* the two message stores (messages and edges dominate the
+/// Giraph heap, §5).
+pub fn giraph_vertices(row: &GiraphRow) -> usize {
+    row.dataset_gb * WORDS_PER_GB / row.words_per_vertex
+}
+
+/// Giraph-OOC configuration at `dram_gb`.
+pub fn giraph_ooc(row: &GiraphRow, dram_gb: usize) -> GiraphConfig {
+    // Heap scales with DRAM: the Table 4 split keeps DR2 fixed.
+    let dr2 = row.dram_gb[1] - row.ooc_heap_gb;
+    let heap_gb = dram_gb.saturating_sub(dr2).max(4);
+    GiraphConfig {
+        heap: heap_split(heap_gb),
+        mode: GiraphMode::OutOfCore {
+            device: DeviceSpec::nvme_ssd(),
+            memory_limit_words: heap_gb * WORDS_PER_GB * 45 / 100,
+        },
+        partitions: 16,
+        max_supersteps: row.supersteps,
+        use_move_hint: true,
+        low_threshold: None,
+        adaptive_threshold: false,
+        track_h2_liveness: false,
+    }
+}
+
+/// TeraHeap Giraph configuration at `dram_gb`.
+pub fn giraph_th(row: &GiraphRow, dram_gb: usize) -> GiraphConfig {
+    let dr2 = row.dram_gb[1] - row.th_h1_gb;
+    let h1_gb = dram_gb.saturating_sub(dr2).max(4);
+    GiraphConfig {
+        heap: heap_split(h1_gb),
+        mode: GiraphMode::TeraHeap {
+            h2: h2_for(row.dataset_gb),
+            device: DeviceSpec::nvme_ssd(),
+        },
+        partitions: 16,
+        max_supersteps: row.supersteps,
+        use_move_hint: true,
+        low_threshold: None,
+        adaptive_threshold: false,
+        track_h2_liveness: false,
+    }
+}
+
+/// Writes `rows` (comma-separated lines) under `results/<name>.csv`,
+/// creating the directory if needed. Returns the path written.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> std::path::PathBuf {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(format!("{name}.csv"));
+    let mut body = String::from(header);
+    body.push('\n');
+    for r in rows {
+        body.push_str(r);
+        body.push('\n');
+    }
+    std::fs::write(&path, body).expect("write csv");
+    path
+}
+
+/// Renders a normalized stacked bar (other/sd+io/minor/major as percentages
+/// of `reference_ns`), matching the paper's normalized-execution-time plots.
+pub fn bar(breakdown: &teraheap_storage::Breakdown, reference_ns: u64) -> String {
+    let pct = |x: u64| 100.0 * x as f64 / reference_ns.max(1) as f64;
+    format!(
+        "other {:5.1}% | s/d+io {:5.1}% | minor {:5.1}% | major {:5.1}% | total {:5.1}%",
+        pct(breakdown.other_ns),
+        pct(breakdown.sd_io_ns),
+        pct(breakdown.minor_gc_ns),
+        pct(breakdown.major_gc_ns),
+        pct(breakdown.total_ns()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_cover_all_ten_spark_workloads() {
+        let rows = spark_rows();
+        assert_eq!(rows.len(), 10);
+        for w in Workload::ALL {
+            assert!(rows.iter().any(|r| r.workload == w), "{} missing", w.name());
+        }
+    }
+
+    #[test]
+    fn km_row_is_available_for_fig12c() {
+        let r = spark_row(Workload::Km);
+        assert_eq!(r.workload, Workload::Km);
+    }
+
+    #[test]
+    fn heap_scales_with_dram() {
+        let small = spark_heap(32);
+        let large = spark_heap(144);
+        assert!(large.h1_words() > 3 * small.h1_words());
+        assert_eq!(small.h1_words(), (32 - SPARK_DR2_GB) * WORDS_PER_GB);
+        assert!(small.old_words >= 3 * small.young_words, "big-data split");
+    }
+
+    #[test]
+    fn h2_holds_dataset_with_slack() {
+        let h2 = h2_for(80);
+        assert!(h2.capacity_words() >= 5 * 80 * WORDS_PER_GB);
+    }
+
+    #[test]
+    fn giraph_rows_cover_all_five() {
+        assert_eq!(giraph_rows().len(), 5);
+    }
+}

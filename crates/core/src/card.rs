@@ -1,0 +1,232 @@
+//! The extended H2 card table tracking backward (H2→H1) references (§3.4).
+//!
+//! Fencing GC scans out of H2 requires knowing which H1 objects are
+//! referenced *from* H2 — the collector must neither reclaim nor fail to
+//! relocate them. Scanning H2 itself would incur device I/O, so TeraHeap
+//! keeps a DRAM card table with one byte per fixed-size H2 segment, with
+//! four states instead of the vanilla two:
+//!
+//! * `Clean` — no backward references in the segment;
+//! * `Dirty` — a mutator updated an object in the segment (post-write
+//!   barrier) and it has not been re-examined;
+//! * `YoungGen` — the segment's objects reference only young-generation H1
+//!   objects;
+//! * `OldGen` — the segment's objects reference only old-generation H1
+//!   objects, which minor GC can skip entirely (old objects don't move in
+//!   minor GC).
+//!
+//! Minor GC scans `Dirty` and `YoungGen` cards; major GC also scans
+//! `OldGen`. Card segments are larger than H1's 512 B (the paper sweeps
+//! 512 B–16 KB; larger segments shrink the table and the scan, at the cost
+//! of more object scanning per dirty card — Figure 11a).
+//!
+//! For contention-free parallel scanning, H2 is divided into *slices* of
+//! `n_threads` *stripes*; GC thread `t` processes stripe `t` of every slice
+//! (Figure 3). TeraHeap sets the stripe size equal to the region size and
+//! aligns objects to regions, so no two threads ever share a boundary card
+//! (the vanilla JVM's forever-dirty boundary-card problem, which would be
+//! disastrous with large device-backed segments).
+
+use crate::addr::Addr;
+
+/// State of one H2 card (one byte in the real implementation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum CardState {
+    /// No backward references in the segment.
+    Clean = 0,
+    /// Mutator updated the segment since the last examination.
+    Dirty = 1,
+    /// Segment references young-generation H1 objects (and possibly old).
+    YoungGen = 2,
+    /// Segment references only old-generation H1 objects.
+    OldGen = 3,
+}
+
+/// The H2 card table: a DRAM byte array with one entry per H2 segment.
+#[derive(Debug, Clone)]
+pub struct H2CardTable {
+    seg_words: usize,
+    stripe_words: usize,
+    cards: Vec<CardState>,
+}
+
+impl H2CardTable {
+    /// Creates a card table covering `h2_words` words of H2 with
+    /// `seg_words`-word card segments and `stripe_words`-word stripes
+    /// (TeraHeap uses stripe size = region size).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg_words` is zero or `stripe_words` is not a multiple of
+    /// `seg_words` (a stripe boundary must also be a card boundary, which is
+    /// what makes stripe-aligned scanning contention-free).
+    pub fn new(h2_words: usize, seg_words: usize, stripe_words: usize) -> Self {
+        assert!(seg_words > 0, "card segment size must be non-zero");
+        assert!(
+            stripe_words % seg_words == 0,
+            "stripe size must be a multiple of the card segment size"
+        );
+        let n = h2_words.div_ceil(seg_words);
+        H2CardTable {
+            seg_words,
+            stripe_words,
+            cards: vec![CardState::Clean; n],
+        }
+    }
+
+    /// Card segment size in words.
+    pub fn seg_words(&self) -> usize {
+        self.seg_words
+    }
+
+    /// Number of cards (the DRAM footprint in bytes).
+    pub fn card_count(&self) -> usize {
+        self.cards.len()
+    }
+
+    /// Index of the card covering `addr`.
+    pub fn card_of(&self, addr: Addr) -> usize {
+        (addr.h2_offset() as usize) / self.seg_words
+    }
+
+    /// First H2 address covered by card `idx`.
+    pub fn card_base(&self, idx: usize) -> Addr {
+        Addr::h2_at((idx * self.seg_words) as u64)
+    }
+
+    /// State of card `idx`.
+    pub fn state(&self, idx: usize) -> CardState {
+        self.cards[idx]
+    }
+
+    /// Sets card `idx` to `state` (GC re-examination outcome).
+    pub fn set_state(&mut self, idx: usize, state: CardState) {
+        self.cards[idx] = state;
+    }
+
+    /// Post-write-barrier entry: marks the card covering `addr` dirty.
+    pub fn mark_dirty(&mut self, addr: Addr) {
+        let idx = self.card_of(addr);
+        self.cards[idx] = CardState::Dirty;
+    }
+
+    /// Cards that minor GC must scan: `Dirty` or `YoungGen`.
+    pub fn minor_scan_cards(&self) -> Vec<usize> {
+        self.collect(|s| matches!(s, CardState::Dirty | CardState::YoungGen))
+    }
+
+    /// Cards that major GC must scan: everything except `Clean`.
+    pub fn major_scan_cards(&self) -> Vec<usize> {
+        self.collect(|s| s != CardState::Clean)
+    }
+
+    fn collect(&self, pred: impl Fn(CardState) -> bool) -> Vec<usize> {
+        self.cards
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| pred(s))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The stripe containing card `idx`.
+    pub fn stripe_of_card(&self, idx: usize) -> usize {
+        (idx * self.seg_words) / self.stripe_words
+    }
+
+    /// The GC thread that owns card `idx` under the slice/stripe scheme:
+    /// thread `t` processes stripe `t` of every slice.
+    pub fn thread_of_card(&self, idx: usize, n_threads: usize) -> usize {
+        self.stripe_of_card(idx) % n_threads.max(1)
+    }
+
+    /// Partitions `cards` across `n_threads` GC threads by stripe ownership
+    /// and returns per-thread card counts — used to model the parallel scan
+    /// cost as the maximum per-thread share.
+    pub fn per_thread_load(&self, cards: &[usize], n_threads: usize) -> Vec<usize> {
+        let n = n_threads.max(1);
+        let mut load = vec![0usize; n];
+        for &c in cards {
+            load[self.thread_of_card(c, n)] += 1;
+        }
+        load
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> H2CardTable {
+        // 64-word segments, 256-word stripes, 4096 words of H2.
+        H2CardTable::new(4096, 64, 256)
+    }
+
+    #[test]
+    fn card_count_covers_h2() {
+        let t = table();
+        assert_eq!(t.card_count(), 64);
+    }
+
+    #[test]
+    fn card_of_and_base_are_inverse() {
+        let t = table();
+        let addr = Addr::h2_at(130);
+        let c = t.card_of(addr);
+        assert_eq!(c, 2);
+        assert_eq!(t.card_base(c), Addr::h2_at(128));
+    }
+
+    #[test]
+    fn barrier_marks_dirty() {
+        let mut t = table();
+        assert_eq!(t.state(5), CardState::Clean);
+        t.mark_dirty(Addr::h2_at(5 * 64 + 3));
+        assert_eq!(t.state(5), CardState::Dirty);
+    }
+
+    #[test]
+    fn minor_scan_skips_oldgen_cards() {
+        let mut t = table();
+        t.set_state(1, CardState::Dirty);
+        t.set_state(2, CardState::YoungGen);
+        t.set_state(3, CardState::OldGen);
+        assert_eq!(t.minor_scan_cards(), vec![1, 2]);
+        assert_eq!(t.major_scan_cards(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn stripes_assign_threads_round_robin() {
+        let t = table(); // stripe = 4 cards
+        assert_eq!(t.stripe_of_card(0), 0);
+        assert_eq!(t.stripe_of_card(3), 0);
+        assert_eq!(t.stripe_of_card(4), 1);
+        assert_eq!(t.thread_of_card(0, 2), 0);
+        assert_eq!(t.thread_of_card(4, 2), 1);
+        assert_eq!(t.thread_of_card(8, 2), 0); // next slice wraps
+    }
+
+    #[test]
+    fn per_thread_load_partitions_all_cards() {
+        let t = table();
+        let cards: Vec<usize> = (0..64).collect();
+        let load = t.per_thread_load(&cards, 4);
+        assert_eq!(load.iter().sum::<usize>(), 64);
+        // Uniform card distribution over stripes => balanced threads.
+        assert!(load.iter().all(|&l| l == 16));
+    }
+
+    #[test]
+    fn larger_segments_shrink_table() {
+        let small = H2CardTable::new(1 << 20, 64, 1 << 15); // 512 B segments
+        let large = H2CardTable::new(1 << 20, 2048, 1 << 15); // 16 KB segments
+        assert_eq!(small.card_count() / large.card_count(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn misaligned_stripe_panics() {
+        let _ = H2CardTable::new(4096, 64, 100);
+    }
+}

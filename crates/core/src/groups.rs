@@ -1,0 +1,148 @@
+//! Union-find region groups — the simpler liveness alternative (§3.3).
+//!
+//! Instead of tracking the *direction* of cross-region references with
+//! dependency lists, region groups logically merge the source and
+//! destination regions of every cross-region reference. A group is live if
+//! any of its regions is referenced from H1, and only whole dead groups can
+//! be reclaimed. This misses reclamation opportunities: with X→Y→Z and only
+//! Z referenced from H1, the directional scheme reclaims X and Y while the
+//! group scheme reclaims nothing. The paper keeps the directional scheme;
+//! this module exists for the ablation benchmark that quantifies the gap.
+
+use crate::region::RegionId;
+
+/// Union-find over H2 regions, merging regions connected by any
+/// cross-region reference (direction-insensitive).
+#[derive(Debug, Clone)]
+pub struct RegionGroups {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl RegionGroups {
+    /// Creates `n` singleton groups.
+    pub fn new(n: usize) -> Self {
+        RegionGroups {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    /// Number of regions tracked.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether no regions are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// The canonical representative of `r`'s group.
+    pub fn find(&mut self, r: RegionId) -> RegionId {
+        let mut x = r.0;
+        while self.parent[x as usize] != x {
+            // Path halving.
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        RegionId(x)
+    }
+
+    /// Merges the groups of `a` and `b` (called on any cross-region
+    /// reference between them, regardless of direction).
+    pub fn merge(&mut self, a: RegionId, b: RegionId) {
+        let ra = self.find(a).0 as usize;
+        let rb = self.find(b).0 as usize;
+        if ra == rb {
+            return;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb as u32,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra as u32,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra as u32;
+                self.rank[ra] += 1;
+            }
+        }
+    }
+
+    /// Whether `a` and `b` are in the same group.
+    pub fn same_group(&mut self, a: RegionId, b: RegionId) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Given per-region "referenced from H1" bits, returns per-region
+    /// liveness under group semantics: a region is live iff *any* region in
+    /// its group is referenced from H1.
+    pub fn group_liveness(&mut self, h1_referenced: &[bool]) -> Vec<bool> {
+        assert_eq!(h1_referenced.len(), self.parent.len());
+        let n = self.parent.len();
+        let mut group_live = vec![false; n];
+        for i in 0..n {
+            if h1_referenced[i] {
+                let root = self.find(RegionId(i as u32)).0 as usize;
+                group_live[root] = true;
+            }
+        }
+        (0..n)
+            .map(|i| group_live[self.find(RegionId(i as u32)).0 as usize])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_are_their_own_group() {
+        let mut g = RegionGroups::new(3);
+        assert!(!g.same_group(RegionId(0), RegionId(1)));
+        assert_eq!(g.find(RegionId(2)), RegionId(2));
+    }
+
+    #[test]
+    fn merge_is_transitive_and_symmetric() {
+        let mut g = RegionGroups::new(4);
+        g.merge(RegionId(0), RegionId(1));
+        g.merge(RegionId(2), RegionId(1));
+        assert!(g.same_group(RegionId(0), RegionId(2)));
+        assert!(!g.same_group(RegionId(0), RegionId(3)));
+    }
+
+    #[test]
+    fn chain_keeps_whole_group_alive() {
+        // X -> Y -> Z with only Z referenced from H1: group semantics keep
+        // all three alive (the directional scheme reclaims X and Y — see
+        // region::tests::liveness_propagates_along_direction).
+        let mut g = RegionGroups::new(3);
+        g.merge(RegionId(0), RegionId(1));
+        g.merge(RegionId(1), RegionId(2));
+        let live = g.group_liveness(&[false, false, true]);
+        assert_eq!(live, vec![true, true, true]);
+    }
+
+    #[test]
+    fn dead_group_is_fully_reclaimable() {
+        let mut g = RegionGroups::new(4);
+        g.merge(RegionId(0), RegionId(1));
+        // Regions 2,3 separate group.
+        g.merge(RegionId(2), RegionId(3));
+        let live = g.group_liveness(&[true, false, false, false]);
+        assert_eq!(live, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn group_liveness_is_superset_of_direct_marks() {
+        let mut g = RegionGroups::new(5);
+        g.merge(RegionId(0), RegionId(4));
+        let marks = [false, true, false, false, false];
+        let live = g.group_liveness(&marks);
+        for (i, &m) in marks.iter().enumerate() {
+            if m {
+                assert!(live[i], "directly marked region must be group-live");
+            }
+        }
+    }
+}

@@ -1,0 +1,432 @@
+//! The composite H2 facade driven by the runtime's garbage collector.
+//!
+//! [`H2`] owns everything on the far side of the reference range check: the
+//! backing word store for the second heap, the [`MmapSim`] cost model for
+//! its file-backed mapping, the [`RegionManager`], the [`H2CardTable`], the
+//! [`TransferPolicy`] and the [`Promoter`]. The runtime's collector calls
+//! into it at the integration points §4 describes (barrier marking, minor-GC
+//! card scans, the five extra marking-phase tasks, promotion during
+//! compaction, region sweeping).
+
+use crate::addr::{Addr, WORD_BYTES};
+use crate::card::H2CardTable;
+use crate::policy::{Label, TransferPolicy};
+use crate::promo::Promoter;
+use crate::region::{RegionError, RegionId, RegionManager};
+use teraheap_storage::{Category, DeviceSpec, MmapSim, SimClock};
+use std::sync::Arc;
+
+/// Configuration of the second heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct H2Config {
+    /// Region size in words (paper sweeps 1–256 MB; Table 5).
+    pub region_words: usize,
+    /// Number of regions; capacity = `region_words * n_regions`.
+    pub n_regions: usize,
+    /// Card segment size in words (paper sweeps 512 B–16 KB; Figure 11a).
+    pub card_seg_words: usize,
+    /// Page-cache resident budget in bytes (the DR2 DRAM share).
+    pub resident_budget_bytes: usize,
+    /// Page size for the mapping (4096, or `2 << 20` for HugeMap).
+    pub page_size: usize,
+    /// Promotion buffer size in bytes (2 MB in the paper).
+    pub promo_buffer_bytes: usize,
+}
+
+impl Default for H2Config {
+    /// A laptop-scale default: 64 regions of 1 MB, 8 KB card segments,
+    /// 16 MB resident budget, regular pages, 2 MB promotion buffers.
+    fn default() -> Self {
+        H2Config {
+            region_words: (1 << 20) / WORD_BYTES,
+            n_regions: 64,
+            card_seg_words: (8 << 10) / WORD_BYTES,
+            resident_budget_bytes: 16 << 20,
+            page_size: 4096,
+            promo_buffer_bytes: 2 << 20,
+        }
+    }
+}
+
+impl H2Config {
+    /// Total H2 capacity in words.
+    pub fn capacity_words(&self) -> usize {
+        self.region_words * self.n_regions
+    }
+}
+
+/// Errors surfaced by H2 operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum H2Error {
+    /// H2 ran out of free regions.
+    OutOfSpace,
+    /// An object exceeds the region size (objects may not span regions).
+    ObjectTooLarge {
+        /// Requested object size.
+        words: usize,
+        /// Configured region size.
+        region_words: usize,
+    },
+}
+
+impl From<RegionError> for H2Error {
+    fn from(e: RegionError) -> Self {
+        match e {
+            RegionError::OutOfRegions => H2Error::OutOfSpace,
+            RegionError::ObjectTooLarge { words, region_words } => {
+                H2Error::ObjectTooLarge { words, region_words }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for H2Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            H2Error::OutOfSpace => write!(f, "H2 out of space"),
+            H2Error::ObjectTooLarge { words, region_words } => write!(
+                f,
+                "object of {words} words exceeds H2 region size {region_words}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for H2Error {}
+
+/// The second heap: word store + region allocator + card table + policy +
+/// promotion buffers + device cost model.
+#[derive(Debug)]
+pub struct H2 {
+    config: H2Config,
+    spec: DeviceSpec,
+    clock: Arc<SimClock>,
+    data: Vec<u64>,
+    mmap: MmapSim,
+    regions: RegionManager,
+    cards: H2CardTable,
+    policy: TransferPolicy,
+    promoter: Promoter,
+    objects_promoted: u64,
+    words_promoted: u64,
+}
+
+impl H2 {
+    /// Creates a second heap over a device described by `spec`.
+    pub fn new(config: H2Config, spec: DeviceSpec, clock: Arc<SimClock>) -> Self {
+        let capacity_words = config.capacity_words();
+        let mmap = MmapSim::new(
+            spec,
+            capacity_words * WORD_BYTES,
+            config.resident_budget_bytes,
+            config.page_size,
+            clock.clone(),
+        );
+        H2 {
+            regions: RegionManager::new(config.region_words, config.n_regions),
+            cards: H2CardTable::new(capacity_words, config.card_seg_words, config.region_words),
+            policy: TransferPolicy::new(),
+            promoter: Promoter::new(config.promo_buffer_bytes),
+            data: vec![0; capacity_words],
+            mmap,
+            spec,
+            clock,
+            config,
+            objects_promoted: 0,
+            words_promoted: 0,
+        }
+    }
+
+    /// The configuration this heap was built with.
+    pub fn config(&self) -> &H2Config {
+        &self.config
+    }
+
+    /// The device model backing the heap.
+    pub fn device_spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Total capacity in words.
+    pub fn capacity_words(&self) -> usize {
+        self.config.capacity_words()
+    }
+
+    /// The region manager (liveness, dependency lists, statistics).
+    pub fn regions(&self) -> &RegionManager {
+        &self.regions
+    }
+
+    /// Mutable access to the region manager (GC integration).
+    pub fn regions_mut(&mut self) -> &mut RegionManager {
+        &mut self.regions
+    }
+
+    /// The H2 card table.
+    pub fn cards(&self) -> &H2CardTable {
+        &self.cards
+    }
+
+    /// Mutable access to the card table (barriers and GC re-examination).
+    pub fn cards_mut(&mut self) -> &mut H2CardTable {
+        &mut self.cards
+    }
+
+    /// The transfer policy (hints and thresholds).
+    pub fn policy(&self) -> &TransferPolicy {
+        &self.policy
+    }
+
+    /// Mutable access to the transfer policy.
+    pub fn policy_mut(&mut self) -> &mut TransferPolicy {
+        &mut self.policy
+    }
+
+    /// The page-cache model of the H2 mapping.
+    pub fn mmap(&self) -> &MmapSim {
+        &self.mmap
+    }
+
+    /// Objects moved to H2 so far.
+    pub fn objects_promoted(&self) -> u64 {
+        self.objects_promoted
+    }
+
+    /// Words moved to H2 so far.
+    pub fn words_promoted(&self) -> u64 {
+        self.words_promoted
+    }
+
+    /// Registers an `h2_move(label)` hint.
+    pub fn h2_move(&mut self, label: Label) {
+        self.policy.request_move(label);
+    }
+
+    /// Allocates `words` in the region group for `label` without writing
+    /// data (used by tests and by promotion).
+    ///
+    /// # Errors
+    ///
+    /// [`H2Error::OutOfSpace`] or [`H2Error::ObjectTooLarge`].
+    pub fn alloc(&mut self, label: Label, words: usize) -> Result<Addr, H2Error> {
+        Ok(self.regions.alloc(label, words)?)
+    }
+
+    /// Reads the word at `addr`, charging page-fault/DAX cost to `cat`.
+    pub fn read_word(&mut self, addr: Addr, cat: Category) -> u64 {
+        self.mmap.touch_read(addr.h2_byte_offset(), WORD_BYTES, cat);
+        self.data[addr.h2_offset() as usize]
+    }
+
+    /// Writes the word at `addr`, charging cost to `cat`.
+    ///
+    /// Note: the caller (runtime post-write barrier) is responsible for
+    /// marking the card dirty when the write stores a reference.
+    pub fn write_word(&mut self, addr: Addr, value: u64, cat: Category) {
+        self.mmap.touch_write(addr.h2_byte_offset(), WORD_BYTES, cat);
+        self.data[addr.h2_offset() as usize] = value;
+    }
+
+    /// Reads a word without charging any cost (GC internal bookkeeping that
+    /// the phase-level cost model already accounts for).
+    pub fn read_word_free(&self, addr: Addr) -> u64 {
+        self.data[addr.h2_offset() as usize]
+    }
+
+    /// Writes a word without charging (pointer adjustment; the adjust phase
+    /// charges per-reference CPU cost separately).
+    pub fn write_word_free(&mut self, addr: Addr, value: u64) {
+        self.data[addr.h2_offset() as usize] = value;
+    }
+
+    /// Moves one object's words into H2 under `label` during compaction,
+    /// going through the promotion buffer. Returns the object's H2 address.
+    ///
+    /// Device write costs are charged to `cat` (normally
+    /// [`Category::MajorGc`]) at each 2 MB batch flush.
+    ///
+    /// # Errors
+    ///
+    /// [`H2Error::OutOfSpace`] or [`H2Error::ObjectTooLarge`].
+    pub fn promote(&mut self, label: Label, words: &[u64], cat: Category) -> Result<Addr, H2Error> {
+        let addr = self.regions.alloc(label, words.len())?;
+        self.write_promoted(addr, words, cat);
+        Ok(addr)
+    }
+
+    /// Writes an already-reserved promoted object's words (two-phase form:
+    /// the major GC's pre-compaction phase reserves addresses with
+    /// [`H2::alloc`] and its compaction phase writes the data here).
+    ///
+    /// Device write costs go through the promotion buffer, charged to `cat`.
+    pub fn write_promoted(&mut self, addr: Addr, words: &[u64], cat: Category) {
+        let base = addr.h2_offset() as usize;
+        self.data[base..base + words.len()].copy_from_slice(words);
+        let region = self.regions.region_of(addr);
+        let flushed = self.promoter.stage(region, words.len() * WORD_BYTES);
+        self.charge_flush(flushed, cat);
+        self.objects_promoted += 1;
+        self.words_promoted += words.len() as u64;
+    }
+
+    /// Flushes all partially-filled promotion buffers (end of compaction).
+    pub fn finish_promotion(&mut self, cat: Category) {
+        let flushed = self.promoter.flush_all();
+        self.charge_flush(flushed, cat);
+    }
+
+    fn charge_flush(&self, flushed_bytes: usize, cat: Category) {
+        if flushed_bytes > 0 {
+            self.clock.charge(cat, self.spec.write_cost_ns(flushed_bytes));
+        }
+    }
+
+    /// Marking-phase task 1 (§4): reset all region live bits and statistics.
+    pub fn begin_major_marking(&mut self) {
+        self.regions.clear_live_bits();
+    }
+
+    /// Marking-phase fence: an H1→H2 reference was found; set the region's
+    /// live bit (the collector does *not* follow the reference).
+    pub fn note_forward_ref(&mut self, target: Addr) {
+        self.regions.mark_live(target);
+    }
+
+    /// Marking-phase task 5 precursor + sweep: propagate liveness through
+    /// dependency lists and free every dead region, discarding its resident
+    /// pages without write-back. Returns the freed regions.
+    pub fn propagate_and_sweep(&mut self) -> Vec<RegionId> {
+        self.regions.propagate_liveness();
+        let freed = self.regions.sweep_dead();
+        for &rid in &freed {
+            let base = self.regions.region_base(rid).h2_byte_offset();
+            let bytes = self.regions.region_words() * WORD_BYTES;
+            self.mmap.discard(base, bytes);
+            // Zero the store so stale data can never be misread as objects.
+            let base_w = self.regions.region_base(rid).h2_offset() as usize;
+            self.data[base_w..base_w + self.regions.region_words()].fill(0);
+        }
+        freed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h2() -> (H2, Arc<SimClock>) {
+        let clock = Arc::new(SimClock::new());
+        let config = H2Config {
+            region_words: 1024,
+            n_regions: 8,
+            card_seg_words: 128,
+            resident_budget_bytes: 64 << 10,
+            page_size: 4096,
+            promo_buffer_bytes: 4096,
+            ..H2Config::default()
+        };
+        (H2::new(config, DeviceSpec::nvme_ssd(), clock.clone()), clock)
+    }
+
+    #[test]
+    fn default_config_is_consistent() {
+        let c = H2Config::default();
+        assert_eq!(c.capacity_words(), c.region_words * c.n_regions);
+    }
+
+    #[test]
+    fn words_round_trip_through_store() {
+        let (mut h2, _clock) = h2();
+        let a = h2.alloc(Label::new(1), 4).unwrap();
+        h2.write_word(a, 0xdead, Category::Mutator);
+        assert_eq!(h2.read_word(a, Category::Mutator), 0xdead);
+        assert_eq!(h2.read_word_free(a), 0xdead);
+    }
+
+    #[test]
+    fn reads_charge_page_faults() {
+        let (mut h2, clock) = h2();
+        let a = h2.alloc(Label::new(1), 4).unwrap();
+        h2.read_word(a, Category::Mutator);
+        assert!(clock.category_ns(Category::Mutator) > 0, "first touch faults");
+        assert_eq!(h2.mmap().stats().page_faults(), 1);
+    }
+
+    #[test]
+    fn promote_batches_device_writes() {
+        let (mut h2, clock) = h2();
+        let label = Label::new(1);
+        let obj = vec![7u64; 64]; // 512 bytes; buffer is 4096
+        for _ in 0..7 {
+            h2.promote(label, &obj, Category::MajorGc).unwrap();
+        }
+        assert_eq!(clock.category_ns(Category::MajorGc), 0, "buffer not yet full");
+        h2.promote(label, &obj, Category::MajorGc).unwrap();
+        assert!(clock.category_ns(Category::MajorGc) > 0, "8th object flushes 4 KB");
+        assert_eq!(h2.objects_promoted(), 8);
+        assert_eq!(h2.words_promoted(), 8 * 64);
+    }
+
+    #[test]
+    fn finish_promotion_flushes_remainder() {
+        let (mut h2, clock) = h2();
+        h2.promote(Label::new(1), &[1, 2, 3], Category::MajorGc).unwrap();
+        assert_eq!(clock.category_ns(Category::MajorGc), 0);
+        h2.finish_promotion(Category::MajorGc);
+        assert!(clock.category_ns(Category::MajorGc) > 0);
+    }
+
+    #[test]
+    fn promoted_data_is_readable() {
+        let (mut h2, _clock) = h2();
+        let a = h2.promote(Label::new(1), &[10, 20, 30], Category::MajorGc).unwrap();
+        assert_eq!(h2.read_word_free(a), 10);
+        assert_eq!(h2.read_word_free(a.add(2)), 30);
+    }
+
+    #[test]
+    fn full_gc_cycle_reclaims_dead_region() {
+        let (mut h2, _clock) = h2();
+        let a = h2.promote(Label::new(1), &[1; 16], Category::MajorGc).unwrap();
+        let b = h2.promote(Label::new(2), &[2; 16], Category::MajorGc).unwrap();
+        h2.begin_major_marking();
+        h2.note_forward_ref(a); // only label-1's region is referenced from H1
+        let freed = h2.propagate_and_sweep();
+        assert_eq!(freed.len(), 1);
+        assert_eq!(freed[0], h2.regions().region_of(b));
+        // The freed region's store is zeroed.
+        assert_eq!(h2.read_word_free(b), 0);
+    }
+
+    #[test]
+    fn dependency_keeps_region_alive_across_sweep() {
+        let (mut h2, _clock) = h2();
+        let a = h2.promote(Label::new(1), &[1; 8], Category::MajorGc).unwrap();
+        let b = h2.promote(Label::new(2), &[2; 8], Category::MajorGc).unwrap();
+        let (ra, rb) = (h2.regions().region_of(a), h2.regions().region_of(b));
+        h2.regions_mut().add_dependency(ra, rb);
+        h2.begin_major_marking();
+        h2.note_forward_ref(a);
+        assert!(h2.propagate_and_sweep().is_empty(), "b is kept via a's dep list");
+    }
+
+    #[test]
+    fn out_of_space_is_reported() {
+        let clock = Arc::new(SimClock::new());
+        let config = H2Config {
+            region_words: 16,
+            n_regions: 1,
+            card_seg_words: 16,
+            resident_budget_bytes: 4096,
+            page_size: 4096,
+            promo_buffer_bytes: 4096,
+        };
+        let mut h2 = H2::new(config, DeviceSpec::nvme_ssd(), clock);
+        h2.alloc(Label::new(1), 16).unwrap();
+        assert_eq!(h2.alloc(Label::new(2), 1), Err(H2Error::OutOfSpace));
+        assert_eq!(
+            h2.alloc(Label::new(2), 17),
+            Err(H2Error::ObjectTooLarge { words: 17, region_words: 16 })
+        );
+    }
+}

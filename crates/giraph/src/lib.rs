@@ -1,0 +1,751 @@
+//! Mini Giraph: a Pregel-style BSP graph framework over the managed heap.
+//!
+//! Reproduces the Giraph role in the paper's evaluation (§5, Figure 5):
+//! computation proceeds in supersteps separated by synchronization
+//! barriers. The graph is loaded and partitioned during the *input
+//! superstep*; each vertex keeps a map of outgoing edges; every superstep
+//! consumes the *incoming* message store (messages of the previous
+//! superstep, immutable) and produces the *current* message store (mutable
+//! until the barrier). Edges and messages — the bulk of the heap — become
+//! immutable at load time / barrier time respectively, while vertex values
+//! are updated every superstep.
+//!
+//! Three memory configurations match the paper:
+//!
+//! * **in-memory** — everything stays on the heap;
+//! * **Giraph-OOC** — an out-of-core scheduler monitors heap pressure and
+//!   offloads least-recently-used partition edges and incoming message
+//!   stores to the storage device (serialized byte arrays), reloading them
+//!   on access;
+//! * **TeraHeap** — edges are tagged at load and moved at the end of the
+//!   input superstep; each superstep's messages are tagged at creation and
+//!   moved at the beginning of the next superstep (`h2_tag_root` /
+//!   `h2_move` with the superstep id as label). Vertices are never tagged —
+//!   they are updated too frequently (§5).
+
+pub mod workloads;
+
+pub use workloads::{run_giraph, GiraphReport, GiraphWorkload};
+
+use teraheap_core::{H2Config, Label};
+use teraheap_runtime::{Handle, Heap, HeapConfig, OomError};
+use teraheap_storage::{Category, DeviceSpec, SimDevice};
+
+/// Memory configuration for a Giraph run (Table 2 / Table 4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GiraphMode {
+    /// Everything on the managed heap.
+    InMemory,
+    /// Giraph-OOC: offload LRU edges/messages to the device when resident
+    /// data exceeds `memory_limit_words`.
+    OutOfCore {
+        /// Device for the off-heap store.
+        device: DeviceSpec,
+        /// Resident budget in words before the scheduler offloads.
+        memory_limit_words: usize,
+    },
+    /// TeraHeap: edges and messages move to H2 via hints.
+    TeraHeap {
+        /// H2 layout.
+        h2: H2Config,
+        /// Device backing H2.
+        device: DeviceSpec,
+    },
+}
+
+impl GiraphMode {
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GiraphMode::InMemory => "Giraph",
+            GiraphMode::OutOfCore { .. } => "Giraph-OOC",
+            GiraphMode::TeraHeap { .. } => "TeraHeap",
+        }
+    }
+}
+
+/// Full configuration of a Giraph run.
+#[derive(Debug, Clone, Copy)]
+pub struct GiraphConfig {
+    /// H1 heap configuration.
+    pub heap: HeapConfig,
+    /// Memory mode.
+    pub mode: GiraphMode,
+    /// Graph partitions.
+    pub partitions: usize,
+    /// Maximum supersteps (programs may converge earlier).
+    pub max_supersteps: usize,
+    /// Whether `h2_move` hints are issued (Figure 9a's H vs NH). Ignored
+    /// outside TeraHeap mode.
+    pub use_move_hint: bool,
+    /// Optional low-threshold fraction for the pressure mechanism
+    /// (Figure 9b's L configuration). Ignored outside TeraHeap mode.
+    pub low_threshold: Option<f64>,
+    /// Dynamic high-threshold adaptation (§7.2's future-work extension).
+    /// Ignored outside TeraHeap mode.
+    pub adaptive_threshold: bool,
+    /// Record per-H2-region live-object statistics (Figure 10).
+    pub track_h2_liveness: bool,
+}
+
+impl GiraphConfig {
+    /// A small test configuration.
+    pub fn small(mode: GiraphMode) -> Self {
+        GiraphConfig {
+            heap: HeapConfig::with_words(32 << 10, 128 << 10),
+            mode,
+            partitions: 4,
+            max_supersteps: 5,
+            use_move_hint: true,
+            low_threshold: None,
+            adaptive_threshold: false,
+            track_h2_liveness: false,
+        }
+    }
+}
+
+/// One partition's heap-resident state.
+#[derive(Debug)]
+struct PartitionState {
+    /// Packed vertex store: one primitive array with (id, value, degree)
+    /// triples — Giraph serializes vertices into byte arrays at allocation
+    /// time (§5). Always resident.
+    vertices: Handle,
+    /// Words the vertex store occupies (OOC budget; not offloadable here —
+    /// vertices are updated every superstep).
+    vertex_words: usize,
+    /// Ref array of per-vertex edge-target primitive arrays, or `None`
+    /// while offloaded.
+    edges: Option<Handle>,
+    /// Serialized edges blob on the OOC device.
+    edges_blob: Option<(usize, usize)>,
+    /// Words the resident edge structure occupies (for the OOC budget).
+    edge_words: usize,
+    /// LRU stamp: the superstep this partition was last processed.
+    last_access: u64,
+}
+
+/// One message store (one superstep's messages), per partition.
+#[derive(Debug, Default)]
+struct MsgStore {
+    /// Per-partition message arrays, or `None` if empty or offloaded.
+    /// Slotted stores hold `(count, combined value)` pairs indexed by local
+    /// vertex; appended stores hold flattened `(target, value)` pairs.
+    arrays: Vec<Option<Handle>>,
+    /// Whether the partition's array is slotted (combiner) or appended.
+    slotted: Vec<bool>,
+    /// Per-partition serialized blob on the OOC device.
+    blobs: Vec<Option<(usize, usize)>>,
+    /// Per-partition message pair counts (append) / populated slots (slotted).
+    counts: Vec<usize>,
+    /// Append cursors for unslotted stores.
+    cursors: Vec<usize>,
+    /// Allocated array capacity in words per partition (resident-set
+    /// accounting must use capacity, not fill level).
+    capacity_words: Vec<usize>,
+}
+
+impl MsgStore {
+    fn empty(partitions: usize) -> Self {
+        MsgStore {
+            arrays: (0..partitions).map(|_| None).collect(),
+            slotted: vec![false; partitions],
+            blobs: (0..partitions).map(|_| None).collect(),
+            counts: vec![0; partitions],
+            cursors: vec![0; partitions],
+            capacity_words: vec![0; partitions],
+        }
+    }
+
+    fn resident_words(&self) -> usize {
+        self.arrays
+            .iter()
+            .zip(&self.capacity_words)
+            .filter(|(a, _)| a.is_some())
+            .map(|(_, &c)| c + 3)
+            .sum()
+    }
+}
+
+/// The Giraph runtime: heap, partition store, message stores, OOC device.
+#[derive(Debug)]
+pub struct GiraphContext {
+    /// The managed heap.
+    pub heap: Heap,
+    config: GiraphConfig,
+    parts: Vec<PartitionState>,
+    incoming: MsgStore,
+    current: MsgStore,
+    device: Option<SimDevice>,
+    device_cursor: usize,
+    superstep: u64,
+    /// OOC statistics: partitions offloaded / reloaded.
+    pub offloads: u64,
+    /// OOC statistics: partition reloads.
+    pub reloads: u64,
+}
+
+/// Label for partition `p`'s edge group (labels 2..2+partitions).
+fn edges_label(p: usize) -> Label {
+    Label::new(2 + p as u64)
+}
+
+/// Pregel message combiner applied on delivery (Giraph combines messages
+/// per target vertex as they are inserted into the current store).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Combiner {
+    /// Sum of `f64` contributions (PageRank).
+    SumF64,
+    /// Minimum of `u64` values (WCC/BFS/SSSP).
+    MinU64,
+    /// No combiner: every message is kept (CDLP).
+    Append,
+}
+
+fn msg_label(superstep: u64) -> Label {
+    Label::new(100 + superstep)
+}
+
+impl GiraphContext {
+    /// Builds the runtime and loads `graph` (the input superstep).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OomError`] if the graph does not fit.
+    pub fn load(
+        config: GiraphConfig,
+        graph: &teraheap_workloads::GraphDataset,
+        initial_value: impl Fn(u64) -> u64,
+    ) -> Result<Self, OomError> {
+        let mut heap = Heap::new(config.heap);
+        let mut device = None;
+        match config.mode {
+            GiraphMode::TeraHeap { h2, device: spec } => {
+                heap.enable_teraheap(h2, spec);
+                if !config.use_move_hint {
+                    let p = heap.h2_mut().unwrap().policy().clone().without_hints();
+                    *heap.h2_mut().unwrap().policy_mut() = p;
+                }
+                if let Some(low) = config.low_threshold {
+                    let p = heap.h2_mut().unwrap().policy().clone().with_low(low);
+                    *heap.h2_mut().unwrap().policy_mut() = p;
+                }
+                if config.adaptive_threshold {
+                    let p = heap.h2_mut().unwrap().policy().clone().with_adaptive();
+                    *heap.h2_mut().unwrap().policy_mut() = p;
+                }
+                heap.track_h2_liveness(config.track_h2_liveness);
+            }
+            GiraphMode::OutOfCore { device: spec, .. } => {
+                device = Some(SimDevice::new(spec, 4 << 30, heap.clock().clone()));
+            }
+            GiraphMode::InMemory => {}
+        }
+        let mut ctx = GiraphContext {
+            heap,
+            config,
+            parts: Vec::new(),
+            incoming: MsgStore::empty(config.partitions),
+            current: MsgStore::empty(config.partitions),
+            device,
+            device_cursor: 0,
+            superstep: 0,
+            offloads: 0,
+            reloads: 0,
+        };
+        ctx.input_superstep(graph, initial_value)?;
+        Ok(ctx)
+    }
+
+    /// The input superstep: load vertices and edges, tag edges for H2.
+    ///
+    /// Under TeraHeap, loading mirrors real Giraph input splits: every
+    /// partition's (pre-sized) out-edge arrays are created and *tagged*
+    /// first, then filled over several passes. Partitions are therefore
+    /// mutable for most of the load — if memory pressure moves a partially
+    /// loaded partition's edges to H2 early, the remaining fill passes
+    /// become device read-modify-writes. This is exactly the §7.2 dynamic
+    /// that the `h2_move` hint and the low threshold exist to avoid.
+    fn input_superstep(
+        &mut self,
+        graph: &teraheap_workloads::GraphDataset,
+        initial_value: impl Fn(u64) -> u64,
+    ) -> Result<(), OomError> {
+        const FILL_PASSES: usize = 8;
+        let parts = self.config.partitions;
+        let teraheap = matches!(self.config.mode, GiraphMode::TeraHeap { .. });
+        let mut adjacency: Vec<Vec<u32>> = vec![Vec::new(); graph.vertices];
+        for &(s, t) in &graph.edges {
+            adjacency[s as usize].push(t);
+        }
+        // Phase 1: create the stores (vertices + pre-sized edge arrays).
+        for p in 0..parts {
+            let ids: Vec<usize> = (p..graph.vertices).step_by(parts).collect();
+            let vertices = self.heap.alloc_prim_array(ids.len() * 3)?;
+            let edges = self.heap.alloc_ref_array(ids.len())?;
+            let mut edge_words = 3 + ids.len();
+            for (i, &vid) in ids.iter().enumerate() {
+                self.heap.write_prim(vertices, i * 3, vid as u64);
+                self.heap.write_prim(vertices, i * 3 + 1, initial_value(vid as u64));
+                self.heap.write_prim(vertices, i * 3 + 2, adjacency[vid].len() as u64);
+                let e = self.heap.alloc_prim_array(adjacency[vid].len().max(1))?;
+                edge_words += 3 + adjacency[vid].len().max(1);
+                if !teraheap {
+                    // OOC/in-memory builds load each partition in full.
+                    for (k, &t) in adjacency[vid].iter().enumerate() {
+                        self.heap.write_prim(e, k, t as u64);
+                    }
+                }
+                self.heap.write_ref(edges, i, e);
+                self.heap.release(e);
+            }
+            // 1: Giraph marks the outEdges maps at load (Figure 5, step 1).
+            if teraheap {
+                self.heap.h2_tag_root(edges, edges_label(p));
+            }
+            self.parts.push(PartitionState {
+                vertices,
+                vertex_words: 3 + ids.len() * 3,
+                edges: Some(edges),
+                edges_blob: None,
+                edge_words,
+                last_access: 0,
+            });
+            // The OOC scheduler also offloads while the graph is loading —
+            // otherwise large graphs could never be loaded at all.
+            self.ooc_rebalance()?;
+        }
+        // Phase 2 (TeraHeap): fill the edge stores partition by partition,
+        // in several passes per partition. A partition already moved to H2
+        // under load pressure (the oldest, completed groups move first)
+        // receives no further writes; the in-progress partition is the
+        // newest label, which the pressure path defers while it can.
+        if teraheap {
+            for p in 0..parts {
+                let ids: Vec<usize> = (p..graph.vertices).step_by(parts).collect();
+                for pass in 0..FILL_PASSES {
+                    let edges = self.parts[p].edges.expect("edges resident during load");
+                    for (i, &vid) in ids.iter().enumerate() {
+                        let deg = adjacency[vid].len();
+                        let from = deg * pass / FILL_PASSES;
+                        let to = deg * (pass + 1) / FILL_PASSES;
+                        if from == to {
+                            continue;
+                        }
+                        let e = self.heap.read_ref(edges, i).expect("edge array");
+                        for k in from..to {
+                            self.heap.write_prim(e, k, adjacency[vid][k] as u64);
+                        }
+                        self.heap.release(e);
+                    }
+                    // Input-split buffers churn the young generation.
+                    let tmp = self.heap.alloc_prim_array(256)?;
+                    self.heap.release(tmp);
+                }
+            }
+        }
+        // 2: at the end of the input superstep, advise the move (Figure 5).
+        if teraheap && self.config.use_move_hint {
+            for p in 0..parts {
+                self.heap.h2_move(edges_label(p));
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Current superstep number (0 before the first compute superstep).
+    pub fn superstep(&self) -> u64 {
+        self.superstep
+    }
+
+    /// Reads partition `p`'s vertex values into a host vector of
+    /// `(id, value)` (charged heap loads).
+    pub fn vertex_values(&mut self, p: usize) -> Vec<(u64, u64)> {
+        let vertices = self.parts[p].vertices;
+        let n = self.heap.array_len(vertices) / 3;
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push((
+                self.heap.read_prim(vertices, i * 3),
+                self.heap.read_prim(vertices, i * 3 + 1),
+            ));
+        }
+        out
+    }
+
+    /// The out-degree of vertex `i` of partition `p` (stored in the vertex
+    /// object; degree-0 vertices carry a one-slot placeholder edge array).
+    pub fn vertex_degree(&mut self, p: usize, i: usize) -> usize {
+        let vertices = self.parts[p].vertices;
+        self.heap.read_prim(vertices, i * 3 + 2) as usize
+    }
+
+    /// Writes vertex `i` of partition `p`'s value (mutator update; vertices
+    /// stay in H1).
+    pub fn set_vertex_value(&mut self, p: usize, i: usize, value: u64) {
+        let vertices = self.parts[p].vertices;
+        self.heap.write_prim(vertices, i * 3 + 1, value);
+    }
+
+    /// Fetches partition `p`'s edge structure, reloading it from the OOC
+    /// device if offloaded. Returns a handle the caller must release.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OomError`] if reloading exhausts the heap.
+    pub fn partition_edges(&mut self, p: usize) -> Result<Handle, OomError> {
+        self.parts[p].last_access = self.superstep;
+        if let Some(h) = self.parts[p].edges {
+            return Ok(self.heap.dup(h));
+        }
+        // Reload from the device: read + deserialize (S/D + allocation).
+        let (offset, len) = self.parts[p].edges_blob.expect("offloaded edges have a blob");
+        let device = self.device.as_ref().expect("OOC mode has a device");
+        let mut bytes = vec![0u8; len];
+        device.read(offset, &mut bytes, Category::Io).expect("OOC read");
+        let h = kryo_sim::deserialize(&mut self.heap, &bytes)?;
+        self.reloads += 1;
+        let dup = self.heap.dup(h);
+        self.parts[p].edges = Some(h);
+        Ok(dup)
+    }
+
+    /// Consumes partition `p`'s incoming messages as host `(target, value)`
+    /// pairs (charged heap loads; OOC reload if offloaded).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OomError`] if reloading exhausts the heap.
+    pub fn incoming_messages(&mut self, p: usize) -> Result<Vec<(u64, u64)>, OomError> {
+        if self.incoming.arrays[p].is_none() {
+            if let Some((offset, len)) = self.incoming.blobs[p] {
+                let device = self.device.as_ref().expect("OOC mode has a device");
+                let mut bytes = vec![0u8; len];
+                device.read(offset, &mut bytes, Category::Io).expect("OOC read");
+                let h = kryo_sim::deserialize(&mut self.heap, &bytes)?;
+                self.incoming.arrays[p] = Some(h);
+                self.reloads += 1;
+            }
+        }
+        let Some(h) = self.incoming.arrays[p] else {
+            return Ok(Vec::new());
+        };
+        let mut out = Vec::with_capacity(self.incoming.counts[p]);
+        if self.incoming.slotted[p] {
+            let parts = self.parts.len();
+            let slots = self.heap.array_len(h) / 2;
+            for i in 0..slots {
+                let cnt = self.heap.read_prim(h, 2 * i);
+                if cnt > 0 {
+                    let v = self.heap.read_prim(h, 2 * i + 1);
+                    out.push(((p + i * parts) as u64, v));
+                }
+            }
+        } else {
+            for i in 0..self.incoming.cursors[p] {
+                let t = self.heap.read_prim(h, 2 * i);
+                let v = self.heap.read_prim(h, 2 * i + 1);
+                out.push((t, v));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Delivers one message to the current store, applying the combiner on
+    /// insert (as Giraph's message stores do). The store array for the
+    /// target's partition is allocated lazily — tagged with the current
+    /// superstep's label at creation, so under memory pressure it can move
+    /// to H2 *while still mutable*, making every further delivery a device
+    /// read-modify-write. That cost is precisely what the `h2_move` hint
+    /// (Figure 9a) and the low threshold (Figure 9b) avoid.
+    ///
+    /// `capacity_hint` sizes appended (combiner-less) stores, in messages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OomError`] if the store allocation fails.
+    pub fn deliver_message(
+        &mut self,
+        target: u64,
+        value: u64,
+        combiner: Combiner,
+        capacity_hint: usize,
+    ) -> Result<(), OomError> {
+        let parts = self.parts.len();
+        let dest = (target as usize) % parts;
+        if self.current.arrays[dest].is_none() {
+            let slotted = combiner != Combiner::Append;
+            let words = if slotted {
+                2 * (self.heap.array_len(self.parts[dest].vertices) / 3)
+            } else {
+                2 * capacity_hint.max(1)
+            };
+            let h = self.heap.alloc_prim_array(words.max(2))?;
+            if matches!(self.config.mode, GiraphMode::TeraHeap { .. }) {
+                self.heap.h2_tag_root(h, msg_label(self.superstep));
+            }
+            self.current.arrays[dest] = Some(h);
+            self.current.slotted[dest] = slotted;
+            self.current.counts[dest] = 0;
+            self.current.cursors[dest] = 0;
+            self.current.capacity_words[dest] = words.max(2);
+            self.ooc_rebalance()?;
+        }
+        let h = self.current.arrays[dest].expect("store just ensured");
+        match combiner {
+            Combiner::Append => {
+                let c = self.current.cursors[dest];
+                assert!(2 * c + 1 < self.heap.array_len(h), "capacity hint too small");
+                self.heap.write_prim(h, 2 * c, target);
+                self.heap.write_prim(h, 2 * c + 1, value);
+                self.current.cursors[dest] = c + 1;
+                self.current.counts[dest] += 1;
+            }
+            Combiner::SumF64 | Combiner::MinU64 => {
+                let i = (target as usize - dest) / parts;
+                let cnt = self.heap.read_prim(h, 2 * i);
+                let combined = if cnt == 0 {
+                    self.current.counts[dest] += 1;
+                    value
+                } else {
+                    let old = self.heap.read_prim(h, 2 * i + 1);
+                    match combiner {
+                        Combiner::SumF64 => {
+                            (f64::from_bits(old) + f64::from_bits(value)).to_bits()
+                        }
+                        _ => old.min(value),
+                    }
+                };
+                self.heap.write_prim(h, 2 * i, cnt + 1);
+                self.heap.write_prim(h, 2 * i + 1, combined);
+            }
+        }
+        Ok(())
+    }
+
+    /// Stores partition `p`'s produced messages into the current store
+    /// (heap allocation; tagged for H2 with the superstep label).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OomError`] if allocation fails.
+    pub fn emit_messages(&mut self, p: usize, msgs: &[(u64, u64)]) -> Result<(), OomError> {
+        if msgs.is_empty() {
+            return Ok(());
+        }
+        // Make room before the store grows: the OOC scheduler reacts to the
+        // allocation pressure of the current message store.
+        self.ooc_rebalance()?;
+        let h = self.heap.alloc_prim_array(2 * msgs.len())?;
+        for (i, &(t, v)) in msgs.iter().enumerate() {
+            self.heap.write_prim(h, 2 * i, t);
+            self.heap.write_prim(h, 2 * i + 1, v);
+        }
+        // 3: mark the generated messages with the superstep label (Figure 5).
+        if matches!(self.config.mode, GiraphMode::TeraHeap { .. }) {
+            self.heap.h2_tag_root(h, msg_label(self.superstep));
+        }
+        if let Some(old) = self.current.arrays[p].replace(h) {
+            self.heap.release(old);
+        }
+        self.current.slotted[p] = false;
+        self.current.counts[p] = msgs.len();
+        self.current.cursors[p] = msgs.len();
+        self.current.capacity_words[p] = 2 * msgs.len();
+        Ok(())
+    }
+
+    /// The synchronization barrier ending a superstep: the current store
+    /// becomes the incoming store (now immutable), hints fire, and the OOC
+    /// scheduler rebalances.
+    ///
+    /// Returns the number of messages that will be delivered next superstep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OomError`] if OOC serialization pressure exhausts the heap.
+    pub fn barrier(&mut self) -> Result<usize, OomError> {
+        // Free the consumed incoming store.
+        for slot in &mut self.incoming.arrays {
+            if let Some(h) = slot.take() {
+                self.heap.release(h);
+            }
+        }
+        std::mem::swap(&mut self.incoming, &mut self.current);
+        self.current = MsgStore::empty(self.parts.len());
+        let delivered: usize = self.incoming.counts.iter().sum();
+        self.superstep += 1;
+        // 4: at the start of the next superstep, advise moving the previous
+        // superstep's messages (Figure 5).
+        if matches!(self.config.mode, GiraphMode::TeraHeap { .. }) && self.config.use_move_hint {
+            self.heap.h2_move(msg_label(self.superstep - 1));
+        }
+        self.ooc_rebalance()?;
+        Ok(delivered)
+    }
+
+    /// Mid-superstep pressure check: the paper's OOC scheduler monitors
+    /// memory pressure continuously, not only at barriers. Workloads call
+    /// this after processing each partition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OomError`] if offload serialization exhausts the heap.
+    pub fn ooc_pressure_check(&mut self) -> Result<(), OomError> {
+        self.ooc_rebalance()
+    }
+
+    /// The out-of-core scheduler: offload LRU partition edges and incoming
+    /// message stores until resident data fits the memory limit.
+    fn ooc_rebalance(&mut self) -> Result<(), OomError> {
+        let GiraphMode::OutOfCore { memory_limit_words, .. } = self.config.mode else {
+            return Ok(());
+        };
+        let mut resident: usize = self
+            .parts
+            .iter()
+            .map(|p| p.vertex_words + if p.edges.is_some() { p.edge_words } else { 0 })
+            .sum::<usize>()
+            + self.incoming.resident_words()
+            + self.current.resident_words();
+        if resident <= memory_limit_words {
+            return Ok(());
+        }
+        // LRU order over partitions.
+        let mut order: Vec<usize> = (0..self.parts.len()).collect();
+        order.sort_by_key(|&p| self.parts[p].last_access);
+        for p in order {
+            if resident <= memory_limit_words {
+                break;
+            }
+            // Offload incoming messages first (they die soonest anyway),
+            // then edges.
+            if let Some(h) = self.incoming.arrays[p].take() {
+                let bytes = kryo_sim::serialize(&mut self.heap, h)?;
+                let off = self.write_blob(&bytes);
+                self.incoming.blobs[p] = Some(off);
+                resident = resident.saturating_sub(2 * self.incoming.counts[p] + 3);
+                self.heap.release(h);
+                self.offloads += 1;
+            }
+            if resident <= memory_limit_words {
+                break;
+            }
+            if let Some(h) = self.parts[p].edges.take() {
+                if self.parts[p].edges_blob.is_none() {
+                    let bytes = kryo_sim::serialize(&mut self.heap, h)?;
+                    self.parts[p].edges_blob = Some(self.write_blob(&bytes));
+                }
+                self.heap.release(h);
+                resident = resident.saturating_sub(self.parts[p].edge_words);
+                self.offloads += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn write_blob(&mut self, bytes: &[u8]) -> (usize, usize) {
+        let device = self.device.as_ref().expect("OOC mode has a device");
+        let offset = self.device_cursor;
+        self.device_cursor += bytes.len();
+        device.write(offset, bytes, Category::Io).expect("OOC device full");
+        (offset, bytes.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teraheap_workloads::powerlaw_graph;
+
+    fn graph() -> teraheap_workloads::GraphDataset {
+        powerlaw_graph(200, 4, 7)
+    }
+
+    #[test]
+    fn load_builds_partitions() {
+        let mut ctx =
+            GiraphContext::load(GiraphConfig::small(GiraphMode::InMemory), &graph(), |_| 0)
+                .unwrap();
+        assert_eq!(ctx.partitions(), 4);
+        let values = ctx.vertex_values(0);
+        assert!(!values.is_empty());
+        assert!(values.iter().all(|&(_, v)| v == 0));
+    }
+
+    #[test]
+    fn messages_flow_across_barrier() {
+        let mut ctx =
+            GiraphContext::load(GiraphConfig::small(GiraphMode::InMemory), &graph(), |_| 0)
+                .unwrap();
+        ctx.emit_messages(1, &[(5, 42), (6, 43)]).unwrap();
+        assert!(ctx.incoming_messages(1).unwrap().is_empty(), "not delivered yet");
+        let delivered = ctx.barrier().unwrap();
+        assert_eq!(delivered, 2);
+        assert_eq!(ctx.incoming_messages(1).unwrap(), vec![(5, 42), (6, 43)]);
+        // After the next barrier the store is consumed.
+        ctx.barrier().unwrap();
+        assert!(ctx.incoming_messages(1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn vertex_updates_persist() {
+        let mut ctx =
+            GiraphContext::load(GiraphConfig::small(GiraphMode::InMemory), &graph(), |id| id)
+                .unwrap();
+        ctx.set_vertex_value(0, 0, 999);
+        let values = ctx.vertex_values(0);
+        assert_eq!(values[0].1, 999);
+    }
+
+    #[test]
+    fn ooc_offloads_and_reloads() {
+        let mode = GiraphMode::OutOfCore {
+            device: DeviceSpec::nvme_ssd(),
+            memory_limit_words: 64, // absurdly small: force offloading
+        };
+        let mut ctx = GiraphContext::load(GiraphConfig::small(mode), &graph(), |_| 0).unwrap();
+        ctx.emit_messages(0, &[(1, 2)]).unwrap();
+        ctx.barrier().unwrap();
+        assert!(ctx.offloads > 0, "scheduler must offload under pressure");
+        // Access reloads transparently, and the data is intact.
+        let e = ctx.partition_edges(0).unwrap();
+        assert!(ctx.heap.array_len(e) > 0);
+        ctx.heap.release(e);
+        assert!(ctx.reloads > 0);
+    }
+
+    #[test]
+    fn teraheap_moves_edges_and_messages() {
+        let mode = GiraphMode::TeraHeap {
+            h2: H2Config {
+                region_words: 16 << 10,
+                n_regions: 32,
+                card_seg_words: 1 << 10,
+                resident_budget_bytes: 256 << 10,
+                page_size: 4096,
+                promo_buffer_bytes: 2 << 20,
+            },
+            device: DeviceSpec::nvme_ssd(),
+        };
+        let mut cfg = GiraphConfig::small(mode);
+        cfg.heap = HeapConfig::with_words(4 << 10, 8 << 10);
+        let mut ctx = GiraphContext::load(cfg, &graph(), |_| 0).unwrap();
+        ctx.emit_messages(0, &[(1, 2); 64]).unwrap();
+        ctx.barrier().unwrap();
+        ctx.heap.gc_major().unwrap();
+        assert!(
+            ctx.heap.stats().objects_promoted_h2 > 0,
+            "edges/messages must move to H2"
+        );
+        // Edges remain directly accessible after the move.
+        let e = ctx.partition_edges(0).unwrap();
+        assert!(ctx.heap.is_in_h2(e));
+        ctx.heap.release(e);
+    }
+}

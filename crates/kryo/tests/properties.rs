@@ -1,0 +1,133 @@
+//! Property tests for kryo-sim: arbitrary object graphs (including shared
+//! references, nulls, arrays and cycles) round-trip through serialization
+//! with structure and payloads preserved.
+
+use proptest::prelude::*;
+use teraheap_runtime::{Handle, Heap, HeapConfig};
+
+/// A recipe for one object in a random graph.
+#[derive(Debug, Clone)]
+enum NodeKind {
+    Plain { prims: Vec<u64> },
+    PrimArray { data: Vec<u64> },
+    RefArray { len: usize },
+}
+
+fn node_kind() -> impl Strategy<Value = NodeKind> {
+    prop_oneof![
+        prop::collection::vec(any::<u64>(), 0..5).prop_map(|prims| NodeKind::Plain { prims }),
+        prop::collection::vec(any::<u64>(), 0..8).prop_map(|data| NodeKind::PrimArray { data }),
+        (0usize..6).prop_map(|len| NodeKind::RefArray { len }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_graphs_round_trip(
+        kinds in prop::collection::vec(node_kind(), 1..24),
+        edges in prop::collection::vec((0usize..24, 0usize..24, 0usize..6), 0..48),
+    ) {
+        let mut heap = Heap::new(HeapConfig::with_words(64 << 10, 256 << 10));
+        // One class per plain-node prim count (0..5 prims, 2 ref fields).
+        let classes: Vec<_> = (0..5).map(|p| heap.register_class(&format!("P{p}"), 2, p)).collect();
+        // Build the graph.
+        let mut nodes: Vec<Handle> = Vec::new();
+        for kind in &kinds {
+            let h = match kind {
+                NodeKind::Plain { prims } => {
+                    let h = heap.alloc(classes[prims.len()]).unwrap();
+                    for (i, &v) in prims.iter().enumerate() {
+                        heap.write_prim(h, i, v);
+                    }
+                    h
+                }
+                NodeKind::PrimArray { data } => {
+                    let h = heap.alloc_prim_array(data.len()).unwrap();
+                    for (i, &v) in data.iter().enumerate() {
+                        heap.write_prim(h, i, v);
+                    }
+                    h
+                }
+                NodeKind::RefArray { len } => heap.alloc_ref_array(*len).unwrap(),
+            };
+            nodes.push(h);
+        }
+        // Wire random edges where slots exist (cycles and sharing allowed).
+        for &(from, to, slot) in &edges {
+            if from >= nodes.len() || to >= nodes.len() {
+                continue;
+            }
+            let slots = match &kinds[from] {
+                NodeKind::Plain { .. } => 2,
+                NodeKind::RefArray { len } => *len,
+                NodeKind::PrimArray { .. } => 0,
+            };
+            if slot < slots {
+                heap.write_ref(nodes[from], slot, nodes[to]);
+            }
+        }
+        // Root everything under one array so the whole graph serializes.
+        let root = heap.alloc_ref_array(nodes.len()).unwrap();
+        for (i, &n) in nodes.iter().enumerate() {
+            heap.write_ref(root, i, n);
+        }
+
+        let bytes = kryo_sim::serialize(&mut heap, root).unwrap();
+        let copy = kryo_sim::deserialize(&mut heap, &bytes).unwrap();
+
+        // Structural equality via parallel traversal with an identity map.
+        let mut seen: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        let mut stack = vec![(root, copy)];
+        let mut owned: Vec<Handle> = Vec::new();
+        while let Some((a, b)) = stack.pop() {
+            let (aa, ba) = (heap.handle_addr(a).raw(), heap.handle_addr(b).raw());
+            if let Some(&mapped) = seen.get(&aa) {
+                prop_assert_eq!(mapped, ba, "shared structure preserved");
+                continue;
+            }
+            seen.insert(aa, ba);
+            prop_assert_eq!(heap.class_of(a), heap.class_of(b));
+            let class = heap.class_of(a);
+            if class == teraheap_runtime::PRIM_ARRAY_CLASS {
+                prop_assert_eq!(heap.array_len(a), heap.array_len(b));
+                for i in 0..heap.array_len(a) {
+                    prop_assert_eq!(heap.read_prim(a, i), heap.read_prim(b, i));
+                }
+            } else if class == teraheap_runtime::OBJ_ARRAY_CLASS {
+                prop_assert_eq!(heap.array_len(a), heap.array_len(b));
+                for i in 0..heap.array_len(a) {
+                    match (heap.read_ref(a, i), heap.read_ref(b, i)) {
+                        (None, None) => {}
+                        (Some(x), Some(y)) => {
+                            owned.push(x);
+                            owned.push(y);
+                            stack.push((x, y));
+                        }
+                        _ => prop_assert!(false, "null-ness differs at {i}"),
+                    }
+                }
+            } else {
+                let desc = heap.class_desc(class).clone();
+                for i in 0..desc.prim_fields {
+                    prop_assert_eq!(heap.read_prim(a, i), heap.read_prim(b, i));
+                }
+                for i in 0..desc.ref_fields {
+                    match (heap.read_ref(a, i), heap.read_ref(b, i)) {
+                        (None, None) => {}
+                        (Some(x), Some(y)) => {
+                            owned.push(x);
+                            owned.push(y);
+                            stack.push((x, y));
+                        }
+                        _ => prop_assert!(false, "ref field null-ness differs"),
+                    }
+                }
+            }
+        }
+        for h in owned {
+            heap.release(h);
+        }
+    }
+}

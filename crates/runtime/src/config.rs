@@ -1,0 +1,170 @@
+//! Heap configuration, collector variants and the out-of-memory error.
+
+use teraheap_storage::{CostModel, DeviceSpec};
+
+/// Which collector personality the heap runs.
+///
+/// The evaluation compares TeraHeap against several collectors (Figures 8
+/// and 12). All variants share the same *semantics* (objects live and move
+/// identically); they differ in cost model and space accounting, which is
+/// what the paper's comparisons measure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GcVariant {
+    /// Parallel Scavenge: the paper's base collector (OpenJDK 8/11).
+    ParallelScavenge,
+    /// G1-style collector (OpenJDK 17 in Figure 8): concurrent marking
+    /// (charged at a discount), garbage-first mixed collections (compaction
+    /// charged only for the live data in the most-garbage regions), and
+    /// humongous-object regions. Objects larger than half a G1 region are
+    /// humongous: they occupy whole regions, and the per-object wasted tail
+    /// inflates old-generation usage — the fragmentation that makes G1 OOM
+    /// on SVM, BC and RL in the paper.
+    G1 {
+        /// G1 heap-region size in words.
+        region_words: usize,
+    },
+    /// Panthera-style hybrid-memory collector (Figure 12c): the old
+    /// generation is split between DRAM and NVM; the first `old_dram_words`
+    /// of the old generation are DRAM, the rest NVM. Major GC still scans
+    /// and compacts the *whole* old generation, paying NVM access costs for
+    /// the NVM-resident part. Large objects are pretenured directly into
+    /// the old generation.
+    Panthera {
+        /// DRAM portion of the old generation, in words.
+        old_dram_words: usize,
+        /// Device model for the NVM portion.
+        nvm: DeviceSpec,
+    },
+}
+
+/// NVM "Memory mode" model (the paper's Spark-MO baseline, Figure 12b):
+/// the entire heap lives in NVM with DRAM acting as a hardware-managed
+/// cache. Every heap word access pays an amortized NVM penalty determined
+/// by the modelled cache miss ratio.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryMode {
+    /// The NVM device backing the heap.
+    pub nvm: DeviceSpec,
+    /// Modelled DRAM-cache miss percentage (0–100).
+    pub miss_percent: u8,
+}
+
+impl MemoryMode {
+    /// Extra nanoseconds per heap word access implied by the miss ratio
+    /// (NVM latency amortized over an 8-word cache line).
+    pub fn extra_ns_per_word(&self) -> u64 {
+        (self.nvm.read_lat_ns * self.miss_percent as u64) / 100 / 8
+    }
+}
+
+/// Full heap configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeapConfig {
+    /// Young generation size in words (eden 80%, two 10% survivors).
+    pub young_words: usize,
+    /// Old generation size in words.
+    pub old_words: usize,
+    /// H1 card segment size in words (vanilla JVM: 64 words = 512 B).
+    pub card_seg_words: usize,
+    /// Minor GCs an object survives before tenuring to the old generation.
+    pub tenure_age: u8,
+    /// Parallel GC threads for minor GC (paper: 16).
+    pub gc_threads_minor: usize,
+    /// GC threads for major GC (paper: PS default single-threaded old gen).
+    pub gc_threads_major: usize,
+    /// Mutator (executor) threads; frameworks divide their compute and S/D
+    /// time by this (paper: 8, swept 4/8/16 in Figure 13a).
+    pub mutator_threads: usize,
+    /// Collector personality.
+    pub variant: GcVariant,
+    /// Optional NVM Memory-mode access model (Spark-MO).
+    pub memory_mode: Option<MemoryMode>,
+    /// CPU cost model.
+    pub cost: CostModel,
+}
+
+impl HeapConfig {
+    /// A small configuration for tests and examples: 64 Ki-word young
+    /// generation, 256 Ki-word old generation.
+    pub fn small() -> Self {
+        Self::with_words(64 << 10, 256 << 10)
+    }
+
+    /// A configuration with the given young/old sizes and paper-default
+    /// thread counts.
+    pub fn with_words(young_words: usize, old_words: usize) -> Self {
+        HeapConfig {
+            young_words,
+            old_words,
+            card_seg_words: 64,
+            tenure_age: 2,
+            gc_threads_minor: 16,
+            gc_threads_major: 1,
+            mutator_threads: 8,
+            variant: GcVariant::ParallelScavenge,
+            memory_mode: None,
+            cost: CostModel::default_model(),
+        }
+    }
+
+    /// A configuration sized like a `heap_mb`-megabyte JVM heap with the
+    /// PS default 1:2 young:old split.
+    pub fn with_heap_mb(heap_mb: usize) -> Self {
+        let words = heap_mb * (1 << 20) / 8;
+        Self::with_words(words / 3, words - words / 3)
+    }
+
+    /// Total H1 capacity in words.
+    pub fn h1_words(&self) -> usize {
+        self.young_words + self.old_words
+    }
+}
+
+/// The heap could not satisfy an allocation even after a full GC.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OomError {
+    /// Words requested by the failing allocation (0 when the failure was a
+    /// compaction overflow rather than a specific allocation).
+    pub requested_words: usize,
+    /// Human-readable context.
+    pub context: String,
+}
+
+impl std::fmt::Display for OomError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "out of memory: {} ({} words requested)",
+            self.context, self.requested_words
+        )
+    }
+}
+
+impl std::error::Error for OomError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_mb_splits_one_to_two() {
+        let c = HeapConfig::with_heap_mb(96);
+        assert_eq!(c.h1_words(), 96 * (1 << 20) / 8);
+        assert_eq!(c.young_words, c.h1_words() / 3);
+    }
+
+    #[test]
+    fn memory_mode_penalty_scales_with_miss_rate() {
+        let nvm = DeviceSpec::optane_nvm();
+        let m30 = MemoryMode { nvm, miss_percent: 30 };
+        let m60 = MemoryMode { nvm, miss_percent: 60 };
+        assert!(m30.extra_ns_per_word() > 0);
+        assert_eq!(m60.extra_ns_per_word(), 2 * m30.extra_ns_per_word());
+    }
+
+    #[test]
+    fn oom_displays_context() {
+        let e = OomError { requested_words: 7, context: "old generation full".to_string() };
+        assert!(format!("{e}").contains("old generation full"));
+    }
+}

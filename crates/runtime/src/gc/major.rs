@@ -1,0 +1,683 @@
+//! Major (full-heap) collection: the PS four-phase mark–compact, extended
+//! with TeraHeap's integration (§4):
+//!
+//! * **marking** additionally (1) resets H2 region live bits, (2) marks H1
+//!   objects referenced from H2 as live (via the H2 card table), (3) fences
+//!   scans at H1→H2 references while setting region live bits, (4) computes
+//!   the transitive closures of tagged root key-objects, and (5) frees dead
+//!   H2 regions;
+//! * **pre-compaction** assigns H2 addresses (by label, region-grouped) to
+//!   the move candidates;
+//! * **pointer adjustment** additionally rewrites backward references,
+//!   records new cross-region dependencies and dirties H2 cards for newly
+//!   created backward references;
+//! * **compaction** moves candidates to H2 through 2 MB promotion buffers.
+//!
+//! The G1 variant runs the same semantics but charges a concurrent-marking
+//! discount and garbage-first mixed-collection costs; the Panthera variant
+//! charges NVM penalties for the NVM-resident part of the old generation.
+
+use super::Work;
+use crate::config::{GcVariant, OomError};
+use crate::heap::Heap;
+use crate::object;
+use crate::stats::{GcEvent, GcEventKind};
+use std::collections::HashMap;
+use teraheap_core::{Addr, CardState, Label};
+use teraheap_storage::Category;
+
+/// Runs a full collection.
+///
+/// # Errors
+///
+/// Returns [`OomError`] when live data does not fit the old generation.
+/// The heap must not be used further after an error.
+pub(crate) fn major_gc(heap: &mut Heap) -> Result<(), OomError> {
+    debug_assert!(!heap.in_gc, "re-entrant GC");
+    heap.in_gc = true;
+    let start_ns = heap.clock.total_ns();
+    let old_before = heap.old.used_words();
+    let h2_words_before = heap.h2.as_ref().map(|h| h.words_promoted()).unwrap_or(0);
+
+    // ---------------- Phase 1: marking ------------------------------------
+    let phase_start = heap.clock.total_ns();
+    let mut work = Work::default();
+    if let Some(h2) = heap.h2.as_mut() {
+        h2.begin_major_marking();
+    }
+    let mut live: Vec<u64> = Vec::new();
+    let mut stack: Vec<Addr> = Vec::new();
+    // (H2 slot, whether its card had any backward reference) collected for
+    // the adjustment phase.
+    let mut backward_slots: Vec<Addr> = Vec::new();
+    let mut scanned_cards: Vec<(usize, bool)> = Vec::new();
+
+    for i in 0..heap.roots.len() {
+        let a = heap.roots[i];
+        if a.is_h1() {
+            mark_push(heap, a, &mut stack, &mut live, &mut work);
+        } else if a.is_h2() {
+            // A handle (thread-stack root) referencing H2 directly keeps the
+            // region alive, exactly like an H1→H2 forward reference.
+            heap.h2.as_mut().expect("H2 root without H2").note_forward_ref(a);
+        }
+    }
+    scan_h2_cards_major(heap, &mut stack, &mut live, &mut backward_slots, &mut scanned_cards, &mut work);
+    let mut live_words: u64 = 0;
+    while let Some(obj) = stack.pop() {
+        live_words += heap.object_size(obj) as u64;
+        for slot in heap.ref_slots(obj) {
+            work.refs += 1;
+            let val = heap.mem[slot.raw() as usize];
+            if val == 0 {
+                continue;
+            }
+            let target = Addr::new(val);
+            if target.is_h2() {
+                // Fence: set the region live bit instead of following (§4).
+                heap.h2.as_mut().expect("H2 ref without H2").note_forward_ref(target);
+                heap.stats.forward_refs_fenced += 1;
+                continue;
+            }
+            mark_push(heap, target, &mut stack, &mut live, &mut work);
+        }
+    }
+
+    // Task 4: transitive closures of tagged roots become H2 candidates.
+    // The discovery order doubles as the H2 placement order, keeping each
+    // closure contiguous in its label's regions (key-object locality).
+    // Besides the end-of-previous-GC pressure flag (§3.2), the pressure
+    // path also arms when the live data *measured by this marking* already
+    // exceeds the high threshold — the same occupancy test the paper
+    // applies at GC end, evaluated one GC earlier so the move cannot arrive
+    // after the heap has overflowed.
+    let live_pressure = {
+        let high = heap.h2.as_ref().map(|h| h.policy().high()).unwrap_or(1.0);
+        live_words as f64 > high * heap.old.capacity_words() as f64
+    };
+    let move_order = select_candidates(heap, &live, live_words, live_pressure, &mut work);
+
+    // Optional uncharged statistics pass for Figure 10 (live objects per
+    // H2 region), before dead regions are swept.
+    if heap.track_h2_liveness && heap.h2.is_some() {
+        record_h2_liveness(heap);
+    }
+
+    // Task 5: free dead H2 regions (lazy bulk reclamation).
+    if heap.h2.is_some() {
+        let freed = heap.h2.as_mut().unwrap().propagate_and_sweep();
+        for rid in &freed {
+            heap.h2_starts.remove(&rid.0);
+            clear_region_cards(heap, rid.0);
+        }
+    }
+
+    let marking_cpu = work.cpu_ns(&heap.config.cost);
+    let marking_charged = match heap.config.variant {
+        // G1 marks concurrently with the mutator; only a fraction shows up
+        // as pause/GC time.
+        GcVariant::G1 { .. } => marking_cpu / 4,
+        _ => marking_cpu,
+    };
+    let threads = heap.config.gc_threads_major.max(1) as u64;
+    heap.clock
+        .charge(Category::MajorGc, marking_charged / threads + work.extra_ns);
+    heap.stats.phases.marking_ns += heap.clock.total_ns() - phase_start;
+
+    // ---------------- Phase 2: pre-compaction -----------------------------
+    let phase_start = heap.clock.total_ns();
+    let mut work = Work::default();
+    let old_base = heap.old.base().raw();
+    let mut old_live: Vec<u64> = live.iter().copied().filter(|&a| a >= old_base).collect();
+    let mut young_live: Vec<u64> = live.iter().copied().filter(|&a| a < old_base).collect();
+    old_live.sort_unstable();
+    young_live.sort_unstable();
+
+    let mut forwarding: HashMap<u64, u64> = HashMap::with_capacity(live.len());
+    let mut new_top = old_base;
+    let mut new_old_starts: Vec<u64> = Vec::new();
+    // Per-G1-region live words in the old generation, for the mixed-
+    // collection cost model.
+    let mut g1_region_live: HashMap<u64, u64> = HashMap::new();
+
+    // H2 address assignment in closure-discovery order: each root
+    // key-object's transitive closure lands contiguously in its label's
+    // regions, preserving the framework's access locality on the device.
+    for &src in &move_order {
+        let header = heap.mem[src as usize];
+        if !object::is_candidate(header) {
+            continue;
+        }
+        let size = object::size_of(header);
+        let label = Label::new(heap.mem[src as usize + 1]);
+        work.objects += 1;
+        match heap.h2.as_mut().expect("candidate without H2").alloc(label, size) {
+            Ok(dest) => {
+                forwarding.insert(src, dest.raw());
+            }
+            Err(_) => {
+                // H2 full: the object stays in H1 this cycle.
+                heap.mem[src as usize] = object::without_candidate(header);
+            }
+        }
+    }
+    for &src in old_live.iter().chain(young_live.iter()) {
+        let addr = Addr::new(src);
+        if forwarding.contains_key(&src) {
+            continue; // already assigned to H2
+        }
+        let header = heap.mem[src as usize];
+        let size = object::size_of(header);
+        work.objects += 1;
+        if let GcVariant::G1 { region_words } = heap.config.variant {
+            if addr.raw() >= old_base {
+                *g1_region_live
+                    .entry((src - old_base) / region_words as u64)
+                    .or_insert(0) += size as u64;
+            }
+        }
+        let footprint = heap.g1_footprint(size);
+        if new_top + footprint as u64 > heap.old.limit().raw() {
+            heap.in_gc = false;
+            let placed = new_top - old_base;
+            return Err(OomError {
+                requested_words: size,
+                context: format!(
+                    "live data exceeds the old generation: {} live objects, \
+                     {placed} words placed of {} capacity (old live {}, young live {})",
+                    old_live.len() + young_live.len(),
+                    heap.old.capacity_words(),
+                    old_live.len(),
+                    young_live.len()
+                ),
+            });
+        }
+        if footprint > size {
+            heap.stats.g1_humongous_waste_words += (footprint - size) as u64;
+        }
+        forwarding.insert(src, new_top);
+        new_old_starts.push(new_top);
+        new_top += footprint as u64;
+    }
+    // The G1 mixed-collection fraction: live data in the regions a
+    // garbage-first policy would actually collect, over total live data.
+    let g1_fraction_milli = g1_moved_fraction_milli(heap, &g1_region_live, new_top - old_base);
+    heap.clock
+        .charge(Category::MajorGc, work.cpu_ns(&heap.config.cost) / threads);
+    heap.stats.phases.precompact_ns += heap.clock.total_ns() - phase_start;
+
+    // ---------------- Phase 3: pointer adjustment -------------------------
+    let phase_start = heap.clock.total_ns();
+    let mut work = Work::default();
+
+    // Re-derive the states of the H2 cards scanned during marking: after
+    // this GC every H1 object is in the old generation.
+    for &(card, has_backward) in &scanned_cards {
+        let state = if has_backward { CardState::OldGen } else { CardState::Clean };
+        heap.h2.as_mut().unwrap().cards_mut().set_state(card, state);
+    }
+
+    for &src in old_live.iter().chain(young_live.iter()) {
+        let dest = forwarding[&src];
+        let dest_addr = Addr::new(dest);
+        let dest_is_h2 = dest_addr.is_h2();
+        for slot in heap.ref_slots(Addr::new(src)) {
+            let val = heap.mem[slot.raw() as usize];
+            if val == 0 {
+                continue;
+            }
+            work.adjusted_refs += 1;
+            work.extra_ns += heap.h1_word_extra_ns(slot);
+            let new_val = if Addr::new(val).is_h2() {
+                val // H2 objects never move
+            } else {
+                *forwarding.get(&val).unwrap_or(&val)
+            };
+            heap.mem[slot.raw() as usize] = new_val;
+            if dest_is_h2 {
+                let new_target = Addr::new(new_val);
+                let slot_off = slot.raw() - src;
+                if new_target.is_h1() {
+                    // Newly created backward reference: dirty the H2 card of
+                    // the object's future location (§4).
+                    let h2 = heap.h2.as_mut().unwrap();
+                    h2.cards_mut().mark_dirty(Addr::new(dest + slot_off));
+                } else if new_target.is_h2() {
+                    // Newly created cross-region reference: record the
+                    // directional dependency (§4).
+                    let h2 = heap.h2.as_mut().unwrap();
+                    let from = h2.regions().region_of(dest_addr);
+                    let to = h2.regions().region_of(new_target);
+                    if from != to {
+                        h2.regions_mut().add_dependency(from, to);
+                    }
+                }
+            }
+        }
+    }
+    // Roots.
+    for i in 0..heap.roots.len() {
+        let a = heap.roots[i];
+        if a.is_h1() {
+            if let Some(&d) = forwarding.get(&a.raw()) {
+                heap.roots[i] = Addr::new(d);
+            }
+        }
+    }
+    // Backward references found during marking: point them at the new H1
+    // locations (device writes, charged to major GC).
+    for slot in backward_slots {
+        let val = heap.h2.as_ref().unwrap().read_word_free(slot);
+        if val == 0 || Addr::new(val).is_h2() {
+            continue;
+        }
+        let new_val = *forwarding.get(&val).unwrap_or(&val);
+        if new_val != val {
+            heap.h2.as_mut().unwrap().write_word(slot, new_val, Category::MajorGc);
+        }
+        work.adjusted_refs += 1;
+    }
+    let adjust_cpu = work.cpu_ns(&heap.config.cost) * g1_fraction_milli / 1000;
+    heap.clock
+        .charge(Category::MajorGc, adjust_cpu / threads + work.extra_ns);
+    heap.stats.phases.adjust_ns += heap.clock.total_ns() - phase_start;
+
+    // ---------------- Phase 4: compaction ---------------------------------
+    let phase_start = heap.clock.total_ns();
+    let mut work = Work::default();
+    let mut stash: Vec<(u64, Vec<u64>)> = Vec::new();
+    let mut h1_copied_words: u64 = 0;
+    for &src in old_live.iter().chain(young_live.iter()) {
+        let dest = forwarding[&src];
+        let size = object::size_of(heap.mem[src as usize]);
+        // Clear GC bits in the header before the object reaches its new home.
+        heap.mem[src as usize] =
+            object::without_candidate(object::without_mark(heap.mem[src as usize]));
+        work.copied_words += size as u64;
+        if Addr::new(dest).is_h2() {
+            let words: Vec<u64> = heap.mem[src as usize..src as usize + size].to_vec();
+            let h2 = heap.h2.as_mut().unwrap();
+            h2.write_promoted(Addr::new(dest), &words, Category::MajorGc);
+            let region = h2.regions().region_of(Addr::new(dest));
+            heap.h2_starts.entry(region.0).or_default().push(dest);
+            heap.stats.objects_promoted_h2 += 1;
+        } else if dest <= src {
+            heap.mem.copy_within(src as usize..src as usize + size, dest as usize);
+            h1_copied_words += size as u64;
+            work.extra_ns += heap.h1_word_extra_ns(Addr::new(dest)) * size as u64;
+        } else {
+            // G1 humongous rounding can push a destination past its source;
+            // buffer such copies until every source has been read.
+            stash.push((dest, heap.mem[src as usize..src as usize + size].to_vec()));
+            h1_copied_words += size as u64;
+        }
+    }
+    for (dest, words) in stash {
+        heap.mem[dest as usize..dest as usize + words.len()].copy_from_slice(&words);
+    }
+    if let Some(h2) = heap.h2.as_mut() {
+        h2.finish_promotion(Category::MajorGc);
+    }
+    heap.old.set_top(Addr::new(new_top));
+    heap.eden.reset();
+    heap.from.reset();
+    heap.to.reset();
+    heap.old_starts = new_old_starts;
+    heap.h1_cards.clear_all();
+
+    let h2_copy_cpu = (work.copied_words - h1_copied_words) * heap.config.cost.gc_copy_word_ns;
+    let h1_copy_cpu = h1_copied_words * heap.config.cost.gc_copy_word_ns;
+    let compact_cpu = h2_copy_cpu + h1_copy_cpu * g1_fraction_milli / 1000;
+    heap.clock
+        .charge(Category::MajorGc, compact_cpu / threads + work.extra_ns);
+    heap.stats.phases.compact_ns += heap.clock.total_ns() - phase_start;
+
+    // End-of-GC: update the transfer policy's pressure state from what is
+    // left in H1 (§3.2).
+    let live_h1_after = (new_top - old_base) as usize;
+    if let Some(h2) = heap.h2.as_mut() {
+        h2.policy_mut()
+            .note_major_gc_end(live_h1_after as u64, heap.old.capacity_words() as u64);
+    }
+
+    let duration = heap.clock.total_ns() - start_ns;
+    heap.stats.major_count += 1;
+    heap.stats.major_ns += duration;
+    let h2_words_after = heap.h2.as_ref().map(|h| h.words_promoted()).unwrap_or(0);
+    heap.stats.events.push(GcEvent {
+        kind: GcEventKind::Major,
+        start_ns,
+        duration_ns: duration,
+        old_used_before: old_before,
+        old_used_after: heap.old.used_words(),
+        old_capacity: heap.old.capacity_words(),
+        promoted_h2_words: h2_words_after - h2_words_before,
+    });
+    heap.in_gc = false;
+    Ok(())
+}
+
+fn mark_push(heap: &mut Heap, addr: Addr, stack: &mut Vec<Addr>, live: &mut Vec<u64>, work: &mut Work) {
+    debug_assert!(addr.is_h1());
+    let header = heap.mem[addr.raw() as usize];
+    work.objects += 1;
+    work.extra_ns += heap.h1_word_extra_ns(addr);
+    if object::is_marked(header) {
+        return;
+    }
+    heap.mem[addr.raw() as usize] = object::with_mark(header);
+    live.push(addr.raw());
+    stack.push(addr);
+}
+
+/// Scans every non-clean H2 card for backward references: their H1 targets
+/// are GC roots (must stay live), and the slots are collected for the
+/// adjustment phase.
+fn scan_h2_cards_major(
+    heap: &mut Heap,
+    stack: &mut Vec<Addr>,
+    live: &mut Vec<u64>,
+    backward_slots: &mut Vec<Addr>,
+    scanned_cards: &mut Vec<(usize, bool)>,
+    work: &mut Work,
+) {
+    if heap.h2.is_none() {
+        return;
+    }
+    let cards = heap.h2.as_ref().unwrap().cards().major_scan_cards();
+    work.cards += cards.len() as u64;
+    let seg_words = heap.h2.as_ref().unwrap().cards().seg_words() as u64;
+    let region_words = heap.h2.as_ref().unwrap().regions().region_words() as u64;
+    for card in cards {
+        let base = heap.h2.as_ref().unwrap().cards().card_base(card);
+        let region = (base.h2_offset() / region_words) as u32;
+        let lo = base.raw();
+        let hi = lo + seg_words;
+        let starts = match heap.h2_starts.get(&region) {
+            Some(s) => s.clone(),
+            None => {
+                scanned_cards.push((card, false));
+                continue;
+            }
+        };
+        let mut has_backward = false;
+        if !starts.is_empty() {
+            let mut i = starts.partition_point(|&s| s <= lo).saturating_sub(1);
+            while i < starts.len() && starts[i] < hi {
+                let obj = Addr::new(starts[i]);
+                let header = heap.h2.as_mut().unwrap().read_word(obj, Category::MajorGc);
+                let size = object::size_of(header) as u64;
+                work.objects += 1;
+                if obj.raw() + size > lo {
+                    for slot in h2_ref_slots_in(heap, obj, lo, hi) {
+                        work.refs += 1;
+                        let val = heap.h2.as_mut().unwrap().read_word(slot, Category::MajorGc);
+                        if val == 0 {
+                            continue;
+                        }
+                        if Addr::new(val).is_h2() {
+                            // A mutator update created an H2→H2 reference
+                            // after the move: record the cross-region
+                            // dependency the allocator could not have seen.
+                            let h2 = heap.h2.as_mut().unwrap();
+                            let from = h2.regions().region_of(obj);
+                            let to = h2.regions().region_of(Addr::new(val));
+                            if from != to {
+                                h2.regions_mut().add_dependency(from, to);
+                            }
+                            continue;
+                        }
+                        has_backward = true;
+                        heap.stats.backward_refs_seen += 1;
+                        backward_slots.push(slot);
+                        mark_push(heap, Addr::new(val), stack, live, work);
+                    }
+                }
+                i += 1;
+            }
+        }
+        scanned_cards.push((card, has_backward));
+    }
+}
+
+/// Reference slots of the H2 object at `obj` within `[lo, hi)`.
+fn h2_ref_slots_in(heap: &mut Heap, obj: Addr, lo: u64, hi: u64) -> Vec<Addr> {
+    let header = heap.h2.as_ref().unwrap().read_word_free(obj);
+    let class = object::class_of(header);
+    if class == crate::class::PRIM_ARRAY_CLASS {
+        return Vec::new();
+    }
+    if class == crate::class::OBJ_ARRAY_CLASS {
+        let len = heap.h2.as_ref().unwrap().read_word_free(obj.add(object::HEADER_WORDS as u64));
+        let first = obj.raw() + (object::HEADER_WORDS + object::ARRAY_LEN_WORDS) as u64;
+        let start = first.max(lo);
+        let end = (first + len).min(hi);
+        return (start..end).map(Addr::new).collect();
+    }
+    let refs = heap.classes.get(class).ref_fields;
+    (0..refs)
+        .map(|i| obj.add((object::HEADER_WORDS + i) as u64))
+        .filter(|s| s.raw() >= lo && s.raw() < hi)
+        .collect()
+}
+
+/// Marking-phase task 4: find live tagged root key-objects, decide which
+/// labels move (hint or pressure, §3.2) and tag their transitive closures as
+/// candidates, honouring the low-threshold budget.
+fn select_candidates(
+    heap: &mut Heap,
+    live: &[u64],
+    live_words: u64,
+    start_pressure: bool,
+    work: &mut Work,
+) -> Vec<u64> {
+    let mut move_order: Vec<u64> = Vec::new();
+    if heap.h2.is_none() {
+        return move_order;
+    }
+    let policy = heap.h2.as_ref().unwrap().policy().clone();
+    let mut tagged: Vec<(u64, u64)> = live
+        .iter()
+        .filter(|&&a| heap.mem[a as usize + 1] != 0)
+        .map(|&a| (heap.mem[a as usize + 1], a))
+        .collect();
+    if tagged.is_empty() {
+        return move_order;
+    }
+    // Oldest labels first, so the low threshold moves the oldest (most
+    // likely immutable) groups and leaves recently tagged ones in H1.
+    tagged.sort_unstable();
+    let pressure = policy.under_pressure() || start_pressure;
+    // With hints enabled, the newest tagged group has most likely not seen
+    // its h2_move yet (it is still mutable — e.g. Giraph's current message
+    // store); the pressure path defers it *unless moving every older group
+    // still leaves the heap overflowing* (§3.2: the hint exists precisely
+    // to avoid device read-modify-writes on groups moved while mutable).
+    // Without hints (NH) everything marked moves, mutable or not.
+    let newest_label = tagged.last().map(|&(l, _)| l).unwrap_or(0);
+    let mut pressure_budget = if pressure {
+        policy.pressure_budget_words(live_words, heap.old.capacity_words() as u64)
+    } else {
+        None
+    };
+    let mut moved_words: u64 = 0;
+    let mut deferred: Vec<(u64, u64)> = Vec::new();
+    for (label_id, root) in tagged {
+        let label = Label::new(label_id);
+        let requested = policy.is_requested(label);
+        if !requested && !pressure {
+            continue;
+        }
+        if !requested && policy.hints_enabled() && label_id == newest_label {
+            deferred.push((label_id, root));
+            continue;
+        }
+        if !requested {
+            if let Some(b) = pressure_budget {
+                if b == 0 {
+                    continue;
+                }
+            }
+        }
+        let words = tag_closure(heap, Addr::new(root), label, work, &mut move_order);
+        moved_words += words;
+        if !requested {
+            if let Some(b) = &mut pressure_budget {
+                *b = b.saturating_sub(words);
+            }
+        }
+    }
+    // Take the deferred (mutable) group only when survival demands it.
+    let remaining = live_words.saturating_sub(moved_words);
+    if remaining as f64 > 0.95 * heap.old.capacity_words() as f64 {
+        for (label_id, root) in deferred {
+            tag_closure(heap, Addr::new(root), Label::new(label_id), work, &mut move_order);
+        }
+    }
+    move_order
+}
+
+/// Tags the transitive closure of `root` with `label` and the candidate bit,
+/// excluding JVM-metadata and `Reference`-kind objects (§3.2). Returns the
+/// words tagged.
+fn tag_closure(
+    heap: &mut Heap,
+    root: Addr,
+    label: Label,
+    work: &mut Work,
+    move_order: &mut Vec<u64>,
+) -> u64 {
+    let mut words = 0u64;
+    let mut stack = vec![root];
+    while let Some(obj) = stack.pop() {
+        if !obj.is_h1() {
+            continue;
+        }
+        let header = heap.mem[obj.raw() as usize];
+        if object::is_candidate(header) {
+            continue;
+        }
+        let desc = heap.classes.get(object::class_of(header));
+        if desc.is_reference_kind || desc.is_metadata {
+            continue;
+        }
+        heap.mem[obj.raw() as usize] = object::with_candidate(header);
+        heap.mem[obj.raw() as usize + 1] = label.id();
+        move_order.push(obj.raw());
+        words += object::size_of(header) as u64;
+        work.objects += 1;
+        // Push in reverse so the LIFO pops children in field/element order:
+        // the placement order then matches the mutator's forward traversal,
+        // which is what makes H2 scans sequential on the device.
+        for slot in heap.ref_slots(obj).into_iter().rev() {
+            let val = heap.mem[slot.raw() as usize];
+            if val != 0 && Addr::new(val).is_h1() {
+                stack.push(Addr::new(val));
+            }
+        }
+    }
+    words
+}
+
+/// Sets every card of a freed H2 region back to clean.
+fn clear_region_cards(heap: &mut Heap, region: u32) {
+    let h2 = heap.h2.as_mut().unwrap();
+    let region_words = h2.regions().region_words();
+    let seg_words = h2.cards().seg_words();
+    let first_card = region as usize * region_words / seg_words;
+    let cards_per_region = region_words / seg_words;
+    for card in first_card..first_card + cards_per_region {
+        h2.cards_mut().set_state(card, CardState::Clean);
+    }
+}
+
+/// The G1 mixed-collection moved-live fraction, in thousandths. Non-G1
+/// variants return 1000 (full compaction cost).
+fn g1_moved_fraction_milli(heap: &Heap, region_live: &HashMap<u64, u64>, total_live: u64) -> u64 {
+    let GcVariant::G1 { region_words } = heap.config.variant else {
+        return 1000;
+    };
+    if total_live == 0 || region_live.is_empty() {
+        return 1000;
+    }
+    // Garbage per old region = capacity - live; collect the most-garbage
+    // regions first until 90% of the garbage is reclaimed.
+    // (garbage, live) pairs per old-generation G1 region.
+    let mut per_region: Vec<(u64, u64)> = region_live
+        .values()
+        .map(|&l| ((region_words as u64).saturating_sub(l), l))
+        .collect();
+    per_region.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+    let total_garbage: u64 = per_region.iter().map(|(g, _)| g).sum();
+    if total_garbage == 0 {
+        return 1000;
+    }
+    let target = total_garbage * 9 / 10;
+    let mut got = 0u64;
+    let mut moved_live = 0u64;
+    for (g, l) in per_region {
+        if got >= target {
+            break;
+        }
+        got += g;
+        moved_live += l;
+    }
+    (moved_live * 1000 / total_live).clamp(1, 1000)
+}
+
+/// Uncharged full trace through both heaps recording per-H2-region live
+/// object counts and words — the instrumentation behind Figure 10.
+fn record_h2_liveness(heap: &mut Heap) {
+    let mut visited: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    let mut stack: Vec<Addr> = heap
+        .roots
+        .iter()
+        .copied()
+        .filter(|a| !a.is_null())
+        .collect();
+    while let Some(obj) = stack.pop() {
+        if !visited.insert(obj.raw()) {
+            continue;
+        }
+        if obj.is_h2() {
+            let size = {
+                let h2 = heap.h2.as_ref().unwrap();
+                object::size_of(h2.read_word_free(obj))
+            };
+            let h2 = heap.h2.as_mut().unwrap();
+            h2.regions_mut().record_live_object(obj, size);
+            for slot in h2_ref_slots_all(heap, obj) {
+                let val = heap.h2.as_ref().unwrap().read_word_free(slot);
+                if val != 0 {
+                    stack.push(Addr::new(val));
+                }
+            }
+        } else {
+            for slot in heap.ref_slots(obj) {
+                let val = heap.mem[slot.raw() as usize];
+                if val != 0 {
+                    stack.push(Addr::new(val));
+                }
+            }
+        }
+    }
+}
+
+/// All reference slots of an H2 object (uncharged; statistics pass).
+fn h2_ref_slots_all(heap: &Heap, obj: Addr) -> Vec<Addr> {
+    let h2 = heap.h2.as_ref().unwrap();
+    let header = h2.read_word_free(obj);
+    let class = object::class_of(header);
+    if class == crate::class::PRIM_ARRAY_CLASS {
+        return Vec::new();
+    }
+    if class == crate::class::OBJ_ARRAY_CLASS {
+        let len = h2.read_word_free(obj.add(object::HEADER_WORDS as u64)) as usize;
+        let first = object::HEADER_WORDS + object::ARRAY_LEN_WORDS;
+        return (0..len).map(|i| obj.add((first + i) as u64)).collect();
+    }
+    let refs = heap.classes.get(class).ref_fields;
+    (0..refs)
+        .map(|i| obj.add((object::HEADER_WORDS + i) as u64))
+        .collect()
+}

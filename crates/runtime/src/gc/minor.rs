@@ -1,0 +1,286 @@
+//! Minor (young-generation) collection: a copying scavenge in the Parallel
+//! Scavenge mould, extended per §4 with (1) a reference range check that
+//! fences the collector from following references into H2 and (2) an H2
+//! card-table scan that finds backward (H2→H1) references, treats their
+//! young targets as roots and rewrites the slots to the new locations.
+
+use super::Work;
+use crate::heap::Heap;
+use crate::object;
+use crate::stats::{GcEvent, GcEventKind};
+use teraheap_core::{Addr, CardState};
+use teraheap_storage::Category;
+
+/// Runs a minor collection. The caller must have ensured the promotion
+/// guarantee (old free ≥ young used); see [`Heap::gc_minor`].
+pub(crate) fn minor_gc(heap: &mut Heap) {
+    debug_assert!(!heap.in_gc, "re-entrant GC");
+    heap.in_gc = true;
+    let start_ns = heap.clock.total_ns();
+    let old_before = heap.old.used_words();
+    let mut work = Work::default();
+    let mut worklist: Vec<Addr> = Vec::new();
+
+    // Roots: the handle table.
+    for i in 0..heap.roots.len() {
+        let a = heap.roots[i];
+        if !a.is_null() && in_collected(heap, a) {
+            heap.roots[i] = copy_young(heap, a, &mut work, &mut worklist);
+        }
+    }
+
+    // Roots: old objects with young references (dirty H1 cards).
+    scan_h1_cards(heap, &mut work, &mut worklist);
+
+    // Roots: H2 objects with backward references (H2 card table). This is
+    // charged separately so Figure 11a can report it.
+    let h2_scan_start = heap.clock.category_ns(Category::MinorGc);
+    scan_h2_cards(heap, &mut worklist);
+    let h2_scan_ns = heap.clock.category_ns(Category::MinorGc) - h2_scan_start;
+    heap.stats.h2_minor_scan_ns += h2_scan_ns;
+
+    // Transitive copy (Cheney-style worklist).
+    while let Some(obj) = worklist.pop() {
+        scan_copied(heap, obj, &mut work, &mut worklist);
+    }
+
+    // Flip spaces: eden and from are now garbage; to holds the survivors.
+    heap.eden.reset();
+    heap.from.reset();
+    std::mem::swap(&mut heap.from, &mut heap.to);
+
+    // Charge the parallelizable CPU work across the minor-GC threads.
+    let cpu = work.cpu_ns(&heap.config.cost);
+    let threads = heap.config.gc_threads_minor.max(1) as u64;
+    heap.clock
+        .charge(Category::MinorGc, cpu / threads + work.extra_ns);
+
+    let duration = heap.clock.total_ns() - start_ns;
+    heap.stats.minor_count += 1;
+    heap.stats.minor_ns += duration;
+    heap.stats.events.push(GcEvent {
+        kind: GcEventKind::Minor,
+        start_ns,
+        duration_ns: duration,
+        old_used_before: old_before,
+        old_used_after: heap.old.used_words(),
+        old_capacity: heap.old.capacity_words(),
+        promoted_h2_words: 0,
+    });
+    heap.in_gc = false;
+}
+
+/// Whether `addr` is in the collected young spaces (eden or from-space).
+fn in_collected(heap: &Heap, addr: Addr) -> bool {
+    heap.eden.contains(addr) || heap.from.contains(addr)
+}
+
+/// Copies (or forwards) the young object at `addr`, returning its new
+/// location. Tenured objects go to the old generation.
+fn copy_young(heap: &mut Heap, addr: Addr, work: &mut Work, worklist: &mut Vec<Addr>) -> Addr {
+    debug_assert!(in_collected(heap, addr));
+    let header = heap.mem[addr.raw() as usize];
+    if object::is_forwarded(header) {
+        return Addr::new(object::forwarded_to(header));
+    }
+    let size = object::size_of(header);
+    let aged = object::with_incremented_age(header);
+    let tenured = object::age_of(aged) >= heap.config.tenure_age;
+    let dest = if tenured {
+        heap.alloc_old(size)
+    } else {
+        heap.to.alloc(size).or_else(|| heap.alloc_old(size))
+    }
+    .expect("promotion guarantee violated: no space for survivor");
+    let (src_i, dst_i) = (addr.raw() as usize, dest.raw() as usize);
+    heap.mem.copy_within(src_i..src_i + size, dst_i);
+    heap.mem[dst_i] = aged;
+    heap.mem[src_i] = object::forwarding_header(dest.raw());
+    work.objects += 1;
+    work.copied_words += size as u64;
+    work.extra_ns += heap.h1_word_extra_ns(dest) * size as u64;
+    worklist.push(dest);
+    dest
+}
+
+/// Scans the reference slots of a freshly copied object, copying its young
+/// targets, fencing H2 targets, and dirtying H1 cards for any old→young
+/// references it now holds.
+fn scan_copied(heap: &mut Heap, obj: Addr, work: &mut Work, worklist: &mut Vec<Addr>) {
+    let in_old = heap.old.contains(obj);
+    for slot in heap.ref_slots(obj) {
+        work.refs += 1;
+        let val = heap.mem[slot.raw() as usize];
+        if val == 0 {
+            continue;
+        }
+        let target = Addr::new(val);
+        if target.is_h2() {
+            // Reference range check: fenced, never followed (§4).
+            continue;
+        }
+        let new_target = if in_collected(heap, target) {
+            let t = copy_young(heap, target, work, worklist);
+            heap.mem[slot.raw() as usize] = t.raw();
+            t
+        } else {
+            target
+        };
+        if in_old && heap.in_young(new_target) {
+            heap.h1_cards.mark_dirty(slot);
+        }
+    }
+}
+
+/// Reference slots of `obj` whose addresses fall in `[lo, hi)` — used to
+/// scan only the portion of an object overlapping one card segment.
+fn ref_slots_in(heap: &Heap, obj: Addr, lo: u64, hi: u64) -> Vec<Addr> {
+    let class = heap.object_class(obj);
+    if class == crate::class::OBJ_ARRAY_CLASS {
+        let len = heap.word(obj.add(object::HEADER_WORDS as u64));
+        let first = obj.raw() + (object::HEADER_WORDS + object::ARRAY_LEN_WORDS) as u64;
+        let start = first.max(lo);
+        let end = (first + len).min(hi);
+        return (start..end).map(Addr::new).collect();
+    }
+    heap.ref_slots(obj)
+        .into_iter()
+        .filter(|s| s.raw() >= lo && s.raw() < hi)
+        .collect()
+}
+
+/// Index of the first object in `starts` that could overlap an address
+/// range beginning at `base` (i.e. the last object starting at or before
+/// `base`, or the first after it).
+fn first_overlapping(starts: &[u64], base: u64) -> usize {
+    let idx = starts.partition_point(|&s| s <= base);
+    idx.saturating_sub(1)
+}
+
+fn scan_h1_cards(heap: &mut Heap, work: &mut Work, worklist: &mut Vec<Addr>) {
+    let dirty = heap.h1_cards.dirty_cards();
+    work.cards += dirty.len() as u64;
+    let seg = heap.h1_cards.seg_words() as u64;
+    let starts = heap.old_starts.clone();
+    for card in dirty {
+        let base = heap.h1_cards.card_base(card).raw();
+        let end = (base + seg).min(heap.old.top().raw());
+        let mut any_young = false;
+        if !starts.is_empty() {
+            let mut i = first_overlapping(&starts, base);
+            while i < starts.len() && starts[i] < end {
+                let obj = Addr::new(starts[i]);
+                let size = heap.object_size(obj) as u64;
+                if obj.raw() + size > base {
+                    for slot in ref_slots_in(heap, obj, base, end) {
+                        work.refs += 1;
+                        let val = heap.mem[slot.raw() as usize];
+                        if val == 0 {
+                            continue;
+                        }
+                        let target = Addr::new(val);
+                        if target.is_h2() {
+                            continue;
+                        }
+                        let new_target = if in_collected(heap, target) {
+                            let t = copy_young(heap, target, work, worklist);
+                            heap.mem[slot.raw() as usize] = t.raw();
+                            t
+                        } else {
+                            target
+                        };
+                        if heap.in_young(new_target) {
+                            any_young = true;
+                        }
+                    }
+                }
+                i += 1;
+            }
+        }
+        if !any_young {
+            heap.h1_cards.clear(card);
+        }
+    }
+}
+
+/// Scans the H2 card table for backward references (§3.4): minor GC visits
+/// `Dirty` and `YoungGen` cards, copies referenced young objects, rewrites
+/// the H2 slots and re-derives each card's state.
+fn scan_h2_cards(heap: &mut Heap, worklist: &mut Vec<Addr>) {
+    if heap.h2.is_none() {
+        return;
+    }
+    let mut work = Work::default();
+    let cards = heap.h2.as_ref().unwrap().cards().minor_scan_cards();
+    heap.stats.h2_cards_scanned_minor += cards.len() as u64;
+    // The card-table walk examines every entry; smaller segments mean a
+    // larger table and a longer walk (the Figure 11a trade-off).
+    work.cards += heap.h2.as_ref().unwrap().cards().card_count() as u64;
+    let seg_words = heap.h2.as_ref().unwrap().cards().seg_words() as u64;
+    let region_words = heap.h2.as_ref().unwrap().regions().region_words() as u64;
+    for card in cards {
+        let base = heap.h2.as_ref().unwrap().cards().card_base(card);
+        let region = (base.h2_offset() / region_words) as u32;
+        let lo = base.raw();
+        let hi = lo + seg_words;
+        let starts = match heap.h2_starts.get(&region) {
+            Some(s) => s.clone(),
+            None => {
+                // Region freed since the card was dirtied.
+                heap.h2.as_mut().unwrap().cards_mut().set_state(card, CardState::Clean);
+                continue;
+            }
+        };
+        let mut has_young = false;
+        let mut has_old = false;
+        if !starts.is_empty() {
+            let mut i = first_overlapping(&starts, lo);
+            while i < starts.len() && starts[i] < hi {
+                let obj = Addr::new(starts[i]);
+                // Reading the header from the device-backed heap.
+                let header = heap.h2.as_mut().unwrap().read_word(obj, Category::MinorGc);
+                let size = object::size_of(header) as u64;
+                work.objects += 1;
+                if obj.raw() + size > lo {
+                    for slot in ref_slots_in(heap, obj, lo, hi) {
+                        work.refs += 1;
+                        let val = heap.h2.as_mut().unwrap().read_word(slot, Category::MinorGc);
+                        if val == 0 {
+                            continue;
+                        }
+                        let target = Addr::new(val);
+                        if target.is_h2() {
+                            continue;
+                        }
+                        heap.stats.backward_refs_seen += 1;
+                        let new_target = if in_collected(heap, target) {
+                            let t = copy_young(heap, target, &mut work, worklist);
+                            heap.h2.as_mut().unwrap().write_word(slot, t.raw(), Category::MinorGc);
+                            t
+                        } else {
+                            target
+                        };
+                        if heap.in_young(new_target) {
+                            has_young = true;
+                        } else {
+                            has_old = true;
+                        }
+                    }
+                }
+                i += 1;
+            }
+        }
+        let state = if has_young {
+            CardState::YoungGen
+        } else if has_old {
+            CardState::OldGen
+        } else {
+            CardState::Clean
+        };
+        heap.h2.as_mut().unwrap().cards_mut().set_state(card, state);
+    }
+    let cpu = work.cpu_ns(&heap.config.cost);
+    let threads = heap.config.gc_threads_minor.max(1) as u64;
+    heap.clock
+        .charge(Category::MinorGc, cpu / threads + work.extra_ns);
+}

@@ -1,0 +1,725 @@
+//! The managed heap: H1 spaces, handles, barriers and the TeraHeap hooks.
+//!
+//! Mutator code (frameworks) manipulates objects exclusively through this
+//! API using GC-safe [`Handle`]s. Every access charges simulated time; the
+//! post-write barrier implements the paper's reference range check (§4) to
+//! pick the H1 or H2 card table.
+
+use crate::class::{ClassDesc, ClassId, ClassRegistry, OBJ_ARRAY_CLASS, PRIM_ARRAY_CLASS};
+use crate::config::{GcVariant, HeapConfig, OomError};
+use crate::gc;
+use crate::object;
+use crate::space::{H1CardTable, Space};
+use crate::stats::GcStats;
+use std::sync::Arc;
+use teraheap_core::{Addr, H2Config, Label, H2, NULL};
+use teraheap_storage::{Category, DeviceSpec, SimClock};
+
+/// Reserved low words so that address 0 stays the null reference.
+const RESERVED_WORDS: usize = 16;
+
+/// A GC-safe reference to a heap object.
+///
+/// Handles index a root table that every collection updates, so they remain
+/// valid across object motion (including motion into H2 — the "illusion of a
+/// single managed heap", §3.1). Release handles you no longer need with
+/// [`Heap::release`], or the objects they pin stay live forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Handle(pub(crate) u32);
+
+/// The managed heap.
+#[derive(Debug)]
+pub struct Heap {
+    pub(crate) mem: Vec<u64>,
+    pub(crate) eden: Space,
+    pub(crate) from: Space,
+    pub(crate) to: Space,
+    pub(crate) old: Space,
+    pub(crate) h1_cards: H1CardTable,
+    pub(crate) roots: Vec<Addr>,
+    pub(crate) free_roots: Vec<u32>,
+    pub(crate) classes: ClassRegistry,
+    pub(crate) h2: Option<H2>,
+    pub(crate) clock: Arc<SimClock>,
+    pub(crate) config: HeapConfig,
+    pub(crate) stats: GcStats,
+    /// Sorted start addresses of objects in the old generation (the card
+    /// offset table analogue, letting dirty-card scans find object starts).
+    pub(crate) old_starts: Vec<u64>,
+    /// Extra nanoseconds per H1 word access (NVM Memory mode).
+    pub(crate) h1_extra_ns: u64,
+    /// Extra nanoseconds per word for the NVM part of a Panthera old gen.
+    pub(crate) panthera_extra_ns: u64,
+    /// First old-generation address backed by NVM under Panthera.
+    pub(crate) panthera_nvm_base: u64,
+    /// When true, major GC runs an uncharged full trace through H2 to
+    /// collect the per-region live-object statistics of Figure 10.
+    pub(crate) track_h2_liveness: bool,
+    /// DRAM-side index of object start addresses per H2 region (the card
+    /// offset table analogue for H2), so card scans can find object starts
+    /// without walking the device-resident region.
+    pub(crate) h2_starts: std::collections::HashMap<u32, Vec<u64>>,
+    /// GCs requested while one is already running would be re-entrant;
+    /// guarded for debugging.
+    pub(crate) in_gc: bool,
+}
+
+impl Heap {
+    /// Creates a heap with a fresh clock and no second heap.
+    pub fn new(config: HeapConfig) -> Self {
+        Self::with_clock(config, Arc::new(SimClock::new()))
+    }
+
+    /// Creates a heap sharing `clock` with other simulation components.
+    pub fn with_clock(config: HeapConfig, clock: Arc<SimClock>) -> Self {
+        let eden_words = config.young_words * 8 / 10;
+        let surv_words = (config.young_words - eden_words) / 2;
+        let eden = Space::new(RESERVED_WORDS as u64, eden_words);
+        let from = Space::new(eden.limit().raw(), surv_words);
+        let to = Space::new(from.limit().raw(), surv_words);
+        let old = Space::new(to.limit().raw(), config.old_words);
+        let total = old.limit().raw() as usize;
+        let h1_cards = H1CardTable::new(old.base(), config.old_words, config.card_seg_words);
+        let h1_extra_ns = config.memory_mode.map(|m| m.extra_ns_per_word()).unwrap_or(0);
+        let (panthera_extra_ns, panthera_nvm_base) = match config.variant {
+            GcVariant::Panthera { old_dram_words, nvm } => (
+                nvm.read_lat_ns / 8,
+                old.base().raw() + old_dram_words as u64,
+            ),
+            _ => (0, u64::MAX),
+        };
+        Heap {
+            mem: vec![0; total],
+            eden,
+            from,
+            to,
+            old,
+            h1_cards,
+            roots: Vec::new(),
+            free_roots: Vec::new(),
+            classes: ClassRegistry::new(),
+            h2: None,
+            clock,
+            config,
+            stats: GcStats::new(),
+            old_starts: Vec::new(),
+            h1_extra_ns,
+            panthera_extra_ns,
+            panthera_nvm_base,
+            track_h2_liveness: false,
+            h2_starts: std::collections::HashMap::new(),
+            in_gc: false,
+        }
+    }
+
+    /// Attaches a TeraHeap second heap over a device described by `spec`.
+    ///
+    /// Corresponds to launching the JVM with `EnableTeraHeap`.
+    pub fn enable_teraheap(&mut self, h2_config: H2Config, spec: DeviceSpec) {
+        self.h2 = Some(H2::new(h2_config, spec, self.clock.clone()));
+    }
+
+    /// Whether TeraHeap is enabled.
+    pub fn teraheap_enabled(&self) -> bool {
+        self.h2.is_some()
+    }
+
+    /// Enables the uncharged H2 liveness tracing that Figure 10 needs.
+    pub fn track_h2_liveness(&mut self, on: bool) {
+        self.track_h2_liveness = on;
+    }
+
+    /// The simulated clock shared by this heap.
+    pub fn clock(&self) -> &Arc<SimClock> {
+        &self.clock
+    }
+
+    /// The heap configuration.
+    pub fn config(&self) -> &HeapConfig {
+        &self.config
+    }
+
+    /// Cumulative GC statistics.
+    pub fn stats(&self) -> &GcStats {
+        &self.stats
+    }
+
+    /// The second heap, if enabled.
+    pub fn h2(&self) -> Option<&H2> {
+        self.h2.as_ref()
+    }
+
+    /// Mutable access to the second heap, if enabled.
+    pub fn h2_mut(&mut self) -> Option<&mut H2> {
+        self.h2.as_mut()
+    }
+
+    /// Old-generation occupancy in words.
+    pub fn old_used_words(&self) -> usize {
+        self.old.used_words()
+    }
+
+    /// Old-generation capacity in words.
+    pub fn old_capacity_words(&self) -> usize {
+        self.old.capacity_words()
+    }
+
+    /// Eden occupancy in words.
+    pub fn eden_used_words(&self) -> usize {
+        self.eden.used_words()
+    }
+
+    // ----- classes ---------------------------------------------------------
+
+    /// Registers a data class with `ref_fields` references then `prim_fields`
+    /// primitive words.
+    pub fn register_class(&mut self, name: &str, ref_fields: usize, prim_fields: usize) -> ClassId {
+        self.classes.register(name, ref_fields, prim_fields)
+    }
+
+    /// Registers a fully-specified class descriptor.
+    pub fn register_class_full(&mut self, desc: ClassDesc) -> ClassId {
+        self.classes.register_full(desc)
+    }
+
+    /// The descriptor of `class`.
+    pub fn class_desc(&self, class: ClassId) -> &ClassDesc {
+        self.classes.get(class)
+    }
+
+    // ----- handles ---------------------------------------------------------
+
+    pub(crate) fn root_of(&self, h: Handle) -> Addr {
+        let a = self.roots[h.0 as usize];
+        debug_assert!(!a.is_null(), "use of released handle");
+        a
+    }
+
+    /// Creates a handle rooting `addr`.
+    pub(crate) fn make_root(&mut self, addr: Addr) -> Handle {
+        if let Some(i) = self.free_roots.pop() {
+            self.roots[i as usize] = addr;
+            Handle(i)
+        } else {
+            self.roots.push(addr);
+            Handle((self.roots.len() - 1) as u32)
+        }
+    }
+
+    /// Creates a second, independently-released handle to the same object.
+    pub fn dup(&mut self, h: Handle) -> Handle {
+        let addr = self.root_of(h);
+        self.make_root(addr)
+    }
+
+    /// Releases a handle; the object may become unreachable.
+    pub fn release(&mut self, h: Handle) {
+        debug_assert!(!self.roots[h.0 as usize].is_null(), "double release");
+        self.roots[h.0 as usize] = NULL;
+        self.free_roots.push(h.0);
+    }
+
+    /// Number of live root handles (diagnostics).
+    pub fn live_roots(&self) -> usize {
+        self.roots.iter().filter(|a| !a.is_null()).count()
+    }
+
+    /// Whether two handles refer to the same object.
+    pub fn same_object(&self, a: Handle, b: Handle) -> bool {
+        self.root_of(a) == self.root_of(b)
+    }
+
+    /// Whether the object behind `h` currently resides in H2.
+    pub fn is_in_h2(&self, h: Handle) -> bool {
+        self.root_of(h).is_h2()
+    }
+
+    /// The current address of the object behind `h`.
+    ///
+    /// Only stable until the next collection; intended for diagnostics and
+    /// region-level assertions, not for storing.
+    pub fn handle_addr(&self, h: Handle) -> Addr {
+        self.root_of(h)
+    }
+
+    // ----- allocation ------------------------------------------------------
+
+    /// Allocates an instance of `class`. Fields start zeroed/null.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OomError`] if the allocation cannot be satisfied even after
+    /// garbage collection.
+    pub fn alloc(&mut self, class: ClassId) -> Result<Handle, OomError> {
+        let words = self.classes.get(class).instance_words();
+        let addr = self.alloc_raw(class, words, 0)?;
+        Ok(self.make_root(addr))
+    }
+
+    /// Allocates a reference array of `len` elements (all null).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OomError`] on exhaustion.
+    pub fn alloc_ref_array(&mut self, len: usize) -> Result<Handle, OomError> {
+        let words = object::HEADER_WORDS + object::ARRAY_LEN_WORDS + len;
+        let addr = self.alloc_raw(OBJ_ARRAY_CLASS, words, len as u64)?;
+        Ok(self.make_root(addr))
+    }
+
+    /// Allocates a primitive array of `len` words (zeroed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OomError`] on exhaustion.
+    pub fn alloc_prim_array(&mut self, len: usize) -> Result<Handle, OomError> {
+        let words = object::HEADER_WORDS + object::ARRAY_LEN_WORDS + len;
+        let addr = self.alloc_raw(PRIM_ARRAY_CLASS, words, len as u64)?;
+        Ok(self.make_root(addr))
+    }
+
+    fn alloc_raw(&mut self, class: ClassId, words: usize, array_len: u64) -> Result<Addr, OomError> {
+        self.clock.charge(Category::Mutator, self.config.cost.alloc_ns);
+        let addr = self.alloc_words(words)?;
+        let i = addr.raw() as usize;
+        self.mem[i..i + words].fill(0);
+        self.mem[i] = object::pack_header(class, words);
+        if class == OBJ_ARRAY_CLASS || class == PRIM_ARRAY_CLASS {
+            self.mem[i + object::HEADER_WORDS] = array_len;
+        }
+        Ok(addr)
+    }
+
+    fn alloc_words(&mut self, words: usize) -> Result<Addr, OomError> {
+        // Large objects bypass eden and go straight to the old generation
+        // (PS behaviour; Panthera additionally pretenures all big objects).
+        let big = words > self.eden.capacity_words() / 2
+            || (matches!(self.config.variant, GcVariant::Panthera { .. })
+                && words > self.eden.capacity_words() / 16);
+        if big {
+            if let Some(a) = self.alloc_old(words) {
+                return Ok(a);
+            }
+            gc::major::major_gc(self)?;
+            return self.alloc_old(words).ok_or(OomError {
+                requested_words: words,
+                context: "large allocation does not fit the old generation".to_string(),
+            });
+        }
+        if let Some(a) = self.eden.alloc(words) {
+            return Ok(a);
+        }
+        self.collect_for(words)?;
+        self.eden.alloc(words).ok_or(OomError {
+            requested_words: words,
+            context: "eden exhausted after garbage collection".to_string(),
+        })
+    }
+
+    /// Allocates in the old generation, applying G1 humongous-region
+    /// rounding when configured.
+    pub(crate) fn alloc_old(&mut self, words: usize) -> Option<Addr> {
+        let footprint = self.g1_footprint(words);
+        // Reserve the rounded footprint but place the object at its start.
+        let addr = self.old.alloc(footprint)?;
+        if footprint > words {
+            self.stats.g1_humongous_waste_words += (footprint - words) as u64;
+        }
+        self.old_starts.push(addr.raw());
+        Some(addr)
+    }
+
+    /// The old-generation footprint of an object of `words` words: rounded
+    /// up to whole G1 regions when the object is humongous.
+    pub(crate) fn g1_footprint(&self, words: usize) -> usize {
+        if let GcVariant::G1 { region_words } = self.config.variant {
+            if words >= region_words / 2 {
+                return words.div_ceil(region_words) * region_words;
+            }
+        }
+        words
+    }
+
+    /// Worst-case words a minor GC could promote: everything live in the
+    /// collected young spaces, doubled under G1 because humongous-object
+    /// region rounding can inflate a footprint by up to 2x.
+    fn worst_case_promotion(&self) -> usize {
+        let used = self.eden.used_words() + self.from.used_words();
+        match self.config.variant {
+            GcVariant::G1 { .. } => used * 2,
+            _ => used,
+        }
+    }
+
+    fn collect_for(&mut self, words: usize) -> Result<(), OomError> {
+        // Promotion guarantee: a minor GC may promote everything in the
+        // young generation, so fall back to a full GC when the old
+        // generation cannot absorb that worst case.
+        let worst_promo = self.worst_case_promotion();
+        if self.old.free_words() < worst_promo {
+            gc::major::major_gc(self)?;
+        } else {
+            gc::minor::minor_gc(self);
+        }
+        if self.eden.free_words() < words {
+            gc::major::major_gc(self)?;
+        }
+        Ok(())
+    }
+
+    /// Runs a minor (young-generation) collection now.
+    pub fn gc_minor(&mut self) -> Result<(), OomError> {
+        let worst_promo = self.worst_case_promotion();
+        if self.old.free_words() < worst_promo {
+            gc::major::major_gc(self)
+        } else {
+            gc::minor::minor_gc(self);
+            Ok(())
+        }
+    }
+
+    /// Runs a major (full) collection now.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OomError`] if live data exceeds the old generation.
+    pub fn gc_major(&mut self) -> Result<(), OomError> {
+        gc::major::major_gc(self)
+    }
+
+    // ----- memory access ---------------------------------------------------
+
+    pub(crate) fn in_young(&self, addr: Addr) -> bool {
+        self.eden.contains(addr) || self.from.contains(addr) || self.to.contains(addr)
+    }
+
+    pub(crate) fn h1_word_extra_ns(&self, addr: Addr) -> u64 {
+        let mut extra = self.h1_extra_ns;
+        if addr.raw() >= self.panthera_nvm_base {
+            extra += self.panthera_extra_ns;
+        }
+        extra
+    }
+
+    /// Uncharged word load (GC-internal; phase costs are charged in bulk).
+    pub(crate) fn word(&self, addr: Addr) -> u64 {
+        if addr.is_h2() {
+            self.h2.as_ref().expect("H2 address without H2").read_word_free(addr)
+        } else {
+            self.mem[addr.raw() as usize]
+        }
+    }
+
+    /// Uncharged word store (GC-internal).
+    pub(crate) fn set_word(&mut self, addr: Addr, value: u64) {
+        if addr.is_h2() {
+            self.h2
+                .as_mut()
+                .expect("H2 address without H2")
+                .write_word_free(addr, value);
+        } else {
+            self.mem[addr.raw() as usize] = value;
+        }
+    }
+
+    /// Charged mutator word load: DRAM cost for H1 (plus Memory-mode or
+    /// Panthera-NVM penalties), page-fault/DAX cost for H2.
+    pub(crate) fn load(&mut self, addr: Addr, cat: Category) -> u64 {
+        if addr.is_h2() {
+            self.h2.as_mut().expect("H2 address without H2").read_word(addr, cat)
+        } else {
+            self.clock
+                .charge(cat, self.config.cost.dram_word_ns + self.h1_word_extra_ns(addr));
+            self.mem[addr.raw() as usize]
+        }
+    }
+
+    /// Charged mutator word store.
+    pub(crate) fn store(&mut self, addr: Addr, value: u64, cat: Category) {
+        if addr.is_h2() {
+            self.h2
+                .as_mut()
+                .expect("H2 address without H2")
+                .write_word(addr, value, cat);
+        } else {
+            self.clock
+                .charge(cat, self.config.cost.dram_word_ns + self.h1_word_extra_ns(addr));
+            self.mem[addr.raw() as usize] = value;
+        }
+    }
+
+    // ----- object layout helpers ------------------------------------------
+
+    pub(crate) fn header(&self, addr: Addr) -> u64 {
+        self.word(addr)
+    }
+
+    pub(crate) fn object_size(&self, addr: Addr) -> usize {
+        object::size_of(self.header(addr))
+    }
+
+    pub(crate) fn object_class(&self, addr: Addr) -> ClassId {
+        object::class_of(self.header(addr))
+    }
+
+    /// Word addresses of every reference slot of the object at `addr`.
+    pub(crate) fn ref_slots(&self, addr: Addr) -> Vec<Addr> {
+        let class = self.object_class(addr);
+        if class == PRIM_ARRAY_CLASS {
+            return Vec::new();
+        }
+        if class == OBJ_ARRAY_CLASS {
+            let len = self.word(addr.add(object::HEADER_WORDS as u64)) as usize;
+            let first = object::HEADER_WORDS + object::ARRAY_LEN_WORDS;
+            return (0..len).map(|i| addr.add((first + i) as u64)).collect();
+        }
+        let refs = self.classes.get(class).ref_fields;
+        (0..refs)
+            .map(|i| addr.add((object::HEADER_WORDS + i) as u64))
+            .collect()
+    }
+
+    // ----- mutator field access --------------------------------------------
+
+    fn ref_slot(&self, obj: Addr, idx: usize) -> Addr {
+        let class = self.object_class(obj);
+        if class == OBJ_ARRAY_CLASS {
+            let len = self.word(obj.add(object::HEADER_WORDS as u64)) as usize;
+            assert!(idx < len, "ref array index {idx} out of bounds ({len})");
+            return obj.add((object::HEADER_WORDS + object::ARRAY_LEN_WORDS + idx) as u64);
+        }
+        let refs = self.classes.get(class).ref_fields;
+        assert!(idx < refs, "ref field index {idx} out of bounds ({refs})");
+        obj.add((object::HEADER_WORDS + idx) as u64)
+    }
+
+    fn prim_slot(&self, obj: Addr, idx: usize) -> Addr {
+        let class = self.object_class(obj);
+        if class == PRIM_ARRAY_CLASS {
+            let len = self.word(obj.add(object::HEADER_WORDS as u64)) as usize;
+            assert!(idx < len, "prim array index {idx} out of bounds ({len})");
+            return obj.add((object::HEADER_WORDS + object::ARRAY_LEN_WORDS + idx) as u64);
+        }
+        let desc = self.classes.get(class);
+        assert!(idx < desc.prim_fields, "prim field index {idx} out of bounds");
+        obj.add((object::HEADER_WORDS + desc.ref_fields + idx) as u64)
+    }
+
+    /// Reads reference field/element `idx`, returning a rooted handle (or
+    /// `None` for null). Release the handle when done.
+    pub fn read_ref(&mut self, h: Handle, idx: usize) -> Option<Handle> {
+        let obj = self.root_of(h);
+        let slot = self.ref_slot(obj, idx);
+        let val = self.load(slot, Category::Mutator);
+        if val == 0 {
+            None
+        } else {
+            Some(self.make_root(Addr::new(val)))
+        }
+    }
+
+    /// Whether reference field/element `idx` is null.
+    pub fn ref_is_null(&mut self, h: Handle, idx: usize) -> bool {
+        let obj = self.root_of(h);
+        let slot = self.ref_slot(obj, idx);
+        self.load(slot, Category::Mutator) == 0
+    }
+
+    /// Stores `val` into reference field/element `idx` of `h`, running the
+    /// post-write barrier (with TeraHeap's reference range check).
+    pub fn write_ref(&mut self, h: Handle, idx: usize, val: Handle) {
+        let obj = self.root_of(h);
+        let v = self.root_of(val);
+        let slot = self.ref_slot(obj, idx);
+        self.write_ref_at(obj, slot, v);
+    }
+
+    /// Stores null into reference field/element `idx`.
+    pub fn write_ref_null(&mut self, h: Handle, idx: usize) {
+        let obj = self.root_of(h);
+        let slot = self.ref_slot(obj, idx);
+        self.write_ref_at(obj, slot, NULL);
+    }
+
+    pub(crate) fn write_ref_at(&mut self, obj: Addr, slot: Addr, val: Addr) {
+        self.store(slot, val.raw(), Category::Mutator);
+        // Post-write barrier (§4): base card-mark cost, plus the reference
+        // range check TeraHeap adds (zero overhead when disabled).
+        let mut barrier_ns = self.config.cost.write_barrier_ns;
+        if self.h2.is_some() {
+            barrier_ns += self.config.cost.h2_range_check_ns;
+        }
+        self.clock.charge(Category::Mutator, barrier_ns);
+        if slot.is_h2() {
+            // Mutator updated an H2 object: dirty the H2 card.
+            self.h2
+                .as_mut()
+                .expect("H2 slot without H2")
+                .cards_mut()
+                .mark_dirty(slot);
+        } else if self.old.contains(obj) && !val.is_null() && self.in_young(val) {
+            self.h1_cards.mark_dirty(slot);
+        }
+    }
+
+    /// Reads primitive field/element `idx`.
+    pub fn read_prim(&mut self, h: Handle, idx: usize) -> u64 {
+        let obj = self.root_of(h);
+        let slot = self.prim_slot(obj, idx);
+        self.load(slot, Category::Mutator)
+    }
+
+    /// Writes primitive field/element `idx`.
+    pub fn write_prim(&mut self, h: Handle, idx: usize, val: u64) {
+        let obj = self.root_of(h);
+        let slot = self.prim_slot(obj, idx);
+        self.store(slot, val, Category::Mutator);
+    }
+
+    /// Length of the (reference or primitive) array behind `h`.
+    pub fn array_len(&mut self, h: Handle) -> usize {
+        let obj = self.root_of(h);
+        let class = self.object_class(obj);
+        assert!(
+            class == OBJ_ARRAY_CLASS || class == PRIM_ARRAY_CLASS,
+            "array_len on non-array"
+        );
+        self.load(obj.add(object::HEADER_WORDS as u64), Category::Mutator) as usize
+    }
+
+    /// The class id of the object behind `h`.
+    pub fn class_of(&self, h: Handle) -> ClassId {
+        self.object_class(self.root_of(h))
+    }
+
+    // ----- TeraHeap hint interface (§3.2) -----------------------------------
+
+    /// `h2_tag_root(obj, label)`: tags a root key-object for H2 placement by
+    /// writing the label into the object header's label field.
+    pub fn h2_tag_root(&mut self, h: Handle, label: Label) {
+        let obj = self.root_of(h);
+        self.set_word(obj.add(1), label.id());
+    }
+
+    /// `h2_move(label)`: advises TeraHeap to move all objects tagged with
+    /// `label` to H2 during the next major GC. No-op without TeraHeap.
+    pub fn h2_move(&mut self, label: Label) {
+        if let Some(h2) = self.h2.as_mut() {
+            h2.h2_move(label);
+        }
+    }
+
+    /// The label tagged on the object behind `h` (0 = untagged).
+    pub fn h2_label_of(&self, h: Handle) -> u64 {
+        self.word(self.root_of(h).add(1))
+    }
+
+    // ----- workload cost hook ------------------------------------------------
+
+    /// Charges `ops` element-operations of mutator compute, divided across
+    /// the configured mutator threads.
+    pub fn charge_mutator_ops(&self, ops: u64) {
+        let ns = ops * self.config.cost.mutator_op_ns / self.config.mutator_threads.max(1) as u64;
+        self.clock.charge(Category::Mutator, ns);
+    }
+
+    /// Charges `ns` nanoseconds directly to a category, divided across
+    /// mutator threads (frameworks use this for S/D work).
+    pub fn charge_parallel(&self, cat: Category, ns: u64) {
+        self.clock
+            .charge(cat, ns / self.config.mutator_threads.max(1) as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heap() -> Heap {
+        Heap::new(HeapConfig::small())
+    }
+
+    #[test]
+    fn alloc_and_field_round_trip() {
+        let mut h = heap();
+        let c = h.register_class("Node", 1, 2);
+        let a = h.alloc(c).unwrap();
+        h.write_prim(a, 0, 11);
+        h.write_prim(a, 1, 22);
+        assert_eq!(h.read_prim(a, 0), 11);
+        assert_eq!(h.read_prim(a, 1), 22);
+        assert!(h.read_ref(a, 0).is_none());
+    }
+
+    #[test]
+    fn ref_fields_link_objects() {
+        let mut h = heap();
+        let c = h.register_class("Node", 1, 1);
+        let a = h.alloc(c).unwrap();
+        let b = h.alloc(c).unwrap();
+        h.write_prim(b, 0, 99);
+        h.write_ref(a, 0, b);
+        let b2 = h.read_ref(a, 0).unwrap();
+        assert!(h.same_object(b, b2));
+        assert_eq!(h.read_prim(b2, 0), 99);
+        h.write_ref_null(a, 0);
+        assert!(h.ref_is_null(a, 0));
+    }
+
+    #[test]
+    fn arrays_store_elements() {
+        let mut h = heap();
+        let c = h.register_class("Elem", 0, 1);
+        let arr = h.alloc_ref_array(4).unwrap();
+        assert_eq!(h.array_len(arr), 4);
+        let e = h.alloc(c).unwrap();
+        h.write_prim(e, 0, 7);
+        h.write_ref(arr, 2, e);
+        h.release(e);
+        let e2 = h.read_ref(arr, 2).unwrap();
+        assert_eq!(h.read_prim(e2, 0), 7);
+        assert!(h.read_ref(arr, 0).is_none());
+
+        let pa = h.alloc_prim_array(3).unwrap();
+        h.write_prim(pa, 1, 42);
+        assert_eq!(h.read_prim(pa, 1), 42);
+        assert_eq!(h.array_len(pa), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn array_bounds_are_checked() {
+        let mut h = heap();
+        let arr = h.alloc_prim_array(2).unwrap();
+        h.write_prim(arr, 2, 1);
+    }
+
+    #[test]
+    fn allocation_charges_time() {
+        let mut h = heap();
+        let c = h.register_class("X", 0, 1);
+        let t0 = h.clock().total_ns();
+        let _ = h.alloc(c).unwrap();
+        assert!(h.clock().total_ns() > t0);
+    }
+
+    #[test]
+    fn release_recycles_handle_slots() {
+        let mut h = heap();
+        let c = h.register_class("X", 0, 1);
+        let a = h.alloc(c).unwrap();
+        h.release(a);
+        let b = h.alloc(c).unwrap();
+        assert_eq!(a.0, b.0, "slot recycled");
+    }
+
+    #[test]
+    fn h2_tagging_sets_label() {
+        let mut h = heap();
+        let c = h.register_class("Part", 0, 1);
+        let a = h.alloc(c).unwrap();
+        assert_eq!(h.h2_label_of(a), 0);
+        h.h2_tag_root(a, Label::new(9));
+        assert_eq!(h.h2_label_of(a), 9);
+    }
+}

@@ -1,0 +1,423 @@
+//! Behavioural tests for the collectors and the TeraHeap integration.
+
+use teraheap_core::{H2Config, Label};
+use teraheap_runtime::{GcVariant, Heap, HeapConfig};
+use teraheap_storage::{Category, DeviceSpec};
+
+fn small_heap() -> Heap {
+    Heap::new(HeapConfig::with_words(2048, 8192))
+}
+
+fn th_heap() -> Heap {
+    let mut heap = Heap::new(HeapConfig::with_words(2048, 8192));
+    heap.enable_teraheap(
+        H2Config {
+            region_words: 1024,
+            n_regions: 16,
+            card_seg_words: 128,
+            resident_budget_bytes: 64 << 10,
+            page_size: 4096,
+            promo_buffer_bytes: 8 << 10,
+        },
+        DeviceSpec::nvme_ssd(),
+    );
+    heap
+}
+
+#[test]
+fn minor_gc_preserves_reachable_graph() {
+    let mut h = small_heap();
+    let node = h.register_class("Node", 1, 1);
+    // Build a linked list of 20 nodes.
+    let head = h.alloc(node).unwrap();
+    h.write_prim(head, 0, 0);
+    let mut tail = head;
+    for i in 1..20u64 {
+        let n = h.alloc(node).unwrap();
+        h.write_prim(n, 0, i);
+        h.write_ref(tail, 0, n);
+        if tail != head {
+            h.release(tail);
+        }
+        tail = n;
+    }
+    h.release(tail);
+    h.gc_minor().unwrap();
+    // Walk and verify.
+    let mut cur = head;
+    for i in 0..20u64 {
+        assert_eq!(h.read_prim(cur, 0), i);
+        match h.read_ref(cur, 0) {
+            Some(next) => {
+                if cur != head {
+                    h.release(cur);
+                }
+                cur = next;
+            }
+            None => assert_eq!(i, 19, "list ends at the right node"),
+        }
+    }
+}
+
+#[test]
+fn minor_gc_reclaims_garbage() {
+    let mut h = small_heap();
+    let c = h.register_class("Obj", 0, 4);
+    for _ in 0..10 {
+        let t = h.alloc(c).unwrap();
+        h.release(t); // immediately garbage
+    }
+    let used_before = h.eden_used_words();
+    assert!(used_before > 0);
+    h.gc_minor().unwrap();
+    assert_eq!(h.eden_used_words(), 0, "eden empty after scavenge");
+    assert_eq!(h.old_used_words(), 0, "no garbage promoted");
+}
+
+#[test]
+fn survivors_tenure_into_old_generation() {
+    let mut h = small_heap();
+    let c = h.register_class("Keep", 0, 2);
+    let keep = h.alloc(c).unwrap();
+    h.write_prim(keep, 0, 7);
+    for _ in 0..4 {
+        h.gc_minor().unwrap();
+    }
+    assert!(h.old_used_words() > 0, "long-lived object tenured");
+    assert_eq!(h.read_prim(keep, 0), 7, "object intact after tenuring");
+}
+
+#[test]
+fn dirty_cards_keep_young_targets_alive() {
+    let mut h = small_heap();
+    let c = h.register_class("Holder", 1, 1);
+    let holder = h.alloc(c).unwrap();
+    // Tenure the holder into the old generation.
+    for _ in 0..4 {
+        h.gc_minor().unwrap();
+    }
+    assert!(h.old_used_words() > 0);
+    // Store a young object into the old holder: barrier dirties the card.
+    let young = h.alloc(c).unwrap();
+    h.write_prim(young, 0, 99);
+    h.write_ref(holder, 0, young);
+    h.release(young); // only reachable via the old object now
+    h.gc_minor().unwrap();
+    let y = h.read_ref(holder, 0).expect("young target survived via card");
+    assert_eq!(h.read_prim(y, 0), 99);
+}
+
+#[test]
+fn major_gc_compacts_and_updates_handles() {
+    let mut h = small_heap();
+    let c = h.register_class("Obj", 1, 1);
+    let a = h.alloc(c).unwrap();
+    h.write_prim(a, 0, 1);
+    let garbage = h.alloc(c).unwrap();
+    h.release(garbage);
+    let b = h.alloc(c).unwrap();
+    h.write_prim(b, 0, 2);
+    h.write_ref(a, 0, b);
+    h.gc_major().unwrap();
+    assert_eq!(h.read_prim(a, 0), 1);
+    let b2 = h.read_ref(a, 0).unwrap();
+    assert_eq!(h.read_prim(b2, 0), 2);
+    assert_eq!(h.stats().major_count, 1);
+}
+
+#[test]
+fn alloc_pressure_triggers_gc_automatically() {
+    let mut h = small_heap();
+    let c = h.register_class("Chunk", 0, 100);
+    for _ in 0..200 {
+        let t = h.alloc(c).unwrap();
+        h.release(t);
+    }
+    assert!(h.stats().minor_count > 0, "allocation pressure ran GCs");
+}
+
+#[test]
+fn heap_exhaustion_reports_oom() {
+    let mut h = Heap::new(HeapConfig::with_words(512, 1024));
+    let c = h.register_class("Chunk", 0, 64);
+    let mut held = Vec::new();
+    let mut oom = false;
+    for _ in 0..100 {
+        match h.alloc(c) {
+            Ok(handle) => held.push(handle),
+            Err(e) => {
+                assert!(e.to_string().contains("out of memory"));
+                oom = true;
+                break;
+            }
+        }
+    }
+    assert!(oom, "holding everything must exhaust the heap");
+}
+
+#[test]
+fn h2_move_relocates_tagged_closure() {
+    let mut h = th_heap();
+    let part = h.register_class("Partition", 1, 0);
+    let elem = h.register_class("Elem", 0, 2);
+    // partition -> array -> elements
+    let root = h.alloc(part).unwrap();
+    let arr = h.alloc_ref_array(8).unwrap();
+    h.write_ref(root, 0, arr);
+    for i in 0..8 {
+        let e = h.alloc(elem).unwrap();
+        h.write_prim(e, 0, i as u64 * 10);
+        h.write_ref(arr, i, e);
+        h.release(e);
+    }
+    h.release(arr);
+    let label = Label::new(42);
+    h.h2_tag_root(root, label);
+    h.h2_move(label);
+    h.gc_major().unwrap();
+    assert!(h.is_in_h2(root), "tagged root moved to H2");
+    assert!(h.stats().objects_promoted_h2 >= 10, "closure moved too");
+    // Direct access to H2 objects — no deserialization step.
+    let arr2 = h.read_ref(root, 0).unwrap();
+    assert!(h.is_in_h2(arr2));
+    for i in 0..8 {
+        let e = h.read_ref(arr2, i).unwrap();
+        assert_eq!(h.read_prim(e, 0), i as u64 * 10);
+        h.release(e);
+    }
+}
+
+#[test]
+fn untagged_objects_stay_in_h1() {
+    let mut h = th_heap();
+    let c = h.register_class("Plain", 0, 2);
+    let a = h.alloc(c).unwrap();
+    h.gc_major().unwrap();
+    assert!(!h.is_in_h2(a));
+}
+
+#[test]
+fn tag_without_move_hint_keeps_object_in_h1() {
+    let mut h = th_heap();
+    let c = h.register_class("Part", 0, 2);
+    let a = h.alloc(c).unwrap();
+    h.h2_tag_root(a, Label::new(1));
+    // No h2_move, no pressure: stays in H1.
+    h.gc_major().unwrap();
+    assert!(!h.is_in_h2(a));
+    // After the hint, the next major GC moves it.
+    h.h2_move(Label::new(1));
+    h.gc_major().unwrap();
+    assert!(h.is_in_h2(a));
+}
+
+#[test]
+fn dead_h2_regions_are_reclaimed_in_bulk() {
+    let mut h = th_heap();
+    let c = h.register_class("Part", 0, 16);
+    let a = h.alloc(c).unwrap();
+    h.h2_tag_root(a, Label::new(5));
+    h.h2_move(Label::new(5));
+    h.gc_major().unwrap();
+    assert!(h.is_in_h2(a));
+    assert_eq!(h.h2().unwrap().regions().reclaimed_total(), 0);
+    // Drop the only reference; the region dies at the next major GC.
+    h.release(a);
+    h.gc_major().unwrap();
+    assert_eq!(h.h2().unwrap().regions().reclaimed_total(), 1);
+}
+
+#[test]
+fn backward_references_keep_h1_objects_alive() {
+    let mut h = th_heap();
+    let holder = h.register_class("Holder", 1, 0);
+    let payload = h.register_class("Payload", 0, 1);
+    let root = h.alloc(holder).unwrap();
+    h.h2_tag_root(root, Label::new(9));
+    h.h2_move(Label::new(9));
+    h.gc_major().unwrap();
+    assert!(h.is_in_h2(root));
+    // Mutator updates the H2 object to point at a fresh H1 object: the
+    // post-write barrier dirties the H2 card.
+    let p = h.alloc(payload).unwrap();
+    h.write_prim(p, 0, 123);
+    h.write_ref(root, 0, p);
+    h.release(p); // only reachable from H2 now
+    h.gc_minor().unwrap();
+    let p2 = h.read_ref(root, 0).expect("backward ref kept target alive");
+    assert_eq!(h.read_prim(p2, 0), 123);
+    h.release(p2);
+    // Also across a major GC (target moves during compaction).
+    h.gc_major().unwrap();
+    let p3 = h.read_ref(root, 0).expect("backward ref adjusted by major GC");
+    assert_eq!(h.read_prim(p3, 0), 123);
+}
+
+#[test]
+fn cross_region_dependencies_prevent_premature_reclaim() {
+    let mut h = th_heap();
+    let node = h.register_class("Node", 1, 1);
+    // Two independent groups with different labels move to H2 first; the
+    // cross-region reference is created afterwards by a mutator update.
+    let a = h.alloc(node).unwrap();
+    let b = h.alloc(node).unwrap();
+    h.write_prim(b, 0, 55);
+    h.h2_tag_root(a, Label::new(1));
+    h.h2_tag_root(b, Label::new(2));
+    h.h2_move(Label::new(1));
+    h.h2_move(Label::new(2));
+    h.gc_major().unwrap();
+    assert!(h.is_in_h2(a) && h.is_in_h2(b));
+    // Mutator update creates an H2→H2 cross-region reference (dirty card).
+    h.write_ref(a, 0, b);
+    h.gc_major().unwrap();
+    // a and b carry different labels so they are in different regions.
+    let (aa, ab) = (h.handle_addr(a), h.handle_addr(b));
+    let h2 = h.h2().unwrap();
+    let (ra, rb) = (h2.regions().region_of(aa), h2.regions().region_of(ab));
+    assert_ne!(ra, rb);
+    // b is only reachable through a (H2→H2 cross-region reference).
+    h.release(b);
+    h.gc_major().unwrap();
+    assert_eq!(h.h2().unwrap().regions().reclaimed_total(), 0, "dep list keeps b's region");
+    let b2 = h.read_ref(a, 0).unwrap();
+    assert_eq!(h.read_prim(b2, 0), 55);
+}
+
+#[test]
+fn pressure_moves_marked_objects_without_hint() {
+    // High threshold forces movement when H1 fills past 85%.
+    let mut h = Heap::new(HeapConfig::with_words(512, 2048));
+    h.enable_teraheap(
+        H2Config {
+            region_words: 2048,
+            n_regions: 8,
+            card_seg_words: 256,
+            resident_budget_bytes: 64 << 10,
+            page_size: 4096,
+            promo_buffer_bytes: 8 << 10,
+        },
+        DeviceSpec::nvme_ssd(),
+    );
+    let big = h.register_class("Big", 0, 200);
+    let mut held = Vec::new();
+    for i in 0..9 {
+        let x = h.alloc(big).unwrap();
+        h.h2_tag_root(x, Label::new(i + 1));
+        held.push(x);
+    }
+    // Fill old gen beyond 85% so the policy arms, then allocate more to
+    // trigger major GCs that move the tagged objects.
+    for _ in 0..4 {
+        let _ = h.gc_major();
+    }
+    for _ in 0..6 {
+        let x = h.alloc(big).unwrap();
+        h.h2_tag_root(x, Label::new(100));
+        held.push(x);
+    }
+    let _ = h.gc_major();
+    assert!(
+        h.stats().objects_promoted_h2 > 0,
+        "high-threshold pressure moved tagged objects without h2_move"
+    );
+}
+
+#[test]
+fn g1_humongous_allocation_wastes_space() {
+    let mut cfg = HeapConfig::with_words(2048, 16384);
+    cfg.variant = GcVariant::G1 { region_words: 2048 };
+    let mut h = Heap::new(cfg);
+    // 1200 words >= region/2 (1024): humongous, rounds to a whole region.
+    let hum = h.alloc_prim_array(1200).unwrap();
+    let _ = hum;
+    assert!(h.stats().g1_humongous_waste_words > 0);
+    assert_eq!(h.old_used_words(), 2048, "footprint rounded to one region");
+}
+
+#[test]
+fn g1_ooms_where_ps_survives() {
+    // Many humongous objects: G1's rounding overflows the old gen, PS fits.
+    let run = |variant: GcVariant| -> bool {
+        let mut cfg = HeapConfig::with_words(2048, 16384);
+        cfg.variant = variant;
+        let mut h = Heap::new(cfg);
+        let mut held = Vec::new();
+        for _ in 0..10 {
+            match h.alloc_prim_array(1100) {
+                Ok(x) => held.push(x),
+                Err(_) => return false,
+            }
+        }
+        true
+    };
+    assert!(run(GcVariant::ParallelScavenge), "PS fits 10 x 1103 words");
+    assert!(
+        !run(GcVariant::G1 { region_words: 2048 }),
+        "G1 rounding to 10 regions overflows 8-region old gen"
+    );
+}
+
+#[test]
+fn memory_mode_slows_gc() {
+    let base = HeapConfig::with_words(2048, 8192);
+    let run = |cfg: HeapConfig| -> u64 {
+        let mut h = Heap::new(cfg);
+        let c = h.register_class("N", 1, 4);
+        let mut prev = h.alloc(c).unwrap();
+        for _ in 0..200 {
+            let n = h.alloc(c).unwrap();
+            h.write_ref(n, 0, prev);
+            h.release(prev);
+            prev = n;
+        }
+        h.gc_major().unwrap();
+        h.clock().category_ns(Category::MajorGc)
+    };
+    let normal = run(base);
+    let mut mo = base;
+    mo.memory_mode = Some(teraheap_runtime::MemoryMode {
+        nvm: DeviceSpec::optane_nvm(),
+        miss_percent: 40,
+    });
+    let slowed = run(mo);
+    assert!(slowed > normal, "NVM memory mode must slow major GC: {slowed} !> {normal}");
+}
+
+#[test]
+fn barrier_overhead_zero_when_teraheap_disabled() {
+    // §4: "The additional overhead is zero for applications that do not set
+    // EnableTeraHeap."
+    let run = |enable: bool| -> u64 {
+        let mut h = small_heap();
+        if enable {
+            h.enable_teraheap(
+                H2Config {
+                    region_words: 1024,
+                    n_regions: 4,
+                    card_seg_words: 128,
+                    resident_budget_bytes: 4096,
+                    page_size: 4096,
+                    promo_buffer_bytes: 4096,
+                },
+                DeviceSpec::nvme_ssd(),
+            );
+        }
+        let c = h.register_class("N", 1, 0);
+        let a = h.alloc(c).unwrap();
+        let b = h.alloc(c).unwrap();
+        let t0 = h.clock().category_ns(Category::Mutator);
+        for _ in 0..1000 {
+            h.write_ref(a, 0, b);
+        }
+        h.clock().category_ns(Category::Mutator) - t0
+    };
+    let disabled = run(false);
+    let enabled = run(true);
+    assert!(enabled > disabled, "range check costs something when enabled");
+    // On the barrier-only microloop the check is a visible fraction; the
+    // paper's ≤3% DaCapo number is over *total* execution time, which the
+    // Criterion `barrier` bench reproduces with realistic mutator work.
+    let overhead = (enabled - disabled) as f64 / disabled as f64;
+    assert!(overhead <= 0.30, "range-check overhead bounded, got {overhead}");
+}

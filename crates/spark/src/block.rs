@@ -1,0 +1,264 @@
+//! The block manager: Spark's compute cache (Figure 4).
+//!
+//! `persist()`ed partitions flow through [`BlockManager::put`]; iterative
+//! stages fetch them back with [`BlockManager::get`]. The three cache modes
+//! implement the paper's baseline and TeraHeap configurations.
+
+use std::collections::HashMap;
+use teraheap_core::Label;
+use teraheap_runtime::{Handle, Heap, OomError};
+use teraheap_storage::{Category, SimDevice};
+
+/// Identifies a cached partition: `(rdd id, partition index)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId {
+    /// RDD (or DataFrame/Dataset) id — also the TeraHeap label.
+    pub rdd: u64,
+    /// Partition index within the RDD.
+    pub partition: u32,
+}
+
+/// How cached partitions are stored.
+#[derive(Debug)]
+pub enum CacheMode {
+    /// Spark-SD: deserialized on-heap cache bounded to a fraction of the
+    /// heap; overflow is serialized onto the device and deserialized back
+    /// on access.
+    SerializedOverflow {
+        /// Device holding the serialized off-heap cache.
+        device: SimDevice,
+        /// On-heap cache budget in words (paper: 50% of the heap).
+        onheap_budget_words: usize,
+    },
+    /// Spark-MO / plain on-heap: everything stays deserialized on the heap.
+    OnHeapOnly,
+    /// TeraHeap: partitions are tagged + moved to H2 and accessed directly.
+    TeraHeap,
+}
+
+#[derive(Debug)]
+enum Slot {
+    OnHeap(Handle),
+    OffHeap { offset: usize, len: usize },
+}
+
+/// The compute cache holding persisted partitions.
+#[derive(Debug)]
+pub struct BlockManager {
+    mode: CacheMode,
+    slots: HashMap<BlockId, Slot>,
+    onheap_used_words: usize,
+    device_cursor: usize,
+    sd_serializations: u64,
+    sd_deserializations: u64,
+}
+
+impl BlockManager {
+    /// Creates a block manager in the given mode.
+    pub fn new(mode: CacheMode) -> Self {
+        BlockManager {
+            mode,
+            slots: HashMap::new(),
+            onheap_used_words: 0,
+            device_cursor: 0,
+            sd_serializations: 0,
+            sd_deserializations: 0,
+        }
+    }
+
+    /// Times the off-heap path serialized a partition.
+    pub fn serializations(&self) -> u64 {
+        self.sd_serializations
+    }
+
+    /// Times the off-heap path deserialized a partition.
+    pub fn deserializations(&self) -> u64 {
+        self.sd_deserializations
+    }
+
+    /// Number of cached blocks.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Caches `partition` under `id`, taking ownership of the handle.
+    ///
+    /// TeraHeap mode tags the partition as a root key-object with the RDD id
+    /// as label and advises the move (§5: the block manager issues
+    /// `h2_tag_root` and `h2_move` as it stores each partition).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OomError`] if serialization pressure exhausts the heap.
+    pub fn put(&mut self, heap: &mut Heap, id: BlockId, partition: Handle) -> Result<(), OomError> {
+        match &mut self.mode {
+            CacheMode::TeraHeap => {
+                heap.h2_tag_root(partition, Label::new(id.rdd));
+                heap.h2_move(Label::new(id.rdd));
+                self.slots.insert(id, Slot::OnHeap(partition));
+            }
+            CacheMode::OnHeapOnly => {
+                self.slots.insert(id, Slot::OnHeap(partition));
+            }
+            CacheMode::SerializedOverflow { device, onheap_budget_words } => {
+                let words = kryo_sim::serialized_size(heap, partition) / 8;
+                if self.onheap_used_words + words <= *onheap_budget_words {
+                    self.onheap_used_words += words;
+                    self.slots.insert(id, Slot::OnHeap(partition));
+                } else {
+                    let bytes = kryo_sim::serialize(heap, partition)?;
+                    let offset = self.device_cursor;
+                    self.device_cursor += bytes.len();
+                    device
+                        .write(offset, &bytes, Category::Io)
+                        .expect("off-heap cache device full");
+                    heap.release(partition);
+                    self.slots.insert(id, Slot::OffHeap { offset, len: bytes.len() });
+                    self.sd_serializations += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Fetches block `id`, returning a caller-owned handle.
+    ///
+    /// On-heap (and H2-resident) blocks return a duplicate handle; off-heap
+    /// blocks are read from the device and deserialized onto the heap —
+    /// every access pays I/O + S/D + allocation pressure, like Spark
+    /// iterating a serialized cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OomError`] if deserialization exhausts the heap.
+    pub fn get(&mut self, heap: &mut Heap, id: BlockId) -> Result<Option<Handle>, OomError> {
+        match self.slots.get(&id) {
+            None => Ok(None),
+            Some(Slot::OnHeap(h)) => Ok(Some(heap.dup(*h))),
+            Some(&Slot::OffHeap { offset, len }) => {
+                let device = match &self.mode {
+                    CacheMode::SerializedOverflow { device, .. } => device,
+                    _ => unreachable!("off-heap slot without a device"),
+                };
+                let mut bytes = vec![0u8; len];
+                device
+                    .read(offset, &mut bytes, Category::Io)
+                    .expect("off-heap cache read failed");
+                self.sd_deserializations += 1;
+                let h = kryo_sim::deserialize(heap, &bytes)?;
+                Ok(Some(h))
+            }
+        }
+    }
+
+    /// Whether the block is served from the on-heap (or H2) cache.
+    pub fn is_on_heap(&self, id: BlockId) -> bool {
+        matches!(self.slots.get(&id), Some(Slot::OnHeap(_)))
+    }
+
+    /// Removes an entire RDD from the cache, releasing on-heap handles
+    /// (H2 regions become reclaimable at the next major GC).
+    pub fn unpersist(&mut self, heap: &mut Heap, rdd: u64) {
+        let ids: Vec<BlockId> = self.slots.keys().copied().filter(|b| b.rdd == rdd).collect();
+        for id in ids {
+            if let Some(Slot::OnHeap(h)) = self.slots.remove(&id) {
+                heap.release(h);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use teraheap_core::H2Config;
+    use teraheap_runtime::HeapConfig;
+    use teraheap_storage::DeviceSpec;
+
+    fn mk_partition(heap: &mut Heap, words: usize, fill: u64) -> Handle {
+        let p = heap.alloc_prim_array(words).unwrap();
+        for i in 0..words {
+            heap.write_prim(p, i, fill + i as u64);
+        }
+        p
+    }
+
+    #[test]
+    fn onheap_mode_round_trips() {
+        let mut heap = Heap::new(HeapConfig::small());
+        let mut bm = BlockManager::new(CacheMode::OnHeapOnly);
+        let p = mk_partition(&mut heap, 16, 100);
+        let id = BlockId { rdd: 1, partition: 0 };
+        bm.put(&mut heap, id, p).unwrap();
+        let q = bm.get(&mut heap, id).unwrap().unwrap();
+        assert_eq!(heap.read_prim(q, 3), 103);
+        assert!(bm.get(&mut heap, BlockId { rdd: 1, partition: 9 }).unwrap().is_none());
+    }
+
+    #[test]
+    fn overflow_mode_serializes_past_budget() {
+        let mut heap = Heap::new(HeapConfig::small());
+        let device = SimDevice::new(DeviceSpec::nvme_ssd(), 1 << 20, heap.clock().clone());
+        let mut bm = BlockManager::new(CacheMode::SerializedOverflow {
+            device,
+            onheap_budget_words: 40,
+        });
+        let a = mk_partition(&mut heap, 32, 0);
+        let b = mk_partition(&mut heap, 32, 1000);
+        bm.put(&mut heap, BlockId { rdd: 1, partition: 0 }, a).unwrap();
+        bm.put(&mut heap, BlockId { rdd: 1, partition: 1 }, b).unwrap();
+        assert!(bm.is_on_heap(BlockId { rdd: 1, partition: 0 }));
+        assert!(!bm.is_on_heap(BlockId { rdd: 1, partition: 1 }), "second overflows");
+        assert_eq!(bm.serializations(), 1);
+        // Off-heap access deserializes fresh objects with the right data.
+        let q = bm.get(&mut heap, BlockId { rdd: 1, partition: 1 }).unwrap().unwrap();
+        assert_eq!(heap.read_prim(q, 5), 1005);
+        assert_eq!(bm.deserializations(), 1);
+        // Every further access pays again.
+        let _ = bm.get(&mut heap, BlockId { rdd: 1, partition: 1 }).unwrap().unwrap();
+        assert_eq!(bm.deserializations(), 2);
+    }
+
+    #[test]
+    fn teraheap_mode_moves_partitions_to_h2() {
+        let clock = Arc::new(teraheap_storage::SimClock::new());
+        let mut heap = Heap::with_clock(HeapConfig::small(), clock);
+        heap.enable_teraheap(
+            H2Config {
+                region_words: 4096,
+                n_regions: 8,
+                card_seg_words: 512,
+                resident_budget_bytes: 64 << 10,
+                page_size: 4096,
+                promo_buffer_bytes: 8 << 10,
+            },
+            DeviceSpec::nvme_ssd(),
+        );
+        let mut bm = BlockManager::new(CacheMode::TeraHeap);
+        let p = mk_partition(&mut heap, 64, 7);
+        let id = BlockId { rdd: 3, partition: 0 };
+        bm.put(&mut heap, id, p).unwrap();
+        heap.gc_major().unwrap();
+        let q = bm.get(&mut heap, id).unwrap().unwrap();
+        assert!(heap.is_in_h2(q), "partition lives in H2 after major GC");
+        assert_eq!(heap.read_prim(q, 10), 17, "direct access, no S/D");
+    }
+
+    #[test]
+    fn unpersist_releases_blocks() {
+        let mut heap = Heap::new(HeapConfig::small());
+        let mut bm = BlockManager::new(CacheMode::OnHeapOnly);
+        let p = mk_partition(&mut heap, 8, 0);
+        bm.put(&mut heap, BlockId { rdd: 7, partition: 0 }, p).unwrap();
+        let roots_before = heap.live_roots();
+        bm.unpersist(&mut heap, 7);
+        assert_eq!(heap.live_roots(), roots_before - 1);
+        assert!(bm.get(&mut heap, BlockId { rdd: 7, partition: 0 }).unwrap().is_none());
+    }
+}

@@ -1,0 +1,828 @@
+//! The ten SparkBench-style workloads of Table 3.
+//!
+//! Each workload computes over the managed heap exactly the way the paper's
+//! applications do: datasets are loaded into cached RDD partitions
+//! (`persist()`), iterative stages re-read the cached partitions — paying
+//! deserialization for off-heap blocks, page faults for H2-resident blocks,
+//! plain loads for on-heap blocks — allocate per-iteration intermediate
+//! results (GC pressure) and shuffle aggregates between stages (S/D).
+//!
+//! Every workload returns a checksum that is *identical across cache modes*,
+//! which the integration tests use to prove that TeraHeap only changes
+//! performance, never answers.
+
+use crate::block::BlockId;
+use crate::context::{SparkConfig, SparkContext};
+use crate::report::RunReport;
+use teraheap_runtime::{Handle, OomError};
+use teraheap_workloads::{powerlaw_graph, relational_dataset, vector_dataset, GraphDataset};
+
+/// The evaluated Spark workloads (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// PageRank (GraphX).
+    Pr,
+    /// Connected Components (GraphX).
+    Cc,
+    /// Single-Source Shortest Path (GraphX).
+    Sssp,
+    /// SVD++-style latent-factor model (GraphX).
+    Svd,
+    /// Triangle Counting (GraphX).
+    Tr,
+    /// Linear Regression (MLlib).
+    Lr,
+    /// Logistic Regression (MLlib).
+    Lgr,
+    /// Support Vector Machine (MLlib).
+    Svm,
+    /// Naive Bayes Classifier (MLlib).
+    Bc,
+    /// SQL-style relational job over RDDs (RDD-RL).
+    Rl,
+    /// K-Means clustering (MLlib; appears in the Panthera comparison,
+    /// Figure 12c).
+    Km,
+}
+
+impl Workload {
+    /// All ten workloads, in the paper's order.
+    pub const ALL: [Workload; 10] = [
+        Workload::Pr,
+        Workload::Cc,
+        Workload::Sssp,
+        Workload::Svd,
+        Workload::Tr,
+        Workload::Lr,
+        Workload::Lgr,
+        Workload::Svm,
+        Workload::Bc,
+        Workload::Rl,
+    ];
+
+    /// The paper's abbreviation.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::Pr => "PR",
+            Workload::Cc => "CC",
+            Workload::Sssp => "SSSP",
+            Workload::Svd => "SVD",
+            Workload::Tr => "TR",
+            Workload::Lr => "LR",
+            Workload::Lgr => "LgR",
+            Workload::Svm => "SVM",
+            Workload::Bc => "BC",
+            Workload::Rl => "RL",
+            Workload::Km => "KM",
+        }
+    }
+
+    /// Whether this is a GraphX-style workload.
+    pub fn is_graph(&self) -> bool {
+        matches!(
+            self,
+            Workload::Pr | Workload::Cc | Workload::Sssp | Workload::Svd | Workload::Tr
+        )
+    }
+}
+
+/// Dataset sizing knobs (the scaled-down stand-ins for Table 3's datasets).
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetScale {
+    /// Graph vertices.
+    pub vertices: usize,
+    /// Average out-degree.
+    pub avg_degree: usize,
+    /// ML rows.
+    pub rows: usize,
+    /// ML feature dimensionality.
+    pub dims: usize,
+    /// Relational rows.
+    pub rel_rows: usize,
+    /// Relational distinct keys.
+    pub rel_keys: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl DatasetScale {
+    /// Tiny datasets for unit/integration tests.
+    pub fn tiny() -> Self {
+        DatasetScale {
+            vertices: 300,
+            avg_degree: 4,
+            rows: 240,
+            dims: 8,
+            rel_rows: 2_000,
+            rel_keys: 32,
+            seed: 42,
+        }
+    }
+
+    /// Bench-scale datasets (the per-figure harnesses scale further from
+    /// here to match Table 3 heap:dataset ratios).
+    pub fn standard() -> Self {
+        DatasetScale {
+            vertices: 6_000,
+            avg_degree: 8,
+            rows: 4_000,
+            dims: 32,
+            rel_rows: 40_000,
+            rel_keys: 256,
+            seed: 42,
+        }
+    }
+}
+
+/// Runs one workload under one configuration, turning OOM into the report's
+/// OOM flag (the paper's missing bars).
+pub fn run_workload(workload: Workload, config: SparkConfig, scale: DatasetScale) -> RunReport {
+    let mut ctx = SparkContext::new(config);
+    let mode_name = mode_label(&config);
+    match exec(workload, &mut ctx, scale) {
+        Err(e) => {
+            let mut r = RunReport::oom(workload.name(), mode_name);
+            r.oom_context = Some(e.to_string());
+            r
+        }
+        Ok(checksum) => {
+            let b = ctx.heap.clock().breakdown();
+            let s = ctx.heap.stats();
+            RunReport {
+                workload: workload.name(),
+                mode: mode_name,
+                oom: false,
+                oom_context: None,
+                breakdown: b,
+                minor_gcs: s.minor_count,
+                major_gcs: s.major_count,
+                h2_objects: s.objects_promoted_h2,
+                checksum,
+            }
+        }
+    }
+}
+
+/// Runs a workload and returns the heap's GC event log (Figure 7's
+/// timeline). OOM runs return the events up to the failure.
+pub fn run_workload_events(
+    workload: Workload,
+    config: SparkConfig,
+    scale: DatasetScale,
+) -> Vec<teraheap_runtime::GcEvent> {
+    let mut ctx = SparkContext::new(config);
+    let _ = exec(workload, &mut ctx, scale);
+    ctx.heap.stats().events.clone()
+}
+
+fn mode_label(config: &SparkConfig) -> String {
+    use teraheap_runtime::GcVariant;
+    let collector = match config.heap.variant {
+        GcVariant::ParallelScavenge => "",
+        GcVariant::G1 { .. } => "+G1",
+        GcVariant::Panthera { .. } => "+Panthera",
+    };
+    let mm = if config.heap.memory_mode.is_some() { "+MemMode" } else { "" };
+    format!("{}{}{}", config.mode.name(), collector, mm)
+}
+
+fn exec(workload: Workload, ctx: &mut SparkContext, scale: DatasetScale) -> Result<f64, OomError> {
+    match workload {
+        Workload::Pr => pagerank(ctx, scale),
+        Workload::Cc => connected_components(ctx, scale),
+        Workload::Sssp => shortest_paths(ctx, scale),
+        Workload::Svd => svd_factors(ctx, scale),
+        Workload::Tr => triangle_count(ctx, scale),
+        Workload::Lr => ml_train(ctx, scale, LossKind::Squared),
+        Workload::Lgr => ml_train(ctx, scale, LossKind::Logistic),
+        Workload::Svm => ml_train(ctx, scale, LossKind::Hinge),
+        Workload::Bc => naive_bayes(ctx, scale),
+        Workload::Rl => relational(ctx, scale),
+        Workload::Km => kmeans(ctx, scale),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Graph workloads
+// ---------------------------------------------------------------------------
+
+/// Builds and persists the adjacency RDD: one partition per `partitions`,
+/// each a ref array of Vertex objects holding a primitive edge-target array.
+fn build_graph(ctx: &mut SparkContext, g: &GraphDataset) -> Result<(u64, Vec<BlockId>), OomError> {
+    let mut adjacency: Vec<Vec<u32>> = vec![Vec::new(); g.vertices];
+    for &(s, t) in &g.edges {
+        adjacency[s as usize].push(t);
+    }
+    let parts = ctx.config.partitions;
+    let rdd = ctx.new_rdd();
+    let mut blocks = Vec::new();
+    for p in 0..parts {
+        let ids: Vec<usize> = (p..g.vertices).step_by(parts).collect();
+        let part = ctx.heap.alloc(ctx.partition_class)?;
+        let arr = ctx.heap.alloc_ref_array(ids.len())?;
+        for (i, &vid) in ids.iter().enumerate() {
+            let edges = ctx.heap.alloc_prim_array(adjacency[vid].len().max(1))?;
+            for (e, &t) in adjacency[vid].iter().enumerate() {
+                ctx.heap.write_prim(edges, e, t as u64);
+            }
+            let v = ctx.heap.alloc(ctx.vertex_class)?;
+            ctx.heap.write_prim(v, 0, vid as u64);
+            ctx.heap.write_prim(v, 1, adjacency[vid].len() as u64);
+            ctx.heap.write_ref(v, 0, edges);
+            ctx.heap.release(edges);
+            ctx.heap.write_ref(arr, i, v);
+            ctx.heap.release(v);
+        }
+        ctx.heap.write_ref(part, 0, arr);
+        ctx.heap.release(arr);
+        ctx.heap.write_prim(part, 0, p as u64);
+        let id = BlockId { rdd, partition: p as u32 };
+        ctx.bm.put(&mut ctx.heap, id, part)?;
+        blocks.push(id);
+    }
+    // The cached RDD is established; TeraHeap moves it at the next major GC.
+    Ok((rdd, blocks))
+}
+
+/// Visits every vertex of the cached adjacency RDD, handing the callback the
+/// vertex and its edge array. This is the paper's "iterative stage re-reads
+/// the compute cache" path.
+fn for_each_vertex<F>(ctx: &mut SparkContext, blocks: &[BlockId], mut f: F) -> Result<(), OomError>
+where
+    F: FnMut(&mut SparkContext, Handle, Handle) -> Result<(), OomError>,
+{
+    for &b in blocks {
+        let part = ctx.bm.get(&mut ctx.heap, b)?.expect("cached block vanished");
+        let arr = ctx.heap.read_ref(part, 0).expect("partition data");
+        let n = ctx.heap.array_len(arr);
+        for i in 0..n {
+            let v = ctx.heap.read_ref(arr, i).expect("vertex");
+            let edges = ctx.heap.read_ref(v, 0).expect("edge array");
+            f(ctx, v, edges)?;
+            ctx.heap.release(edges);
+            ctx.heap.release(v);
+        }
+        ctx.heap.release(arr);
+        ctx.heap.release(part);
+    }
+    Ok(())
+}
+
+/// Allocates the per-iteration intermediate "new ranks" arrays — the fresh
+/// RDD each Spark iteration produces — returning handles the caller holds
+/// for one iteration before releasing (GC churn, as in the paper).
+fn alloc_iteration_arrays(
+    ctx: &mut SparkContext,
+    per_part: usize,
+) -> Result<Vec<Handle>, OomError> {
+    let mut arrays = Vec::new();
+    for _ in 0..ctx.config.partitions {
+        arrays.push(ctx.heap.alloc_prim_array(per_part.max(1))?);
+    }
+    Ok(arrays)
+}
+
+fn release_all(ctx: &mut SparkContext, handles: Vec<Handle>) {
+    for h in handles {
+        ctx.heap.release(h);
+    }
+}
+
+fn pagerank(ctx: &mut SparkContext, scale: DatasetScale) -> Result<f64, OomError> {
+    let g = powerlaw_graph(scale.vertices, scale.avg_degree, scale.seed);
+    let (_rdd, blocks) = build_graph(ctx, &g)?;
+    let n = g.vertices;
+    let mut ranks = vec![1.0f64; n];
+    let mut prev_arrays: Vec<Handle> = Vec::new();
+    for _ in 0..ctx.config.iterations {
+        let mut contrib = vec![0.0f64; n];
+        for_each_vertex(ctx, &blocks, |ctx, v, edges| {
+            let id = ctx.heap.read_prim(v, 0) as usize;
+            let deg = ctx.heap.array_len(edges);
+            let real_deg = ctx.heap.read_prim(v, 1) as usize;
+            let share = if real_deg > 0 { 0.85 * ranks[id] / real_deg as f64 } else { 0.0 };
+            for e in 0..deg.min(real_deg) {
+                let t = ctx.heap.read_prim(edges, e) as usize;
+                contrib[t] += share;
+            }
+            ctx.heap.charge_mutator_ops(real_deg as u64 + 1);
+            Ok(())
+        })?;
+        for (i, c) in contrib.iter().enumerate() {
+            ranks[i] = 0.15 + c;
+        }
+        // Fresh intermediate RDD; the previous iteration's is dropped first
+        // (Spark's lineage keeps at most the current ranks RDD live).
+        release_all(ctx, std::mem::take(&mut prev_arrays));
+        let arrays = alloc_iteration_arrays(ctx, n / ctx.config.partitions + 1)?;
+        for (p, &a) in arrays.iter().enumerate() {
+            for (slot, i) in (p..n).step_by(ctx.config.partitions).enumerate() {
+                ctx.heap.write_prim(a, slot, ranks[i].to_bits());
+            }
+        }
+        prev_arrays = arrays;
+        ctx.charge_shuffle(g.edges.len() as u64)?;
+    }
+    release_all(ctx, prev_arrays);
+    Ok(ranks.iter().sum())
+}
+
+fn connected_components(ctx: &mut SparkContext, scale: DatasetScale) -> Result<f64, OomError> {
+    let g = powerlaw_graph(scale.vertices, scale.avg_degree, scale.seed);
+    let (_rdd, blocks) = build_graph(ctx, &g)?;
+    let n = g.vertices;
+    let mut labels: Vec<u64> = (0..n as u64).collect();
+    let mut prev_arrays: Vec<Handle> = Vec::new();
+    for _ in 0..ctx.config.iterations * 2 {
+        let mut next = labels.clone();
+        let mut changed = false;
+        for_each_vertex(ctx, &blocks, |ctx, v, edges| {
+            let id = ctx.heap.read_prim(v, 0) as usize;
+            let deg = ctx.heap.read_prim(v, 1) as usize;
+            for e in 0..deg.min(ctx.heap.array_len(edges)) {
+                let t = ctx.heap.read_prim(edges, e) as usize;
+                // Propagate minimum label both ways (undirected CC).
+                if labels[id] < next[t] {
+                    next[t] = labels[id];
+                    changed = true;
+                }
+                if labels[t] < next[id] {
+                    next[id] = labels[t];
+                    changed = true;
+                }
+            }
+            ctx.heap.charge_mutator_ops(deg as u64 + 1);
+            Ok(())
+        })?;
+        labels = next;
+        release_all(ctx, std::mem::take(&mut prev_arrays));
+        prev_arrays = alloc_iteration_arrays(ctx, n / ctx.config.partitions + 1)?;
+        ctx.charge_shuffle(g.edges.len() as u64 / 2)?;
+        if !changed {
+            break;
+        }
+    }
+    release_all(ctx, prev_arrays);
+    Ok(labels.iter().map(|&l| l as f64).sum())
+}
+
+fn shortest_paths(ctx: &mut SparkContext, scale: DatasetScale) -> Result<f64, OomError> {
+    let g = powerlaw_graph(scale.vertices, scale.avg_degree, scale.seed);
+    let (_rdd, blocks) = build_graph(ctx, &g)?;
+    let n = g.vertices;
+    let inf = n as u64 + 1;
+    let mut dist = vec![inf; n];
+    dist[0] = 0;
+    let mut prev_arrays: Vec<Handle> = Vec::new();
+    for _ in 0..ctx.config.iterations * 2 {
+        let mut changed = false;
+        for_each_vertex(ctx, &blocks, |ctx, v, edges| {
+            let id = ctx.heap.read_prim(v, 0) as usize;
+            let deg = ctx.heap.read_prim(v, 1) as usize;
+            if dist[id] < inf {
+                for e in 0..deg.min(ctx.heap.array_len(edges)) {
+                    let t = ctx.heap.read_prim(edges, e) as usize;
+                    if dist[id] + 1 < dist[t] {
+                        dist[t] = dist[id] + 1;
+                        changed = true;
+                    }
+                }
+            }
+            ctx.heap.charge_mutator_ops(deg as u64 + 1);
+            Ok(())
+        })?;
+        release_all(ctx, std::mem::take(&mut prev_arrays));
+        prev_arrays = alloc_iteration_arrays(ctx, n / ctx.config.partitions + 1)?;
+        ctx.charge_shuffle((n / 4) as u64)?;
+        if !changed {
+            break;
+        }
+    }
+    release_all(ctx, prev_arrays);
+    Ok(dist.iter().map(|&d| d.min(inf) as f64).sum())
+}
+
+fn svd_factors(ctx: &mut SparkContext, scale: DatasetScale) -> Result<f64, OomError> {
+    const K: usize = 2;
+    let g = powerlaw_graph(scale.vertices, scale.avg_degree, scale.seed);
+    let (_rdd, blocks) = build_graph(ctx, &g)?;
+    let n = g.vertices;
+    // Deterministic pseudo-random init from vertex ids.
+    let mut user: Vec<f64> = (0..n * K).map(|i| ((i * 2654435761) % 1000) as f64 / 1000.0).collect();
+    let mut item: Vec<f64> = (0..n * K).map(|i| ((i * 40503) % 1000) as f64 / 1000.0).collect();
+    let lr = 0.01;
+    let mut prev_arrays: Vec<Handle> = Vec::new();
+    for _ in 0..ctx.config.iterations {
+        for_each_vertex(ctx, &blocks, |ctx, v, edges| {
+            let s = ctx.heap.read_prim(v, 0) as usize;
+            let deg = ctx.heap.read_prim(v, 1) as usize;
+            for e in 0..deg.min(ctx.heap.array_len(edges)) {
+                let t = ctx.heap.read_prim(edges, e) as usize;
+                let mut dot = 0.0;
+                for k in 0..K {
+                    dot += user[s * K + k] * item[t * K + k];
+                }
+                let err = 1.0 - dot;
+                for k in 0..K {
+                    let u = user[s * K + k];
+                    user[s * K + k] += lr * err * item[t * K + k];
+                    item[t * K + k] += lr * err * u;
+                }
+            }
+            ctx.heap.charge_mutator_ops((deg * K * 4) as u64 + 1);
+            Ok(())
+        })?;
+        release_all(ctx, std::mem::take(&mut prev_arrays));
+        prev_arrays = alloc_iteration_arrays(ctx, n * K / ctx.config.partitions + 1)?;
+        ctx.charge_shuffle((n * K) as u64)?;
+    }
+    release_all(ctx, prev_arrays);
+    Ok(user.iter().chain(item.iter()).sum())
+}
+
+fn triangle_count(ctx: &mut SparkContext, scale: DatasetScale) -> Result<f64, OomError> {
+    const NEIGHBOR_CAP: usize = 64;
+    let g = powerlaw_graph(scale.vertices, scale.avg_degree, scale.seed);
+    let (_rdd, blocks) = build_graph(ctx, &g)?;
+    // Pass 1: collect (capped) adjacency sets from the cached RDD.
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); g.vertices];
+    for_each_vertex(ctx, &blocks, |ctx, v, edges| {
+        let id = ctx.heap.read_prim(v, 0) as usize;
+        let deg = (ctx.heap.read_prim(v, 1) as usize).min(ctx.heap.array_len(edges));
+        for e in 0..deg.min(NEIGHBOR_CAP) {
+            adj[id].push(ctx.heap.read_prim(edges, e) as u32);
+        }
+        adj[id].sort_unstable();
+        adj[id].dedup();
+        ctx.heap.charge_mutator_ops(deg as u64 + 1);
+        Ok(())
+    })?;
+    // Pass 2: re-read edges, counting closed wedges via sorted intersection.
+    let mut triangles = 0u64;
+    for_each_vertex(ctx, &blocks, |ctx, v, edges| {
+        let id = ctx.heap.read_prim(v, 0) as usize;
+        let deg = (ctx.heap.read_prim(v, 1) as usize).min(ctx.heap.array_len(edges));
+        for e in 0..deg.min(NEIGHBOR_CAP) {
+            let t = ctx.heap.read_prim(edges, e) as usize;
+            // |adj[id] ∩ adj[t]| closed wedges through this edge.
+            let (mut i, mut j) = (0, 0);
+            let (a, b) = (&adj[id], &adj[t]);
+            while i < a.len() && j < b.len() {
+                match a[i].cmp(&b[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        triangles += 1;
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            ctx.heap.charge_mutator_ops((a.len() + b.len()) as u64);
+        }
+        Ok(())
+    })?;
+    ctx.charge_shuffle(g.edges.len() as u64)?;
+    Ok(triangles as f64)
+}
+
+// ---------------------------------------------------------------------------
+// ML workloads
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+enum LossKind {
+    Squared,
+    Logistic,
+    Hinge,
+}
+
+/// Builds and persists the feature RDD: per partition, one big primitive
+/// feature matrix plus a label array — the humongous-array shape that makes
+/// G1 fragment on SVM/BC/RL in Figure 8.
+fn build_ml(ctx: &mut SparkContext, rows: usize, dims: usize, seed: u64) -> Result<(Vec<BlockId>, teraheap_workloads::VectorDataset), OomError> {
+    let data = vector_dataset(rows, dims, seed);
+    let parts = ctx.config.partitions;
+    let rdd = ctx.new_rdd();
+    let mut blocks = Vec::new();
+    for p in 0..parts {
+        let row_ids: Vec<usize> = (p..rows).step_by(parts).collect();
+        let part = ctx.heap.alloc(ctx.partition_class)?;
+        let features = ctx.heap.alloc_prim_array(row_ids.len() * dims)?;
+        let labels = ctx.heap.alloc_prim_array(row_ids.len().max(1))?;
+        for (i, &r) in row_ids.iter().enumerate() {
+            for d in 0..dims {
+                ctx.heap.write_prim(features, i * dims + d, data.row(r)[d].to_bits());
+            }
+            ctx.heap.write_prim(labels, i, data.labels[r].to_bits());
+        }
+        ctx.heap.write_ref(part, 0, features);
+        ctx.heap.release(features);
+        ctx.heap.write_ref(part, 1, labels);
+        ctx.heap.release(labels);
+        ctx.heap.write_prim(part, 0, p as u64);
+        let id = BlockId { rdd, partition: p as u32 };
+        ctx.bm.put(&mut ctx.heap, id, part)?;
+        blocks.push(id);
+    }
+    Ok((blocks, data))
+}
+
+fn ml_train(ctx: &mut SparkContext, scale: DatasetScale, loss: LossKind) -> Result<f64, OomError> {
+    let dims = scale.dims;
+    let (blocks, _data) = build_ml(ctx, scale.rows, dims, scale.seed)?;
+    let mut w = vec![0.0f64; dims];
+    let step = 0.05;
+    for _ in 0..ctx.config.iterations {
+        let mut grad = vec![0.0f64; dims];
+        let mut seen_rows = 0u64;
+        for &b in &blocks {
+            let part = ctx.bm.get(&mut ctx.heap, b)?.expect("cached block");
+            let features = ctx.heap.read_ref(part, 0).expect("features");
+            let labels = ctx.heap.read_ref(part, 1).expect("labels");
+            let rows_p = ctx.heap.array_len(labels);
+            // Streaming scan over the cached matrix: for TeraHeap this is
+            // the sequential H2 access pattern that saturates device read
+            // bandwidth in LR/LgR/SVM (§7.1).
+            for r in 0..rows_p {
+                let y = f64::from_bits(ctx.heap.read_prim(labels, r));
+                let mut dot = 0.0;
+                for d in 0..dims {
+                    dot += w[d] * f64::from_bits(ctx.heap.read_prim(features, r * dims + d));
+                }
+                let coeff = match loss {
+                    LossKind::Squared => dot - y,
+                    LossKind::Logistic => 1.0 / (1.0 + (-dot).exp()) - (y + 1.0) / 2.0,
+                    LossKind::Hinge => {
+                        if y * dot < 1.0 {
+                            -y
+                        } else {
+                            0.0
+                        }
+                    }
+                };
+                if coeff != 0.0 {
+                    for d in 0..dims {
+                        grad[d] += coeff * f64::from_bits(ctx.heap.read_prim(features, r * dims + d));
+                    }
+                }
+                seen_rows += 1;
+            }
+            ctx.heap.charge_mutator_ops(rows_p as u64 * dims as u64 / 4);
+            // Per-partition temporary gradient buffer (Spark treeAggregate).
+            let tmp = ctx.heap.alloc_prim_array(dims.max(1))?;
+            ctx.heap.release(tmp);
+            ctx.heap.release(features);
+            ctx.heap.release(labels);
+            ctx.heap.release(part);
+        }
+        for d in 0..dims {
+            w[d] -= step * grad[d] / seen_rows.max(1) as f64;
+        }
+        ctx.charge_shuffle((dims * ctx.config.partitions) as u64)?;
+    }
+    Ok(w.iter().map(|x| x.abs()).sum())
+}
+
+fn kmeans(ctx: &mut SparkContext, scale: DatasetScale) -> Result<f64, OomError> {
+    const K: usize = 4;
+    let dims = scale.dims;
+    let (blocks, data) = build_ml(ctx, scale.rows, dims, scale.seed)?;
+    // Deterministic centroid init from the first K rows.
+    let mut centroids: Vec<f64> = (0..K).flat_map(|c| data.row(c).to_vec()).collect();
+    for _ in 0..ctx.config.iterations {
+        let mut sums = vec![0.0f64; K * dims];
+        let mut counts = vec![0u64; K];
+        for &b in &blocks {
+            let part = ctx.bm.get(&mut ctx.heap, b)?.expect("cached block");
+            let features = ctx.heap.read_ref(part, 0).expect("features");
+            let labels = ctx.heap.read_ref(part, 1).expect("labels");
+            let rows_p = ctx.heap.array_len(labels);
+            for r in 0..rows_p {
+                let mut best = 0usize;
+                let mut best_d = f64::INFINITY;
+                for c in 0..K {
+                    let mut d2 = 0.0;
+                    for d in 0..dims {
+                        let x = f64::from_bits(ctx.heap.read_prim(features, r * dims + d));
+                        let diff = x - centroids[c * dims + d];
+                        d2 += diff * diff;
+                    }
+                    if d2 < best_d {
+                        best_d = d2;
+                        best = c;
+                    }
+                }
+                counts[best] += 1;
+                for d in 0..dims {
+                    sums[best * dims + d] +=
+                        f64::from_bits(ctx.heap.read_prim(features, r * dims + d));
+                }
+            }
+            ctx.heap.charge_mutator_ops(rows_p as u64 * (K * dims) as u64 / 4);
+            let tmp = ctx.heap.alloc_prim_array((K * dims).max(1))?;
+            ctx.heap.release(tmp);
+            ctx.heap.release(features);
+            ctx.heap.release(labels);
+            ctx.heap.release(part);
+        }
+        for c in 0..K {
+            if counts[c] > 0 {
+                for d in 0..dims {
+                    centroids[c * dims + d] = sums[c * dims + d] / counts[c] as f64;
+                }
+            }
+        }
+        ctx.charge_shuffle((K * dims * ctx.config.partitions) as u64)?;
+    }
+    Ok(centroids.iter().map(|x| x.abs()).sum())
+}
+
+fn naive_bayes(ctx: &mut SparkContext, scale: DatasetScale) -> Result<f64, OomError> {
+    let dims = scale.dims;
+    let (blocks, _data) = build_ml(ctx, scale.rows, dims, scale.seed)?;
+    // Two passes: class priors, then per-dimension positive-rate counts.
+    let mut pos_rows = 0u64;
+    let mut total = 0u64;
+    let mut counts = vec![0u64; dims * 2];
+    for pass in 0..2 {
+        for &b in &blocks {
+            let part = ctx.bm.get(&mut ctx.heap, b)?.expect("cached block");
+            let features = ctx.heap.read_ref(part, 0).expect("features");
+            let labels = ctx.heap.read_ref(part, 1).expect("labels");
+            let rows_p = ctx.heap.array_len(labels);
+            for r in 0..rows_p {
+                let y = f64::from_bits(ctx.heap.read_prim(labels, r));
+                if pass == 0 {
+                    total += 1;
+                    if y > 0.0 {
+                        pos_rows += 1;
+                    }
+                } else {
+                    let class = usize::from(y > 0.0);
+                    for d in 0..dims {
+                        let x = f64::from_bits(ctx.heap.read_prim(features, r * dims + d));
+                        if x > 0.0 {
+                            counts[class * dims + d] += 1;
+                        }
+                    }
+                }
+            }
+            ctx.heap.charge_mutator_ops(rows_p as u64 * if pass == 0 { 1 } else { dims as u64 });
+            ctx.heap.release(features);
+            ctx.heap.release(labels);
+            ctx.heap.release(part);
+        }
+        ctx.charge_shuffle((dims * 2) as u64)?;
+    }
+    Ok(pos_rows as f64 / total.max(1) as f64 + counts.iter().map(|&c| c as f64).sum::<f64>())
+}
+
+// ---------------------------------------------------------------------------
+// Relational workload
+// ---------------------------------------------------------------------------
+
+fn relational(ctx: &mut SparkContext, scale: DatasetScale) -> Result<f64, OomError> {
+    let data = relational_dataset(scale.rel_rows, scale.rel_keys, scale.seed);
+    let parts = ctx.config.partitions;
+    let rdd = ctx.new_rdd();
+    let mut blocks = Vec::new();
+    let per_part = data.rows.len().div_ceil(parts);
+    for p in 0..parts {
+        let rows = &data.rows[p * per_part..((p + 1) * per_part).min(data.rows.len())];
+        let part = ctx.heap.alloc(ctx.partition_class)?;
+        let keys = ctx.heap.alloc_prim_array(rows.len().max(1))?;
+        let vals = ctx.heap.alloc_prim_array(rows.len().max(1))?;
+        for (i, &(k, v)) in rows.iter().enumerate() {
+            ctx.heap.write_prim(keys, i, k);
+            ctx.heap.write_prim(vals, i, v);
+        }
+        ctx.heap.write_ref(part, 0, keys);
+        ctx.heap.release(keys);
+        ctx.heap.write_ref(part, 1, vals);
+        ctx.heap.release(vals);
+        ctx.heap.write_prim(part, 0, p as u64);
+        let id = BlockId { rdd, partition: p as u32 };
+        ctx.bm.put(&mut ctx.heap, id, part)?;
+        blocks.push(id);
+    }
+    // Queries: filter + group-by-sum with a shuffle per query. The filtered
+    // intermediate materializes on the heap (a projected DataFrame) and is
+    // held until the query completes — the working set that makes RDD-RL
+    // memory-hungry in the paper.
+    let mut result = 0.0f64;
+    for q in 0..ctx.config.iterations {
+        let threshold = 720_000u64;
+        let mut sums = vec![0u64; data.distinct_keys];
+        let mut pairs: Vec<(u64, u64)> = Vec::new();
+        for &b in &blocks {
+            let part = ctx.bm.get(&mut ctx.heap, b)?.expect("cached block");
+            let keys = ctx.heap.read_ref(part, 0).expect("keys");
+            let vals = ctx.heap.read_ref(part, 1).expect("vals");
+            let n = ctx.heap.array_len(keys);
+            for i in 0..n {
+                let v = ctx.heap.read_prim(vals, i);
+                if v > threshold {
+                    let k = ctx.heap.read_prim(keys, i);
+                    sums[k as usize] += v + q as u64;
+                    pairs.push((k, v));
+                }
+            }
+            ctx.heap.charge_mutator_ops(n as u64);
+            ctx.heap.release(keys);
+            ctx.heap.release(vals);
+            ctx.heap.release(part);
+        }
+        // Materialize the filtered projection on the heap.
+        let sel_keys = ctx.heap.alloc_prim_array(pairs.len().max(1))?;
+        let sel_vals = ctx.heap.alloc_prim_array(pairs.len().max(1))?;
+        for (i, &(k, v)) in pairs.iter().enumerate() {
+            ctx.heap.write_prim(sel_keys, i, k);
+            ctx.heap.write_prim(sel_vals, i, v);
+        }
+        ctx.charge_shuffle(pairs.len() as u64)?;
+        let out = ctx.heap.alloc_prim_array(data.distinct_keys)?;
+        for (k, &s) in sums.iter().enumerate() {
+            ctx.heap.write_prim(out, k, s);
+        }
+        ctx.heap.release(out);
+        ctx.heap.release(sel_keys);
+        ctx.heap.release(sel_vals);
+        result += sums.iter().map(|&s| s as f64).sum::<f64>();
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ExecMode;
+    use teraheap_core::H2Config;
+    use teraheap_runtime::HeapConfig;
+    use teraheap_storage::DeviceSpec;
+
+    fn sd_config() -> SparkConfig {
+        SparkConfig {
+            heap: HeapConfig::with_words(32 << 10, 128 << 10),
+            mode: ExecMode::SparkSd { device: DeviceSpec::nvme_ssd() },
+            partitions: 4,
+            iterations: 3,
+        }
+    }
+
+    fn th_config() -> SparkConfig {
+        SparkConfig {
+            heap: HeapConfig::with_words(32 << 10, 128 << 10),
+            mode: ExecMode::TeraHeap {
+                h2: H2Config {
+                    region_words: 16 << 10,
+                    n_regions: 64,
+                    card_seg_words: 1 << 10,
+                    resident_budget_bytes: 256 << 10,
+                    page_size: 4096,
+                    promo_buffer_bytes: 2 << 20,
+                },
+                device: DeviceSpec::nvme_ssd(),
+            },
+            partitions: 4,
+            iterations: 3,
+        }
+    }
+
+    #[test]
+    fn every_workload_completes_under_both_modes_with_equal_answers() {
+        for w in Workload::ALL {
+            let sd = run_workload(w, sd_config(), DatasetScale::tiny());
+            let th = run_workload(w, th_config(), DatasetScale::tiny());
+            assert!(!sd.oom, "{} OOM under Spark-SD", w.name());
+            assert!(!th.oom, "{} OOM under TeraHeap", w.name());
+            assert!(
+                (sd.checksum - th.checksum).abs() < 1e-6 * sd.checksum.abs().max(1.0),
+                "{}: checksums differ: {} vs {}",
+                w.name(),
+                sd.checksum,
+                th.checksum
+            );
+        }
+    }
+
+    #[test]
+    fn teraheap_actually_moves_partitions() {
+        // Size the heap close to the dataset (as the paper does) so major
+        // GCs actually run and apply the h2_move hints.
+        let mut cfg = th_config();
+        cfg.heap = HeapConfig::with_words(2 << 10, 5 << 10);
+        cfg.iterations = 10;
+        let r = run_workload(Workload::Pr, cfg, DatasetScale::tiny());
+        assert!(!r.oom, "run must complete");
+        assert!(r.major_gcs > 0, "pressure must trigger major GCs");
+        assert!(r.h2_objects > 0, "PR under TeraHeap must promote objects");
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(Workload::Pr.name(), "PR");
+        assert_eq!(Workload::Lgr.name(), "LgR");
+        assert_eq!(Workload::ALL.len(), 10);
+    }
+}

@@ -1,0 +1,110 @@
+//! Framework-level tests for mini-spark: cache lifecycle, H2 reclamation on
+//! unpersist, and report plumbing.
+
+use mini_spark::{
+    run_workload, BlockId, BlockManager, CacheMode, DatasetScale, ExecMode, SparkConfig,
+    SparkContext, Workload,
+};
+use teraheap_core::H2Config;
+use teraheap_runtime::HeapConfig;
+use teraheap_storage::{Category, DeviceSpec, SimDevice};
+
+fn th_ctx() -> SparkContext {
+    SparkContext::new(SparkConfig {
+        heap: HeapConfig::with_words(16 << 10, 64 << 10),
+        mode: ExecMode::TeraHeap {
+            h2: H2Config {
+                region_words: 8 << 10,
+                n_regions: 16,
+                card_seg_words: 1 << 10,
+                resident_budget_bytes: 128 << 10,
+                page_size: 4096,
+                promo_buffer_bytes: 64 << 10,
+            },
+            device: DeviceSpec::nvme_ssd(),
+        },
+        partitions: 2,
+        iterations: 2,
+    })
+}
+
+#[test]
+fn unpersist_releases_h2_regions() {
+    let mut ctx = th_ctx();
+    let rdd = ctx.new_rdd();
+    for p in 0..4u32 {
+        let part = ctx.heap.alloc_prim_array(512).unwrap();
+        for i in 0..512 {
+            ctx.heap.write_prim(part, i, i as u64);
+        }
+        ctx.bm
+            .put(&mut ctx.heap, BlockId { rdd, partition: p }, part)
+            .unwrap();
+    }
+    ctx.heap.gc_major().unwrap();
+    assert!(ctx.heap.stats().objects_promoted_h2 >= 4, "partitions moved to H2");
+    let reclaimed_before = ctx.heap.h2().unwrap().regions().reclaimed_total();
+    ctx.bm.unpersist(&mut ctx.heap, rdd);
+    ctx.heap.gc_major().unwrap();
+    assert!(
+        ctx.heap.h2().unwrap().regions().reclaimed_total() > reclaimed_before,
+        "unpersisted RDD's regions reclaimed in bulk"
+    );
+}
+
+#[test]
+fn off_heap_cache_grows_on_device_not_heap() {
+    let clock = std::sync::Arc::new(teraheap_storage::SimClock::new());
+    let mut heap = teraheap_runtime::Heap::with_clock(HeapConfig::with_words(8 << 10, 32 << 10), clock.clone());
+    let device = SimDevice::new(DeviceSpec::nvme_ssd(), 16 << 20, clock);
+    let stats_dev = device.clone();
+    let mut bm = BlockManager::new(CacheMode::SerializedOverflow {
+        device,
+        onheap_budget_words: 256,
+    });
+    for p in 0..6u32 {
+        let part = heap.alloc_prim_array(512).unwrap();
+        bm.put(&mut heap, BlockId { rdd: 1, partition: p }, part).unwrap();
+    }
+    assert!(bm.serializations() >= 5, "budget admits at most one partition");
+    assert!(stats_dev.stats().write_bytes() > 5 * 512 * 8, "bytes landed on the device");
+    // Reading back pays I/O every time.
+    let io0 = heap.clock().category_ns(Category::Io);
+    let h = bm.get(&mut heap, BlockId { rdd: 1, partition: 5 }).unwrap().unwrap();
+    assert_eq!(heap.array_len(h), 512);
+    assert!(heap.clock().category_ns(Category::Io) > io0);
+}
+
+#[test]
+fn reports_expose_breakdown_and_counts() {
+    let r = run_workload(
+        Workload::Rl,
+        SparkConfig {
+            heap: HeapConfig::with_words(16 << 10, 96 << 10),
+            mode: ExecMode::SparkSd { device: DeviceSpec::nvme_ssd() },
+            partitions: 4,
+            iterations: 2,
+        },
+        DatasetScale::tiny(),
+    );
+    assert!(!r.oom);
+    assert_eq!(r.workload, "RL");
+    assert!(r.breakdown.total_ns() > 0);
+    assert!(r.checksum.is_finite());
+    assert!(r.csv_row().contains("RL,Spark-SD"));
+}
+
+#[test]
+fn workloads_are_deterministic_across_runs() {
+    let cfg = SparkConfig {
+        heap: HeapConfig::with_words(16 << 10, 96 << 10),
+        mode: ExecMode::SparkSd { device: DeviceSpec::nvme_ssd() },
+        partitions: 4,
+        iterations: 3,
+    };
+    let a = run_workload(Workload::Cc, cfg, DatasetScale::tiny());
+    let b = run_workload(Workload::Cc, cfg, DatasetScale::tiny());
+    assert_eq!(a.checksum, b.checksum);
+    assert_eq!(a.breakdown, b.breakdown, "simulated time is exactly reproducible");
+    assert_eq!(a.minor_gcs, b.minor_gcs);
+}

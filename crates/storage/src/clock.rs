@@ -1,0 +1,209 @@
+//! Deterministic simulated clock with per-category time attribution.
+//!
+//! The paper breaks execution time into four components (§6): *other* time
+//! (mutator compute, including page-fault I/O wait for TeraHeap), *S/D + I/O*
+//! time, *minor GC* time and *major GC* time. [`SimClock`] accumulates
+//! simulated nanoseconds into five internal categories which collapse onto
+//! the paper's four in [`Breakdown`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A cost category that simulated nanoseconds are charged to.
+///
+/// `SerDe` and `Io` are kept separate internally (useful for debugging and
+/// for Giraph, where S/D happens on-heap) but are reported together as the
+/// paper's "S/D + I/O" component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Mutator (application) compute, including H2 page-fault wait.
+    Mutator,
+    /// Serialization / deserialization work.
+    SerDe,
+    /// Explicit device I/O (off-heap cache reads/writes, spills).
+    Io,
+    /// Minor (young-generation) garbage collection.
+    MinorGc,
+    /// Major (full-heap) garbage collection.
+    MajorGc,
+}
+
+impl Category {
+    const COUNT: usize = 5;
+
+    fn index(self) -> usize {
+        match self {
+            Category::Mutator => 0,
+            Category::SerDe => 1,
+            Category::Io => 2,
+            Category::MinorGc => 3,
+            Category::MajorGc => 4,
+        }
+    }
+
+    /// All categories, in index order.
+    pub const ALL: [Category; 5] = [
+        Category::Mutator,
+        Category::SerDe,
+        Category::Io,
+        Category::MinorGc,
+        Category::MajorGc,
+    ];
+}
+
+/// Deterministic simulated clock.
+///
+/// Thread-safe (atomic counters) so it can be shared behind an `Arc` between
+/// the heap, devices and frameworks. All times are simulated nanoseconds.
+#[derive(Debug, Default)]
+pub struct SimClock {
+    nanos: [AtomicU64; Category::COUNT],
+}
+
+impl SimClock {
+    /// Creates a clock with all categories at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges `ns` simulated nanoseconds to `cat`.
+    pub fn charge(&self, cat: Category, ns: u64) {
+        self.nanos[cat.index()].fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Returns the nanoseconds accumulated in `cat`.
+    pub fn category_ns(&self, cat: Category) -> u64 {
+        self.nanos[cat.index()].load(Ordering::Relaxed)
+    }
+
+    /// Returns total simulated nanoseconds across all categories.
+    ///
+    /// This doubles as the current simulated "wall clock" instant, because
+    /// the simulation is sequential: every charged nanosecond advances time.
+    pub fn total_ns(&self) -> u64 {
+        Category::ALL.iter().map(|&c| self.category_ns(c)).sum()
+    }
+
+    /// Snapshots the paper-style execution-time breakdown.
+    pub fn breakdown(&self) -> Breakdown {
+        Breakdown {
+            other_ns: self.category_ns(Category::Mutator),
+            sd_io_ns: self.category_ns(Category::SerDe) + self.category_ns(Category::Io),
+            minor_gc_ns: self.category_ns(Category::MinorGc),
+            major_gc_ns: self.category_ns(Category::MajorGc),
+        }
+    }
+
+    /// Resets every category to zero.
+    pub fn reset(&self) {
+        for n in &self.nanos {
+            n.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Execution-time breakdown in the paper's four components (Figure 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Breakdown {
+    /// Mutator ("other") time, including H2 page-fault wait.
+    pub other_ns: u64,
+    /// Serialization/deserialization plus explicit I/O time.
+    pub sd_io_ns: u64,
+    /// Minor GC time.
+    pub minor_gc_ns: u64,
+    /// Major GC time.
+    pub major_gc_ns: u64,
+}
+
+impl Breakdown {
+    /// Total simulated execution time.
+    pub fn total_ns(&self) -> u64 {
+        self.other_ns + self.sd_io_ns + self.minor_gc_ns + self.major_gc_ns
+    }
+
+    /// Component-wise difference (`self - earlier`), saturating at zero.
+    pub fn since(&self, earlier: &Breakdown) -> Breakdown {
+        Breakdown {
+            other_ns: self.other_ns.saturating_sub(earlier.other_ns),
+            sd_io_ns: self.sd_io_ns.saturating_sub(earlier.sd_io_ns),
+            minor_gc_ns: self.minor_gc_ns.saturating_sub(earlier.minor_gc_ns),
+            major_gc_ns: self.major_gc_ns.saturating_sub(earlier.major_gc_ns),
+        }
+    }
+}
+
+impl std::fmt::Display for Breakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        write!(
+            f,
+            "other {:.2} ms | s/d+io {:.2} ms | minor gc {:.2} ms | major gc {:.2} ms | total {:.2} ms",
+            ms(self.other_ns),
+            ms(self.sd_io_ns),
+            ms(self.minor_gc_ns),
+            ms(self.major_gc_ns),
+            ms(self.total_ns())
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_clock_is_zero() {
+        let clock = SimClock::new();
+        assert_eq!(clock.total_ns(), 0);
+        assert_eq!(clock.breakdown(), Breakdown::default());
+    }
+
+    #[test]
+    fn charge_accumulates_per_category() {
+        let clock = SimClock::new();
+        clock.charge(Category::Mutator, 10);
+        clock.charge(Category::Mutator, 5);
+        clock.charge(Category::MajorGc, 7);
+        assert_eq!(clock.category_ns(Category::Mutator), 15);
+        assert_eq!(clock.category_ns(Category::MajorGc), 7);
+        assert_eq!(clock.total_ns(), 22);
+    }
+
+    #[test]
+    fn breakdown_merges_serde_and_io() {
+        let clock = SimClock::new();
+        clock.charge(Category::SerDe, 3);
+        clock.charge(Category::Io, 4);
+        let b = clock.breakdown();
+        assert_eq!(b.sd_io_ns, 7);
+        assert_eq!(b.total_ns(), 7);
+    }
+
+    #[test]
+    fn reset_clears_all() {
+        let clock = SimClock::new();
+        for c in Category::ALL {
+            clock.charge(c, 1);
+        }
+        clock.reset();
+        assert_eq!(clock.total_ns(), 0);
+    }
+
+    #[test]
+    fn breakdown_since_subtracts() {
+        let clock = SimClock::new();
+        clock.charge(Category::MinorGc, 100);
+        let early = clock.breakdown();
+        clock.charge(Category::MinorGc, 50);
+        clock.charge(Category::Mutator, 20);
+        let diff = clock.breakdown().since(&early);
+        assert_eq!(diff.minor_gc_ns, 50);
+        assert_eq!(diff.other_ns, 20);
+        assert_eq!(diff.major_gc_ns, 0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let b = Breakdown::default();
+        assert!(!format!("{b}").is_empty());
+    }
+}

@@ -1,0 +1,50 @@
+//! Simulated storage substrate for the TeraHeap reproduction.
+//!
+//! The TeraHeap paper (ASPLOS 2023) evaluates a second managed heap (H2)
+//! memory-mapped over fast storage devices: a Samsung PM983 NVMe SSD and
+//! Intel Optane DC persistent memory. This crate provides the equivalent
+//! substrate for a simulation-driven reproduction:
+//!
+//! * [`DeviceSpec`] — latency/bandwidth models for DRAM, NVMe SSD and NVM,
+//!   including page- vs byte-addressability (§2 of the paper).
+//! * [`SimDevice`] — a byte-addressable simulated device with real backing
+//!   bytes, used for the serialized off-heap caches of the baselines.
+//! * [`MmapSim`] — a page-cache cost model for file-backed `mmap`, with
+//!   faults, dirty write-back, a resident-set budget (the paper's DR2) and
+//!   optional 2 MB huge pages (the paper's HugeMap configuration).
+//! * [`SimClock`] — a deterministic simulated clock that attributes
+//!   nanoseconds to the paper's execution-time breakdown categories
+//!   (other, S/D + I/O, minor GC, major GC).
+//!
+//! Everything is deterministic: no wall-clock time is ever read.
+//!
+//! # Example
+//!
+//! ```
+//! use teraheap_storage::{Category, DeviceSpec, MmapSim, SimClock};
+//! use std::sync::Arc;
+//!
+//! let clock = Arc::new(SimClock::new());
+//! // 1 MiB mapping over NVMe with a 256 KiB resident budget.
+//! let mut map = MmapSim::new(DeviceSpec::nvme_ssd(), 1 << 20, 256 << 10, 4096, clock.clone());
+//! map.touch_write(0, 8192, Category::Mutator);
+//! assert!(clock.total_ns() > 0);
+//! ```
+
+pub mod clock;
+pub mod cost;
+pub mod device;
+pub mod mmap;
+pub mod stats;
+
+pub use clock::{Breakdown, Category, SimClock};
+pub use cost::CostModel;
+pub use device::{DeviceKind, DeviceSpec, SimDevice};
+pub use mmap::MmapSim;
+pub use stats::IoStats;
+
+/// Size of a small (regular) page in bytes, matching Linux.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Size of a huge page in bytes (2 MB), matching the paper's HugeMap setup.
+pub const HUGE_PAGE_SIZE: usize = 2 << 20;

@@ -1,0 +1,133 @@
+//! I/O and page-cache statistics counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cumulative I/O statistics for a device or mapping.
+///
+/// The paper reports device traffic repeatedly (e.g. §7.2's "increases
+/// device traffic by up to 98% (writes)", §7.5's NVM read/write operation
+/// counts), so every simulated component keeps these counters.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    read_bytes: AtomicU64,
+    write_bytes: AtomicU64,
+    read_ops: AtomicU64,
+    write_ops: AtomicU64,
+    page_faults: AtomicU64,
+    seq_faults: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl IoStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one read operation of `bytes` transferred.
+    pub fn record_read(&self, bytes: u64) {
+        self.read_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.read_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one write operation of `bytes` transferred.
+    pub fn record_write(&self, bytes: u64) {
+        self.write_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.write_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one page fault.
+    pub fn record_fault(&self) {
+        self.page_faults.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one sequential (readahead-amortized) page fault.
+    pub fn record_seq_fault(&self) {
+        self.seq_faults.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of sequential page faults.
+    pub fn seq_faults(&self) -> u64 {
+        self.seq_faults.load(Ordering::Relaxed)
+    }
+
+    /// Records one page eviction.
+    pub fn record_eviction(&self) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total bytes read from the device.
+    pub fn read_bytes(&self) -> u64 {
+        self.read_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes written to the device.
+    pub fn write_bytes(&self) -> u64 {
+        self.write_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Number of read operations.
+    pub fn read_ops(&self) -> u64 {
+        self.read_ops.load(Ordering::Relaxed)
+    }
+
+    /// Number of write operations.
+    pub fn write_ops(&self) -> u64 {
+        self.write_ops.load(Ordering::Relaxed)
+    }
+
+    /// Number of page faults taken.
+    pub fn page_faults(&self) -> u64 {
+        self.page_faults.load(Ordering::Relaxed)
+    }
+
+    /// Number of resident pages evicted.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        for c in [
+            &self.read_bytes,
+            &self.write_bytes,
+            &self.read_ops,
+            &self.write_ops,
+            &self.page_faults,
+            &self.seq_faults,
+            &self.evictions,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = IoStats::new();
+        s.record_read(100);
+        s.record_read(50);
+        s.record_write(10);
+        s.record_fault();
+        s.record_eviction();
+        assert_eq!(s.read_bytes(), 150);
+        assert_eq!(s.read_ops(), 2);
+        assert_eq!(s.write_bytes(), 10);
+        assert_eq!(s.write_ops(), 1);
+        assert_eq!(s.page_faults(), 1);
+        assert_eq!(s.evictions(), 1);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let s = IoStats::new();
+        s.record_read(1);
+        s.record_write(1);
+        s.reset();
+        assert_eq!(s.read_bytes() + s.write_bytes() + s.read_ops() + s.write_ops(), 0);
+    }
+}

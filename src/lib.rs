@@ -1,0 +1,9 @@
+//! Root package of the TeraHeap reproduction: hosts the runnable examples
+//! (`examples/`) and the cross-crate integration tests (`tests/`). The
+//! actual library crates live under `crates/`.
+
+pub use mini_giraph;
+pub use mini_spark;
+pub use teraheap_core;
+pub use teraheap_runtime;
+pub use teraheap_storage;

@@ -1,0 +1,222 @@
+//! Cross-crate integration tests: whole framework jobs under every memory
+//! configuration, validating that TeraHeap changes performance — never
+//! answers — and that the headline performance relations from the paper's
+//! evaluation hold in the simulation.
+
+use mini_giraph::{run_giraph, GiraphConfig, GiraphMode, GiraphWorkload};
+use mini_spark::{run_workload, DatasetScale, ExecMode, SparkConfig, Workload};
+use teraheap_core::H2Config;
+use teraheap_runtime::{GcVariant, Heap, HeapConfig};
+use teraheap_storage::DeviceSpec;
+
+fn h2() -> H2Config {
+    H2Config {
+        region_words: 32 << 10,
+        n_regions: 64,
+        card_seg_words: 1 << 10,
+        resident_budget_bytes: 512 << 10,
+        page_size: 4096,
+        promo_buffer_bytes: 256 << 10,
+    }
+}
+
+fn spark_cfg(mode: ExecMode) -> SparkConfig {
+    SparkConfig {
+        heap: HeapConfig::with_words(16 << 10, 96 << 10),
+        mode,
+        partitions: 8,
+        iterations: 4,
+    }
+}
+
+#[test]
+fn all_spark_workloads_agree_across_all_cache_modes() {
+    let scale = DatasetScale::tiny();
+    for w in Workload::ALL {
+        let sd = run_workload(w, spark_cfg(ExecMode::SparkSd { device: DeviceSpec::nvme_ssd() }), scale);
+        let th = run_workload(
+            w,
+            spark_cfg(ExecMode::TeraHeap { h2: h2(), device: DeviceSpec::nvme_ssd() }),
+            scale,
+        );
+        assert!(!sd.oom, "{} Spark-SD OOM", w.name());
+        assert!(!th.oom, "{} TeraHeap OOM", w.name());
+        assert!(
+            (sd.checksum - th.checksum).abs() <= 1e-6 * sd.checksum.abs().max(1.0),
+            "{}: answers differ across cache modes",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn all_spark_workloads_agree_under_every_collector() {
+    let scale = DatasetScale::tiny();
+    for w in [Workload::Pr, Workload::Lr, Workload::Rl] {
+        let mut ps = spark_cfg(ExecMode::OnHeap);
+        ps.heap = HeapConfig::with_words(32 << 10, 192 << 10);
+        let mut g1 = ps;
+        g1.heap.variant = GcVariant::G1 { region_words: 2 << 10 };
+        let mut panthera = ps;
+        panthera.heap.variant = GcVariant::Panthera {
+            old_dram_words: 32 << 10,
+            nvm: DeviceSpec::optane_nvm(),
+        };
+        let r_ps = run_workload(w, ps, scale);
+        let r_g1 = run_workload(w, g1, scale);
+        let r_p = run_workload(w, panthera, scale);
+        for r in [&r_ps, &r_g1, &r_p] {
+            assert!(!r.oom, "{} OOM under {}", w.name(), r.mode);
+        }
+        assert_eq!(r_ps.checksum, r_g1.checksum, "{} G1 answer differs", w.name());
+        assert_eq!(r_ps.checksum, r_p.checksum, "{} Panthera answer differs", w.name());
+    }
+}
+
+#[test]
+fn giraph_modes_agree_and_teraheap_avoids_sd() {
+    for w in GiraphWorkload::ALL {
+        let base = GiraphConfig {
+            heap: HeapConfig::with_words(16 << 10, 96 << 10),
+            mode: GiraphMode::InMemory,
+            partitions: 4,
+            max_supersteps: 5,
+            use_move_hint: true,
+            low_threshold: None,
+            adaptive_threshold: false,
+            track_h2_liveness: false,
+        };
+        let mem = run_giraph(w, base, 400, 5, 3);
+        let mut ooc_cfg = base;
+        ooc_cfg.mode = GiraphMode::OutOfCore {
+            device: DeviceSpec::nvme_ssd(),
+            memory_limit_words: 4 << 10,
+        };
+        let ooc = run_giraph(w, ooc_cfg, 400, 5, 3);
+        let mut th_cfg = base;
+        th_cfg.mode = GiraphMode::TeraHeap { h2: h2(), device: DeviceSpec::nvme_ssd() };
+        let th = run_giraph(w, th_cfg, 400, 5, 3);
+        for r in [&mem, &ooc, &th] {
+            assert!(!r.oom, "{} OOM under {}", w.name(), r.mode);
+        }
+        assert_eq!(mem.checksum, ooc.checksum, "{} OOC answer differs", w.name());
+        assert_eq!(mem.checksum, th.checksum, "{} TH answer differs", w.name());
+        assert!(ooc.offloads > 0, "{}: tight OOC budget must offload", w.name());
+        assert_eq!(th.breakdown.sd_io_ns, 0, "{}: TeraHeap performs no S/D", w.name());
+    }
+}
+
+/// The paper's headline (Figure 6): under a memory-pressured configuration,
+/// TeraHeap beats the serialized off-heap cache, mostly by cutting major GC
+/// and S/D time.
+#[test]
+fn teraheap_beats_spark_sd_under_pressure() {
+    let scale = DatasetScale {
+        vertices: 4_000,
+        avg_degree: 6,
+        ..DatasetScale::tiny()
+    };
+    let cfg = |mode| SparkConfig {
+        heap: HeapConfig::with_words(12 << 10, 64 << 10),
+        mode,
+        partitions: 8,
+        iterations: 5,
+    };
+    let sd = run_workload(Workload::Pr, cfg(ExecMode::SparkSd { device: DeviceSpec::nvme_ssd() }), scale);
+    let th = run_workload(
+        Workload::Pr,
+        cfg(ExecMode::TeraHeap { h2: h2(), device: DeviceSpec::nvme_ssd() }),
+        scale,
+    );
+    assert!(!sd.oom && !th.oom);
+    assert!(
+        th.breakdown.total_ns() < sd.breakdown.total_ns(),
+        "TeraHeap must beat Spark-SD under pressure: {} !< {}",
+        th.breakdown.total_ns(),
+        sd.breakdown.total_ns()
+    );
+    assert!(
+        th.breakdown.major_gc_ns < sd.breakdown.major_gc_ns,
+        "the win must come substantially from major GC"
+    );
+    assert!(th.major_gcs < sd.major_gcs, "far fewer major GCs (Figure 7)");
+}
+
+/// §4's DaCapo claim: enabling TeraHeap costs ≈ nothing for an application
+/// that never uses it (barrier range check only).
+#[test]
+fn enabling_teraheap_is_nearly_free_without_hints() {
+    let run = |enable: bool| {
+        let mut heap = Heap::new(HeapConfig::small());
+        if enable {
+            heap.enable_teraheap(h2(), DeviceSpec::nvme_ssd());
+        }
+        let class = heap.register_class("N", 1, 2);
+        let root = heap.alloc_ref_array(64).unwrap();
+        for i in 0..64 {
+            let n = heap.alloc(class).unwrap();
+            heap.write_ref(root, i, n);
+            heap.release(n);
+        }
+        for round in 0..2_000 {
+            let a = heap.read_ref(root, round % 64).unwrap();
+            let b = heap.read_ref(root, (round + 7) % 64).unwrap();
+            heap.write_ref(a, 0, b);
+            // Realistic mutator mix: mostly field work between ref stores
+            // (the DaCapo measurement is over whole applications).
+            let mut acc = 0u64;
+            for f in 0..2 {
+                acc = acc.wrapping_add(heap.read_prim(b, f));
+            }
+            heap.write_prim(a, 0, acc.wrapping_add(round as u64));
+            heap.write_prim(a, 1, round as u64);
+            heap.release(a);
+            heap.release(b);
+        }
+        heap.clock().total_ns()
+    };
+    let off = run(false) as f64;
+    let on = run(true) as f64;
+    // The integer-nanosecond cost model floors the range check at 1 ns
+    // against a 2 ns field access, so the simulated bound is ~2x the
+    // paper's 3% DaCapo number; the Criterion `barrier` bench measures the
+    // real check at ~2-4% of the store path.
+    assert!(
+        (on - off) / off < 0.07,
+        "EnableTeraHeap overhead must stay small: {:.4}",
+        (on - off) / off
+    );
+}
+
+/// Serialization must agree with the direct path: an object graph pushed
+/// through kryo-sim and one moved to H2 read back identically.
+#[test]
+fn serialized_and_h2_paths_read_identical_data() {
+    let mut heap = Heap::new(HeapConfig::small());
+    heap.enable_teraheap(h2(), DeviceSpec::nvme_ssd());
+    let class = heap.register_class("Row", 0, 3);
+    let arr = heap.alloc_ref_array(50).unwrap();
+    for i in 0..50 {
+        let r = heap.alloc(class).unwrap();
+        for f in 0..3 {
+            heap.write_prim(r, f, (i * 10 + f) as u64);
+        }
+        heap.write_ref(arr, i, r);
+        heap.release(r);
+    }
+    let bytes = kryo_sim::serialize(&mut heap, arr).unwrap();
+    let copy = kryo_sim::deserialize(&mut heap, &bytes).unwrap();
+    heap.h2_tag_root(arr, teraheap_core::Label::new(9));
+    heap.h2_move(teraheap_core::Label::new(9));
+    heap.gc_major().unwrap();
+    assert!(heap.is_in_h2(arr));
+    for i in 0..50 {
+        let a = heap.read_ref(arr, i).unwrap();
+        let b = heap.read_ref(copy, i).unwrap();
+        for f in 0..3 {
+            assert_eq!(heap.read_prim(a, f), heap.read_prim(b, f));
+        }
+        heap.release(a);
+        heap.release(b);
+    }
+}
