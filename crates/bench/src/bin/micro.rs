@@ -1,6 +1,6 @@
-//! Criterion micro-benchmarks for TeraHeap's mechanisms — the *real-time*
-//! costs of the reproduction's hot paths, complementing the simulated-time
-//! figure harnesses:
+//! Micro-benchmarks for TeraHeap's mechanisms — the *real-time* costs of
+//! the reproduction's hot paths, complementing the simulated-time figure
+//! harnesses:
 //!
 //! * `barrier/*` — post-write barrier with and without the TeraHeap
 //!   reference range check (the §4 DaCapo ≤3% overhead claim);
@@ -8,15 +8,19 @@
 //! * `regions/*` — region allocation and bulk reclamation;
 //! * `serde/*` — kryo-sim serialize/deserialize round trips;
 //! * `promo/*` — promotion-buffer staging.
+//!
+//! Runs on the in-repo harness (`teraheap_util::microbench`) as a plain
+//! binary: `cargo run --release -p teraheap-bench --bin micro`. Results
+//! print as a table and land in `results/microbench.csv`. Set
+//! `TERAHEAP_BENCH_QUICK=1` for a smoke run.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use teraheap_core::{Addr, H2CardTable, Label, Promoter, RegionId, RegionManager};
 use teraheap_runtime::{Heap, HeapConfig};
 use teraheap_storage::DeviceSpec;
+use teraheap_util::microbench::{black_box, Bench};
 
-fn bench_barrier(c: &mut Criterion) {
-    let mut group = c.benchmark_group("barrier");
+fn bench_barrier(bench: &mut Bench) {
+    let mut group = bench.group("barrier");
     for (name, enable) in [("vanilla", false), ("teraheap", true)] {
         group.bench_function(name, |b| {
             let mut heap = Heap::new(HeapConfig::small());
@@ -34,10 +38,10 @@ fn bench_barrier(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_h2_cards(c: &mut Criterion) {
-    let mut group = c.benchmark_group("h2_cards");
+fn bench_h2_cards(bench: &mut Bench) {
+    let mut group = bench.group("h2_cards");
     for seg_words in [64usize, 1024, 2048] {
-        group.bench_with_input(BenchmarkId::new("scan", seg_words * 8), &seg_words, |b, &seg| {
+        group.bench_with_input("scan", &(seg_words * 8), &seg_words, |b, &seg| {
             let mut t = H2CardTable::new(1 << 22, seg, 1 << 16);
             // Dirty every 50th card.
             for i in (0..t.card_count()).step_by(50) {
@@ -49,8 +53,8 @@ fn bench_h2_cards(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_regions(c: &mut Criterion) {
-    let mut group = c.benchmark_group("regions");
+fn bench_regions(bench: &mut Bench) {
+    let mut group = bench.group("regions");
     group.bench_function("alloc", |b| {
         b.iter_with_setup(
             || RegionManager::new(1 << 14, 256),
@@ -101,18 +105,21 @@ fn bench_regions(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_serde(c: &mut Criterion) {
-    let mut group = c.benchmark_group("serde");
+fn bench_serde(bench: &mut Bench) {
+    let mut heap = Heap::new(HeapConfig::with_words(256 << 10, 1 << 20));
+    let class = heap.register_class("E", 0, 4);
+    let arr = heap.alloc_ref_array(1000).unwrap();
+    for i in 0..1000 {
+        let e = heap.alloc(class).unwrap();
+        heap.write_prim(e, 0, i as u64);
+        heap.write_ref(arr, i, e);
+        heap.release(e);
+    }
+    let serialized_bytes = kryo_sim::serialize(&mut heap, arr).unwrap().len();
+
+    let mut group = bench.group("serde");
+    group.throughput_bytes(serialized_bytes as u64);
     group.bench_function("round_trip_1k_objects", |b| {
-        let mut heap = Heap::new(HeapConfig::with_words(256 << 10, 1 << 20));
-        let class = heap.register_class("E", 0, 4);
-        let arr = heap.alloc_ref_array(1000).unwrap();
-        for i in 0..1000 {
-            let e = heap.alloc(class).unwrap();
-            heap.write_prim(e, 0, i as u64);
-            heap.write_ref(arr, i, e);
-            heap.release(e);
-        }
         b.iter(|| {
             let bytes = kryo_sim::serialize(&mut heap, arr).unwrap();
             let out = kryo_sim::deserialize(&mut heap, black_box(&bytes)).unwrap();
@@ -122,10 +129,10 @@ fn bench_serde(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_promo(c: &mut Criterion) {
-    let mut group = c.benchmark_group("promo");
+fn bench_promo(bench: &mut Bench) {
+    let mut group = bench.group("promo");
     for buf in [4096usize, 2 << 20] {
-        group.bench_with_input(BenchmarkId::new("stage", buf), &buf, |b, &buf| {
+        group.bench_with_input("stage", &buf, &buf, |b, &buf| {
             b.iter_with_setup(
                 || Promoter::new(buf),
                 |mut p| {
@@ -140,12 +147,15 @@ fn bench_promo(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_barrier,
-    bench_h2_cards,
-    bench_regions,
-    bench_serde,
-    bench_promo
-);
-criterion_main!(benches);
+fn main() {
+    let mut bench = Bench::new();
+    bench_barrier(&mut bench);
+    bench_h2_cards(&mut bench);
+    bench_regions(&mut bench);
+    bench_serde(&mut bench);
+    bench_promo(&mut bench);
+    bench.print_summary();
+    let path = std::path::Path::new("results/microbench.csv");
+    bench.write_csv_file(path).expect("write results/microbench.csv");
+    println!("\nwrote {}", path.display());
+}

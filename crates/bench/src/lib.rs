@@ -1,7 +1,7 @@
 //! Benchmark harness for the TeraHeap reproduction.
 //!
 //! One binary per table/figure of the paper's evaluation lives in
-//! `src/bin/` (see DESIGN.md §4 for the experiment index); Criterion
+//! `src/bin/` (see DESIGN.md §4 for the experiment index); the `micro` binary
 //! micro-benchmarks live in `benches/`. The [`harness`] module holds the
 //! scaled Table 3/Table 4 configurations shared by all of them.
 

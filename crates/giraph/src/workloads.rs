@@ -280,7 +280,6 @@ mod tests {
     use super::*;
     use crate::GiraphMode;
     use teraheap_core::H2Config;
-    use teraheap_runtime::HeapConfig;
     use teraheap_storage::DeviceSpec;
 
     fn th_mode() -> GiraphMode {

@@ -417,7 +417,7 @@ fn barrier_overhead_zero_when_teraheap_disabled() {
     assert!(enabled > disabled, "range check costs something when enabled");
     // On the barrier-only microloop the check is a visible fraction; the
     // paper's ≤3% DaCapo number is over *total* execution time, which the
-    // Criterion `barrier` bench reproduces with realistic mutator work.
+    // `micro` binary's `barrier` bench reproduces with realistic mutator work.
     let overhead = (enabled - disabled) as f64 / disabled as f64;
     assert!(overhead <= 0.30, "range-check overhead bounded, got {overhead}");
 }

@@ -2,11 +2,18 @@
 //! handle releases, collections and H2 moves) never corrupt the reachable
 //! object graph. The heap is compared against a shadow model after every
 //! program.
+//!
+//! Runs on the in-repo harness (`teraheap_util::proptest_mini`): cases are
+//! seeded deterministically, failures shrink to a minimal op sequence and
+//! print a `TERAHEAP_PROP_SEED` for replay.
 
-use proptest::prelude::*;
 use teraheap_core::{H2Config, Label};
 use teraheap_runtime::{Handle, Heap, HeapConfig};
 use teraheap_storage::DeviceSpec;
+use teraheap_util::proptest_mini::{
+    check, range_u64, range_usize, vec_of, CaseResult, Config, Just, Strategy,
+};
+use teraheap_util::{prop_assert, prop_assert_eq, prop_oneof};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -28,13 +35,13 @@ enum Op {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        4 => (0u64..1000).prop_map(Op::Alloc),
-        4 => (0usize..64, 0usize..64).prop_map(|(a, b)| Op::Link(a, b)),
-        1 => (0usize..64).prop_map(Op::Unlink),
-        2 => (0usize..64).prop_map(Op::Release),
+        4 => range_u64(0..1000).prop_map(Op::Alloc),
+        4 => (range_usize(0..64), range_usize(0..64)).prop_map(|(a, b)| Op::Link(a, b)),
+        1 => range_usize(0..64).prop_map(Op::Unlink),
+        2 => range_usize(0..64).prop_map(Op::Release),
         1 => Just(Op::MinorGc),
         1 => Just(Op::MajorGc),
-        2 => (0usize..64, 1u64..8).prop_map(|(a, l)| Op::TagAndMove(a, l)),
+        2 => (range_usize(0..64), range_u64(1..8)).prop_map(|(a, l)| Op::TagAndMove(a, l)),
     ]
 }
 
@@ -45,98 +52,105 @@ struct ModelNode {
     released: bool,
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn mutation_programs_preserve_the_graph() {
+    check(
+        "mutation_programs_preserve_the_graph",
+        &vec_of(op_strategy(), 1..80),
+        &Config::with_cases(64),
+        |ops: Vec<Op>| {
+            let mut heap = Heap::new(HeapConfig::with_words(4096, 16384));
+            heap.enable_teraheap(
+                H2Config {
+                    region_words: 2048,
+                    n_regions: 16,
+                    card_seg_words: 256,
+                    resident_budget_bytes: 64 << 10,
+                    page_size: 4096,
+                    promo_buffer_bytes: 8 << 10,
+                },
+                DeviceSpec::nvme_ssd(),
+            );
+            let class = heap.register_class("PropNode", 1, 1);
+            let mut handles: Vec<Handle> = Vec::new();
+            let mut model: Vec<ModelNode> = Vec::new();
 
-    #[test]
-    fn mutation_programs_preserve_the_graph(ops in prop::collection::vec(op_strategy(), 1..80)) {
-        let mut heap = Heap::new(HeapConfig::with_words(4096, 16384));
-        heap.enable_teraheap(
-            H2Config {
-                region_words: 2048,
-                n_regions: 16,
-                card_seg_words: 256,
-                resident_budget_bytes: 64 << 10,
-                page_size: 4096,
-                promo_buffer_bytes: 8 << 10,
-            },
-            DeviceSpec::nvme_ssd(),
-        );
-        let class = heap.register_class("PropNode", 1, 1);
-        let mut handles: Vec<Handle> = Vec::new();
-        let mut model: Vec<ModelNode> = Vec::new();
+            for op in ops {
+                match op {
+                    Op::Alloc(v) => {
+                        let h = heap.alloc(class).unwrap();
+                        heap.write_prim(h, 0, v);
+                        handles.push(h);
+                        model.push(ModelNode { value: v, next: None, released: false });
+                    }
+                    Op::Link(a, b) => {
+                        if a < model.len()
+                            && b < model.len()
+                            && !model[a].released
+                            && !model[b].released
+                        {
+                            heap.write_ref(handles[a], 0, handles[b]);
+                            model[a].next = Some(b);
+                        }
+                    }
+                    Op::Unlink(a) => {
+                        if a < model.len() && !model[a].released {
+                            heap.write_ref_null(handles[a], 0);
+                            model[a].next = None;
+                        }
+                    }
+                    Op::Release(a) => {
+                        if a < model.len() && !model[a].released {
+                            heap.release(handles[a]);
+                            model[a].released = true;
+                        }
+                    }
+                    Op::MinorGc => heap.gc_minor().unwrap(),
+                    Op::MajorGc => heap.gc_major().unwrap(),
+                    Op::TagAndMove(a, l) => {
+                        if a < model.len() && !model[a].released {
+                            heap.h2_tag_root(handles[a], Label::new(l));
+                            heap.h2_move(Label::new(l));
+                        }
+                    }
+                }
+            }
+            heap.gc_major().unwrap();
 
-        for op in ops {
-            match op {
-                Op::Alloc(v) => {
-                    let h = heap.alloc(class).unwrap();
-                    heap.write_prim(h, 0, v);
-                    handles.push(h);
-                    model.push(ModelNode { value: v, next: None, released: false });
+            // Every un-released node must still hold its payload, and chains of
+            // `next` references must match the model (following up to 64 hops;
+            // the model may contain cycles through released-but-reachable nodes,
+            // which is fine — values still must match).
+            for (i, m) in model.iter().enumerate() {
+                if m.released {
+                    continue;
                 }
-                Op::Link(a, b) => {
-                    if a < model.len() && b < model.len()
-                        && !model[a].released && !model[b].released {
-                        heap.write_ref(handles[a], 0, handles[b]);
-                        model[a].next = Some(b);
+                prop_assert_eq!(heap.read_prim(handles[i], 0), m.value);
+                let mut heap_cur = handles[i];
+                let mut model_cur = i;
+                let mut owned: Vec<Handle> = Vec::new();
+                for _ in 0..64 {
+                    match model[model_cur].next {
+                        None => {
+                            prop_assert!(heap.ref_is_null(heap_cur, 0));
+                            break;
+                        }
+                        Some(nm) => {
+                            let nh = heap.read_ref(heap_cur, 0);
+                            prop_assert!(nh.is_some(), "model expects a link");
+                            let nh = nh.unwrap();
+                            owned.push(nh);
+                            prop_assert_eq!(heap.read_prim(nh, 0), model[nm].value);
+                            heap_cur = nh;
+                            model_cur = nm;
+                        }
                     }
                 }
-                Op::Unlink(a) => {
-                    if a < model.len() && !model[a].released {
-                        heap.write_ref_null(handles[a], 0);
-                        model[a].next = None;
-                    }
-                }
-                Op::Release(a) => {
-                    if a < model.len() && !model[a].released {
-                        heap.release(handles[a]);
-                        model[a].released = true;
-                    }
-                }
-                Op::MinorGc => heap.gc_minor().unwrap(),
-                Op::MajorGc => heap.gc_major().unwrap(),
-                Op::TagAndMove(a, l) => {
-                    if a < model.len() && !model[a].released {
-                        heap.h2_tag_root(handles[a], Label::new(l));
-                        heap.h2_move(Label::new(l));
-                    }
+                for h in owned {
+                    heap.release(h);
                 }
             }
-        }
-        heap.gc_major().unwrap();
-
-        // Every un-released node must still hold its payload, and chains of
-        // `next` references must match the model (following up to 64 hops;
-        // the model may contain cycles through released-but-reachable nodes,
-        // which is fine — values still must match).
-        for (i, m) in model.iter().enumerate() {
-            if m.released {
-                continue;
-            }
-            prop_assert_eq!(heap.read_prim(handles[i], 0), m.value);
-            let mut heap_cur = handles[i];
-            let mut model_cur = i;
-            let mut owned: Vec<Handle> = Vec::new();
-            for _ in 0..64 {
-                match model[model_cur].next {
-                    None => {
-                        prop_assert!(heap.ref_is_null(heap_cur, 0));
-                        break;
-                    }
-                    Some(nm) => {
-                        let nh = heap.read_ref(heap_cur, 0);
-                        prop_assert!(nh.is_some(), "model expects a link");
-                        let nh = nh.unwrap();
-                        owned.push(nh);
-                        prop_assert_eq!(heap.read_prim(nh, 0), model[nm].value);
-                        heap_cur = nh;
-                        model_cur = nm;
-                    }
-                }
-            }
-            for h in owned {
-                heap.release(h);
-            }
-        }
-    }
+            CaseResult::Pass
+        },
+    );
 }

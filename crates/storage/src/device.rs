@@ -15,8 +15,8 @@
 use crate::clock::{Category, SimClock};
 use crate::stats::IoStats;
 use crate::PAGE_SIZE;
-use parking_lot::Mutex;
 use std::sync::Arc;
+use teraheap_util::sync::Mutex;
 
 /// The kind of device backing a mapping or file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

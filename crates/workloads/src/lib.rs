@@ -13,10 +13,12 @@
 //! * [`relational_dataset`] — keyed rows for the SQL-style RDD relational
 //!   workload.
 //!
-//! Everything is seeded and deterministic.
+//! Everything is seeded and deterministic: generation draws from the
+//! in-repo xoshiro256++ generator ([`teraheap_util::rng::Rng`]), so the
+//! exact datasets — and therefore every number in `results/*.csv` — are
+//! pinned by the seed alone, with no external crate in the loop.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use teraheap_util::rng::Rng;
 
 /// A generated directed graph.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,7 +54,7 @@ impl GraphDataset {
 /// hub-dominated structure of social graphs like `datagen-fb`.
 pub fn powerlaw_graph(vertices: usize, avg_degree: usize, seed: u64) -> GraphDataset {
     assert!(vertices > 1, "graph needs at least two vertices");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut edges = Vec::with_capacity(vertices * avg_degree);
     for src in 0..vertices as u32 {
         // Pareto-ish degree: most vertices near the average, hubs far above.
@@ -101,7 +103,7 @@ impl VectorDataset {
 /// centroids, with labels ±1 (linearly separable plus noise) — a stand-in
 /// for the SparkBench LR/LgR/SVM/BC generators.
 pub fn vector_dataset(rows: usize, dims: usize, seed: u64) -> VectorDataset {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut features = Vec::with_capacity(rows * dims);
     let mut labels = Vec::with_capacity(rows);
     for _ in 0..rows {
@@ -128,7 +130,7 @@ pub struct RelationalDataset {
 /// frequencies.
 pub fn relational_dataset(rows: usize, distinct_keys: usize, seed: u64) -> RelationalDataset {
     assert!(distinct_keys > 0);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let data = (0..rows)
         .map(|_| {
             let t: f64 = rng.gen_range(0.0..1.0);

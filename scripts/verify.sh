@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus the hermeticity guard.
+#
+# The workspace is zero-dependency by design (see crates/util): every crate
+# depends only on path = ... workspace members and std, so a clean checkout
+# builds fully offline. This script fails if
+#   1. any Cargo.toml grows a non-path (registry) dependency, or
+#   2. the offline release build or test suite fails.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== hermeticity guard: no registry dependencies =="
+# A registry dependency line looks like `name = "1.2"` or
+# `name = { version = "1", ... }`. Package-metadata keys (version, edition,
+# rust-version, resolver) are the only legitimate `key = "literal"` lines.
+violations=$(grep -nE '^[[:space:]]*[A-Za-z0-9_-]+[[:space:]]*=[[:space:]]*("[0-9^~<>=*]|\{[^}]*\bversion\b)' \
+    Cargo.toml crates/*/Cargo.toml \
+    | grep -vE ':[0-9]+:[[:space:]]*(version|edition|rust-version|resolver)[[:space:]]*=' \
+    || true)
+if [[ -n "$violations" ]]; then
+    echo "ERROR: non-path dependencies found (the workspace must stay hermetic):" >&2
+    echo "$violations" >&2
+    exit 1
+fi
+# Dotted dependency sections (`[dependencies.foo]` + `version = ...`) would
+# slip past the line-based check above because `version` is an allowed key;
+# the workspace uses none, so reject the section form outright.
+if grep -nE '^\[[A-Za-z-]*dependencies\.' Cargo.toml crates/*/Cargo.toml; then
+    echo "ERROR: dotted dependency section found; use inline path/workspace deps." >&2
+    exit 1
+fi
+# Belt and braces: the historical external crates must never reappear.
+if grep -nE '^[^#]*\b(rand|proptest|criterion|crossbeam|parking_lot|bytes|serde)[[:space:]]*=' \
+    Cargo.toml crates/*/Cargo.toml; then
+    echo "ERROR: external crate dependency reintroduced." >&2
+    exit 1
+fi
+echo "ok"
+
+echo "== offline release build =="
+cargo build --release --offline --workspace
+
+echo "== offline tests =="
+cargo test -q --offline --workspace
+
+echo "verify: all checks passed"

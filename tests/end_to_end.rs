@@ -179,7 +179,7 @@ fn enabling_teraheap_is_nearly_free_without_hints() {
     let on = run(true) as f64;
     // The integer-nanosecond cost model floors the range check at 1 ns
     // against a 2 ns field access, so the simulated bound is ~2x the
-    // paper's 3% DaCapo number; the Criterion `barrier` bench measures the
+    // paper's 3% DaCapo number; the `micro` binary's `barrier` bench measures the
     // real check at ~2-4% of the store path.
     assert!(
         (on - off) / off < 0.07,
