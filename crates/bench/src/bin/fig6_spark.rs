@@ -5,22 +5,53 @@
 //! execution-time breakdowns (normalized to the first completing bar, as in
 //! the paper) and marking OOM bars. Writes `results/fig6_spark.csv`.
 //!
+//! Every bar is an independent simulation (own heap, own clock), so the
+//! whole figure fans out across worker threads via
+//! [`teraheap_bench::harness::run_parallel`]; reporting happens from the
+//! ordered results, so the output is identical at any thread count.
+//!
 //! Expected shape (paper): TeraHeap completes at DRAM sizes where Spark-SD
 //! OOMs, and at equal DRAM reduces execution time 18–73%, mostly from major
 //! GC and S/D reductions.
 
 use mini_spark::{run_workload, RunReport};
-use teraheap_bench::harness::{spark_dataset, spark_rows, spark_sd, spark_th, bar, write_csv};
+use teraheap_bench::harness::{
+    bar, run_parallel, spark_dataset, spark_rows, spark_sd, spark_th, write_csv,
+};
 use teraheap_storage::DeviceSpec;
 
 fn main() {
+    let rows = spark_rows();
+    // One job per bar, tagged with its row index and label.
+    let mut meta: Vec<(usize, String)> = Vec::new();
+    let mut jobs: Vec<Box<dyn FnOnce() -> RunReport + Send>> = Vec::new();
+    for (ri, row) in rows.iter().enumerate() {
+        for &dram in row.sd_dram_gb {
+            let r = row.clone();
+            meta.push((ri, format!("Spark-SD {dram}GB")));
+            jobs.push(Box::new(move || {
+                run_workload(r.workload, spark_sd(&r, dram, DeviceSpec::nvme_ssd()), spark_dataset(&r))
+            }));
+        }
+        for &dram in row.th_dram_gb {
+            let r = row.clone();
+            meta.push((ri, format!("TH {dram}GB")));
+            jobs.push(Box::new(move || {
+                run_workload(r.workload, spark_th(&r, dram, DeviceSpec::nvme_ssd()), spark_dataset(&r))
+            }));
+        }
+    }
+    let reports = run_parallel(jobs);
+
     let mut csv: Vec<String> = Vec::new();
     println!("=== Figure 6 (Spark): TeraHeap (TH) vs Spark-SD, NVMe ===\n");
-    for row in spark_rows() {
-        let scale = spark_dataset(&row);
+    let mut idx = 0;
+    for (ri, row) in rows.iter().enumerate() {
         println!("--- Spark-{} (dataset {} GB-scaled) ---", row.workload.name(), row.dataset_gb);
         let mut reference_ns = 0u64;
-        let mut report_bar = |label: String, report: &RunReport, csv: &mut Vec<String>| {
+        while idx < meta.len() && meta[idx].0 == ri {
+            let label = &meta[idx].1;
+            let report = &reports[idx];
             if report.oom {
                 println!("  {label:>18}: OOM");
             } else {
@@ -35,14 +66,7 @@ fn main() {
                 );
             }
             csv.push(format!("{},{}", label.replace(' ', "_"), report.csv_row()));
-        };
-        for &dram in row.sd_dram_gb {
-            let r = run_workload(row.workload, spark_sd(&row, dram, DeviceSpec::nvme_ssd()), scale);
-            report_bar(format!("Spark-SD {dram}GB"), &r, &mut csv);
-        }
-        for &dram in row.th_dram_gb {
-            let r = run_workload(row.workload, spark_th(&row, dram, DeviceSpec::nvme_ssd()), scale);
-            report_bar(format!("TH {dram}GB"), &r, &mut csv);
+            idx += 1;
         }
         println!();
     }

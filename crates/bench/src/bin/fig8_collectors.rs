@@ -1,6 +1,11 @@
 //! Figure 8: TeraHeap vs Parallel Scavenge (OpenJDK 11) vs G1 (OpenJDK 17)
 //! for the ten Spark workloads at equal DRAM.
 //!
+//! The thirty runs (ten workloads × three collectors) are independent
+//! simulations, fanned across worker threads via
+//! [`teraheap_bench::harness::run_parallel`]; output and CSV come from the
+//! ordered results and are identical at any thread count.
+//!
 //! Expected shape (paper): G1 beats PS by cutting GC time (concurrent
 //! marking + garbage-first mixed collections) but cannot remove the S/D
 //! cost of the serialized cache; TeraHeap beats G1 by 21–48%. G1 OOMs on
@@ -8,37 +13,52 @@
 //! regions.
 
 use mini_spark::{run_workload, RunReport};
-use teraheap_bench::harness::{bar, spark_dataset, spark_rows, spark_sd, spark_th, write_csv};
+use teraheap_bench::harness::{
+    bar, run_parallel, spark_dataset, spark_rows, spark_sd, spark_th, write_csv,
+};
 use teraheap_runtime::GcVariant;
 use teraheap_storage::DeviceSpec;
 
 fn main() {
-    let mut csv: Vec<String> = Vec::new();
-    println!("=== Figure 8: PS vs G1 vs TeraHeap (TH), equal DRAM ===\n");
-    for row in spark_rows() {
-        let scale = spark_dataset(&row);
+    let rows = spark_rows();
+    let mut jobs: Vec<Box<dyn FnOnce() -> RunReport + Send>> = Vec::new();
+    for row in &rows {
         let dram = row.th_dram_gb[row.th_dram_gb.len() - 1];
         // PS: plain Spark-SD.
-        let ps_cfg = spark_sd(&row, dram, DeviceSpec::nvme_ssd());
+        let r = row.clone();
+        jobs.push(Box::new(move || {
+            run_workload(r.workload, spark_sd(&r, dram, DeviceSpec::nvme_ssd()), spark_dataset(&r))
+        }));
         // G1: same cache mode, G1 collector with region size heap/256.
-        let mut g1_cfg = ps_cfg;
-        g1_cfg.heap.variant = GcVariant::G1 {
-            region_words: g1_cfg.heap.h1_words() / 128,
-        };
-        let th_cfg = spark_th(&row, dram, DeviceSpec::nvme_ssd());
+        let r = row.clone();
+        jobs.push(Box::new(move || {
+            let mut cfg = spark_sd(&r, dram, DeviceSpec::nvme_ssd());
+            cfg.heap.variant = GcVariant::G1 {
+                region_words: cfg.heap.h1_words() / 128,
+            };
+            run_workload(r.workload, cfg, spark_dataset(&r))
+        }));
+        let r = row.clone();
+        jobs.push(Box::new(move || {
+            run_workload(r.workload, spark_th(&r, dram, DeviceSpec::nvme_ssd()), spark_dataset(&r))
+        }));
+    }
+    let reports = run_parallel(jobs);
 
-        let ps = run_workload(row.workload, ps_cfg, scale);
-        let g1 = run_workload(row.workload, g1_cfg, scale);
-        let th = run_workload(row.workload, th_cfg, scale);
+    let mut csv: Vec<String> = Vec::new();
+    println!("=== Figure 8: PS vs G1 vs TeraHeap (TH), equal DRAM ===\n");
+    for (ri, row) in rows.iter().enumerate() {
+        let dram = row.th_dram_gb[row.th_dram_gb.len() - 1];
+        let trio = &reports[3 * ri..3 * ri + 3];
         // Normalize to the first completing configuration, as the paper does.
-        let reference = [&ps, &g1, &th]
+        let reference = trio
             .iter()
             .find(|r| !r.oom)
             .map(|r| r.breakdown.total_ns())
             .unwrap_or(1)
             .max(1);
         println!("--- {} at {} GB DRAM ---", row.workload.name(), dram);
-        for (label, r) in [("PS", &ps), ("G1", &g1), ("TH", &th)] {
+        for (label, r) in ["PS", "G1", "TH"].iter().zip(trio) {
             if r.oom {
                 println!("  {label:>3}: OOM");
             } else {

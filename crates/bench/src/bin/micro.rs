@@ -4,6 +4,10 @@
 //!
 //! * `barrier/*` — post-write barrier with and without the TeraHeap
 //!   reference range check (the §4 DaCapo ≤3% overhead claim);
+//! * `gc/*` — whole minor/major collections over a linked graph (the
+//!   allocation-free tracing, forwarding-table and stash-arena paths);
+//! * `h1_cards/*` — H1 dirty-card indexing: sparse scan and barrier mark;
+//! * `mmap/*` — page-cache touch on the last-page TLB fast path;
 //! * `h2_cards/*` — H2 card-table scanning at several segment sizes;
 //! * `regions/*` — region allocation and bulk reclamation;
 //! * `serde/*` — kryo-sim serialize/deserialize round trips;
@@ -18,6 +22,26 @@ use teraheap_core::{Addr, H2CardTable, Label, Promoter, RegionId, RegionManager}
 use teraheap_runtime::{Heap, HeapConfig};
 use teraheap_storage::DeviceSpec;
 use teraheap_util::microbench::{black_box, Bench};
+
+/// Builds a heap with a large surviving object graph plus old→young card
+/// traffic — the shape that stresses GC tracing and card scanning.
+fn traced_heap() -> (Heap, teraheap_runtime::Handle) {
+    let mut heap = Heap::new(HeapConfig::with_words(24 << 10, 96 << 10));
+    let node = heap.register_class("N", 2, 2);
+    let spine = heap.alloc_ref_array(512).unwrap();
+    for i in 0..512 {
+        let n = heap.alloc(node).unwrap();
+        heap.write_prim(n, 0, i as u64);
+        heap.write_ref(spine, i, n);
+        if i > 0 {
+            let prev = heap.read_ref(spine, i - 1).unwrap();
+            heap.write_ref(prev, 0, n);
+            heap.release(prev);
+        }
+        heap.release(n);
+    }
+    (heap, spine)
+}
 
 fn bench_barrier(bench: &mut Bench) {
     let mut group = bench.group("barrier");
@@ -35,6 +59,63 @@ fn bench_barrier(bench: &mut Bench) {
             });
         });
     }
+    group.finish();
+}
+
+fn bench_gc(bench: &mut Bench) {
+    let mut group = bench.group("gc");
+    // Full minor GC over a linked graph: dominated by the allocation-free
+    // tracing loop (ref_slot_range) and H1 card scanning.
+    group.bench_function("minor_trace", |b| {
+        b.iter_with_setup(traced_heap, |(mut heap, _spine)| {
+            heap.gc_minor().unwrap();
+            black_box(heap.stats().minor_count);
+        });
+    });
+    // Full major GC: marking, the sorted-vec forwarding table, adjust and
+    // compact with the stash arena.
+    group.bench_function("major_compact", |b| {
+        b.iter_with_setup(traced_heap, |(mut heap, _spine)| {
+            heap.gc_major().unwrap();
+            black_box(heap.stats().major_count);
+        });
+    });
+    group.finish();
+}
+
+fn bench_h1_cards(bench: &mut Bench) {
+    let mut group = bench.group("h1_cards");
+    // Sparse dirty set over a large old generation: the indexed dirty-word
+    // list vs what used to be a full table sweep.
+    group.bench_function("sparse_scan", |b| {
+        let mut t = teraheap_runtime::space::H1CardTable::new(Addr::new(0), 1 << 22, 64);
+        for i in (0..t.card_count()).step_by(97) {
+            t.mark_dirty(Addr::new((i * 64) as u64));
+        }
+        b.iter(|| black_box(t.dirty_cards().len()));
+    });
+    group.bench_function("barrier_mark", |b| {
+        let mut t = teraheap_runtime::space::H1CardTable::new(Addr::new(0), 1 << 22, 64);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 4097) % (1 << 22);
+            t.mark_dirty(Addr::new(black_box(i)));
+        });
+    });
+    group.finish();
+}
+
+fn bench_mmap(bench: &mut Bench) {
+    use std::sync::Arc;
+    use teraheap_storage::{Category, MmapSim, SimClock};
+    let mut group = bench.group("mmap");
+    // Word-at-a-time run over one resident page: the last-page TLB path.
+    group.bench_function("touch_same_page", |b| {
+        let clock = Arc::new(SimClock::new());
+        let mut map = MmapSim::new(DeviceSpec::nvme_ssd(), 1 << 20, 1 << 20, 4096, clock);
+        map.touch_read(0, 8, Category::Mutator);
+        b.iter(|| map.touch_read(black_box(64), 8, Category::Mutator));
+    });
     group.finish();
 }
 
@@ -150,6 +231,9 @@ fn bench_promo(bench: &mut Bench) {
 fn main() {
     let mut bench = Bench::new();
     bench_barrier(&mut bench);
+    bench_gc(&mut bench);
+    bench_h1_cards(&mut bench);
+    bench_mmap(&mut bench);
     bench_h2_cards(&mut bench);
     bench_regions(&mut bench);
     bench_serde(&mut bench);

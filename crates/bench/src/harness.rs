@@ -225,6 +225,60 @@ pub fn giraph_th(row: &GiraphRow, dram_gb: usize) -> GiraphConfig {
     }
 }
 
+/// Worker-thread count for the parallel bench driver: the
+/// `TERAHEAP_BENCH_THREADS` override if set, else the machine's available
+/// parallelism.
+pub fn bench_threads() -> usize {
+    match std::env::var("TERAHEAP_BENCH_THREADS") {
+        Ok(v) => v.parse().ok().filter(|&n| n > 0).unwrap_or(1),
+        Err(_) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Runs independent benchmark jobs across [`bench_threads`] worker threads
+/// and returns their results **in input order** — each simulation owns its
+/// heap and clock, so fanning whole configurations out is safe, and the
+/// caller prints/serializes from the ordered results, keeping every CSV
+/// byte-identical to a sequential run regardless of the thread count.
+pub fn run_parallel<T, F>(jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    let workers = bench_threads().min(jobs.len().max(1));
+    if workers <= 1 {
+        return jobs.into_iter().map(|f| f()).collect();
+    }
+    let pending: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|f| Mutex::new(Some(f))).collect();
+    let results: Vec<Mutex<Option<T>>> = (0..pending.len()).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= pending.len() {
+                    break;
+                }
+                let job = pending[i]
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("job claimed exactly once");
+                let out = job();
+                *results[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker completed the job"))
+        .collect()
+}
+
 /// Writes `rows` (comma-separated lines) under `results/<name>.csv`,
 /// creating the directory if needed. Returns the path written.
 pub fn write_csv(name: &str, header: &str, rows: &[String]) -> std::path::PathBuf {

@@ -44,11 +44,26 @@ pub enum CardState {
 }
 
 /// The H2 card table: a DRAM byte array with one entry per H2 segment.
+///
+/// In addition to the byte array, the table maintains an incremental index
+/// of cards that may be non-`Clean` (`noted` + a `listed` membership flag
+/// per card): the write barrier and `set_state` append to it, and the GC
+/// scan-list queries ([`H2CardTable::minor_scan_cards`],
+/// [`H2CardTable::major_scan_cards`]) walk only the noted cards instead of
+/// sweeping the whole table — the table is sized for all of H2 while the
+/// working set of interesting cards is usually tiny.
+///
+/// Invariant: every non-`Clean` card is in `noted`. Cards that went back to
+/// `Clean` stay listed until the next scan-list query reconciles the index
+/// (lazy deletion). Scan order is ascending card index, identical to the
+/// full sweep it replaces.
 #[derive(Debug, Clone)]
 pub struct H2CardTable {
     seg_words: usize,
     stripe_words: usize,
     cards: Vec<CardState>,
+    noted: Vec<u32>,
+    listed: Vec<bool>,
 }
 
 impl H2CardTable {
@@ -72,6 +87,16 @@ impl H2CardTable {
             seg_words,
             stripe_words,
             cards: vec![CardState::Clean; n],
+            noted: Vec::new(),
+            listed: vec![false; n],
+        }
+    }
+
+    /// Adds card `idx` to the incremental non-`Clean` index.
+    fn note(&mut self, idx: usize) {
+        if !self.listed[idx] {
+            self.listed[idx] = true;
+            self.noted.push(idx as u32);
         }
     }
 
@@ -103,31 +128,49 @@ impl H2CardTable {
     /// Sets card `idx` to `state` (GC re-examination outcome).
     pub fn set_state(&mut self, idx: usize, state: CardState) {
         self.cards[idx] = state;
+        if state != CardState::Clean {
+            self.note(idx);
+        }
     }
 
     /// Post-write-barrier entry: marks the card covering `addr` dirty.
     pub fn mark_dirty(&mut self, addr: Addr) {
         let idx = self.card_of(addr);
         self.cards[idx] = CardState::Dirty;
+        self.note(idx);
     }
 
     /// Cards that minor GC must scan: `Dirty` or `YoungGen`.
-    pub fn minor_scan_cards(&self) -> Vec<usize> {
+    pub fn minor_scan_cards(&mut self) -> Vec<usize> {
         self.collect(|s| matches!(s, CardState::Dirty | CardState::YoungGen))
     }
 
     /// Cards that major GC must scan: everything except `Clean`.
-    pub fn major_scan_cards(&self) -> Vec<usize> {
+    pub fn major_scan_cards(&mut self) -> Vec<usize> {
         self.collect(|s| s != CardState::Clean)
     }
 
-    fn collect(&self, pred: impl Fn(CardState) -> bool) -> Vec<usize> {
-        self.cards
-            .iter()
-            .enumerate()
-            .filter(|(_, &s)| pred(s))
-            .map(|(i, _)| i)
-            .collect()
+    /// Walks the noted-card index in ascending order, dropping entries that
+    /// went back to `Clean` (lazy deletion) and returning those matching
+    /// `pred` — same output as a full table sweep would produce.
+    fn collect(&mut self, pred: impl Fn(CardState) -> bool) -> Vec<usize> {
+        self.noted.sort_unstable();
+        self.noted.dedup();
+        let mut out = Vec::new();
+        let cards = &self.cards;
+        let listed = &mut self.listed;
+        self.noted.retain(|&i| {
+            let s = cards[i as usize];
+            if s == CardState::Clean {
+                listed[i as usize] = false;
+                return false;
+            }
+            if pred(s) {
+                out.push(i as usize);
+            }
+            true
+        });
+        out
     }
 
     /// The stripe containing card `idx`.

@@ -174,6 +174,46 @@ fn card_table_never_loses_dirty_marks() {
     );
 }
 
+/// Whatever interleaving of barrier marks and GC state re-derivations hits
+/// the table, the maintained noted-card index returns exactly what a full
+/// sweep of the byte array would: same cards, same ascending order, for
+/// both the minor and the major scan set.
+#[test]
+fn card_index_matches_full_sweep() {
+    // Ops: (card, state-code). Code 0..=3 = set_state(CardState), 4 =
+    // mark_dirty via an address in the card, 5 = query (forces the lazy
+    // index reconciliation mid-sequence, not just at the end).
+    check(
+        "card_index_matches_full_sweep",
+        &vec_of((range_usize(0..64), range_usize(0..6)), 1..200),
+        &Config::with_cases(CASES),
+        |ops: Vec<(usize, usize)>| {
+            let mut t = H2CardTable::new(4096, 64, 256);
+            for &(card, code) in &ops {
+                match code {
+                    0 => t.set_state(card, CardState::Clean),
+                    1 => t.set_state(card, CardState::Dirty),
+                    2 => t.set_state(card, CardState::YoungGen),
+                    3 => t.set_state(card, CardState::OldGen),
+                    4 => t.mark_dirty(Addr::h2_at((card * 64 + 7) as u64)),
+                    _ => {
+                        let _ = t.minor_scan_cards();
+                    }
+                }
+            }
+            // Full-sweep reference over the authoritative byte array.
+            let sweep = |pred: &dyn Fn(CardState) -> bool| -> Vec<usize> {
+                (0..t.card_count()).filter(|&i| pred(t.state(i))).collect()
+            };
+            let minor_ref = sweep(&|s| matches!(s, CardState::Dirty | CardState::YoungGen));
+            let major_ref = sweep(&|s| s != CardState::Clean);
+            prop_assert_eq!(t.minor_scan_cards(), minor_ref);
+            prop_assert_eq!(t.major_scan_cards(), major_ref);
+            CaseResult::Pass
+        },
+    );
+}
+
 /// Allocation within one label is contiguous and append-only until a
 /// region fills, and no two live objects ever overlap.
 #[test]

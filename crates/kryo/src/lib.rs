@@ -96,14 +96,18 @@ pub fn serialize(heap: &mut Heap, root: Handle) -> Result<Vec<u8>, OomError> {
     }
 
     let mut out: Vec<u8> = Vec::new();
+    let mut scratch: Vec<u64> = Vec::new();
     out.extend_from_slice(&(order.len() as u32).to_le_bytes());
     for &h in &order {
         let class = heap.class_of(h);
         if class == PRIM_ARRAY_CLASS {
             let len = heap.array_len(h);
             push_class(&mut out, class.0, KIND_PRIM_ARRAY, len as u32);
-            for i in 0..len {
-                out.extend_from_slice(&heap.read_prim(h, i).to_le_bytes());
+            scratch.resize(len, 0);
+            heap.read_prims(h, 0, &mut scratch);
+            out.reserve(len * 8);
+            for &w in &scratch {
+                out.extend_from_slice(&w.to_le_bytes());
             }
         } else if class == OBJ_ARRAY_CLASS {
             let len = heap.array_len(h);
@@ -119,8 +123,10 @@ pub fn serialize(heap: &mut Heap, root: Handle) -> Result<Vec<u8>, OomError> {
                 write_ref_index(&mut out, heap, h, i, &index);
             }
             out.extend_from_slice(&(prims as u32).to_le_bytes());
-            for i in 0..prims {
-                out.extend_from_slice(&heap.read_prim(h, i).to_le_bytes());
+            scratch.resize(prims, 0);
+            heap.read_prims(h, 0, &mut scratch);
+            for &w in &scratch {
+                out.extend_from_slice(&w.to_le_bytes());
             }
         }
     }
@@ -168,6 +174,7 @@ fn write_ref_index(
 pub fn deserialize(heap: &mut Heap, bytes: &[u8]) -> Result<Handle, OomError> {
     let mut r = Reader { b: bytes, pos: 0 };
     let count = r.u32() as usize;
+    let mut scratch: Vec<u64> = Vec::new();
     let mut handles: Vec<Handle> = Vec::with_capacity(count);
     let mut pending_refs: Vec<(usize, usize, u32)> = Vec::new(); // (obj, field, target+1)
     for obj_i in 0..count {
@@ -181,9 +188,9 @@ pub fn deserialize(heap: &mut Heap, bytes: &[u8]) -> Result<Handle, OomError> {
         let h = match kind {
             KIND_PRIM_ARRAY => {
                 let h = heap.alloc_prim_array(len)?;
-                for i in 0..len {
-                    heap.write_prim(h, i, r.u64());
-                }
+                scratch.clear();
+                scratch.extend((0..len).map(|_| r.u64()));
+                heap.write_prims(h, 0, &scratch);
                 h
             }
             KIND_REF_ARRAY => {
@@ -205,9 +212,9 @@ pub fn deserialize(heap: &mut Heap, bytes: &[u8]) -> Result<Handle, OomError> {
                     }
                 }
                 let prims = r.u32() as usize;
-                for i in 0..prims {
-                    heap.write_prim(h, i, r.u64());
-                }
+                scratch.clear();
+                scratch.extend((0..prims).map(|_| r.u64()));
+                heap.write_prims(h, 0, &scratch);
                 h
             }
             k => panic!("malformed stream: unknown object kind {k}"),

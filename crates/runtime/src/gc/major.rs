@@ -66,9 +66,10 @@ pub(crate) fn major_gc(heap: &mut Heap) -> Result<(), OomError> {
     let mut live_words: u64 = 0;
     while let Some(obj) = stack.pop() {
         live_words += heap.object_size(obj) as u64;
-        for slot in heap.ref_slots(obj) {
+        let (first_slot, end_slot) = heap.ref_slot_range(obj);
+        for s in first_slot..end_slot {
             work.refs += 1;
-            let val = heap.mem[slot.raw() as usize];
+            let val = heap.mem[s as usize];
             if val == 0 {
                 continue;
             }
@@ -133,7 +134,8 @@ pub(crate) fn major_gc(heap: &mut Heap) -> Result<(), OomError> {
     old_live.sort_unstable();
     young_live.sort_unstable();
 
-    let mut forwarding: HashMap<u64, u64> = HashMap::with_capacity(live.len());
+    let mut forwarding =
+        ForwardTable::recycled(std::mem::take(&mut heap.fwd_scratch), heap.mem.len(), live.len());
     let mut new_top = old_base;
     let mut new_old_starts: Vec<u64> = Vec::new();
     // Per-G1-region live words in the old generation, for the mixed-
@@ -153,7 +155,7 @@ pub(crate) fn major_gc(heap: &mut Heap) -> Result<(), OomError> {
         work.objects += 1;
         match heap.h2.as_mut().expect("candidate without H2").alloc(label, size) {
             Ok(dest) => {
-                forwarding.insert(src, dest.raw());
+                forwarding.push(src, dest.raw());
             }
             Err(_) => {
                 // H2 full: the object stays in H1 this cycle.
@@ -163,10 +165,11 @@ pub(crate) fn major_gc(heap: &mut Heap) -> Result<(), OomError> {
     }
     for &src in old_live.iter().chain(young_live.iter()) {
         let addr = Addr::new(src);
-        if forwarding.contains_key(&src) {
-            continue; // already assigned to H2
-        }
         let header = heap.mem[src as usize];
+        if object::is_candidate(header) {
+            continue; // already assigned to H2 (an H2-alloc failure above
+                      // would have cleared the candidate bit)
+        }
         let size = object::size_of(header);
         work.objects += 1;
         if let GcVariant::G1 { region_words } = heap.config.variant {
@@ -195,7 +198,7 @@ pub(crate) fn major_gc(heap: &mut Heap) -> Result<(), OomError> {
         if footprint > size {
             heap.stats.g1_humongous_waste_words += (footprint - size) as u64;
         }
-        forwarding.insert(src, new_top);
+        forwarding.push(src, new_top);
         new_old_starts.push(new_top);
         new_top += footprint as u64;
     }
@@ -218,10 +221,12 @@ pub(crate) fn major_gc(heap: &mut Heap) -> Result<(), OomError> {
     }
 
     for &src in old_live.iter().chain(young_live.iter()) {
-        let dest = forwarding[&src];
+        let dest = forwarding.at(src);
         let dest_addr = Addr::new(dest);
         let dest_is_h2 = dest_addr.is_h2();
-        for slot in heap.ref_slots(Addr::new(src)) {
+        let (first_slot, end_slot) = heap.ref_slot_range(Addr::new(src));
+        for s in first_slot..end_slot {
+            let slot = Addr::new(s);
             let val = heap.mem[slot.raw() as usize];
             if val == 0 {
                 continue;
@@ -231,7 +236,7 @@ pub(crate) fn major_gc(heap: &mut Heap) -> Result<(), OomError> {
             let new_val = if Addr::new(val).is_h2() {
                 val // H2 objects never move
             } else {
-                *forwarding.get(&val).unwrap_or(&val)
+                forwarding.get(val).unwrap_or(val)
             };
             heap.mem[slot.raw() as usize] = new_val;
             if dest_is_h2 {
@@ -259,7 +264,7 @@ pub(crate) fn major_gc(heap: &mut Heap) -> Result<(), OomError> {
     for i in 0..heap.roots.len() {
         let a = heap.roots[i];
         if a.is_h1() {
-            if let Some(&d) = forwarding.get(&a.raw()) {
+            if let Some(d) = forwarding.get(a.raw()) {
                 heap.roots[i] = Addr::new(d);
             }
         }
@@ -271,7 +276,7 @@ pub(crate) fn major_gc(heap: &mut Heap) -> Result<(), OomError> {
         if val == 0 || Addr::new(val).is_h2() {
             continue;
         }
-        let new_val = *forwarding.get(&val).unwrap_or(&val);
+        let new_val = forwarding.get(val).unwrap_or(val);
         if new_val != val {
             heap.h2.as_mut().unwrap().write_word(slot, new_val, Category::MajorGc);
         }
@@ -285,35 +290,63 @@ pub(crate) fn major_gc(heap: &mut Heap) -> Result<(), OomError> {
     // ---------------- Phase 4: compaction ---------------------------------
     let phase_start = heap.clock.total_ns();
     let mut work = Work::default();
-    let mut stash: Vec<(u64, Vec<u64>)> = Vec::new();
+    // Deferred-copy arena: one growable buffer instead of a `Vec<u64>`
+    // allocation per stashed object.
+    let mut stash_words: Vec<u64> = Vec::new();
+    let mut stash_meta: Vec<(u64, usize, usize)> = Vec::new(); // (dest, offset, len)
     let mut h1_copied_words: u64 = 0;
+    let mut promoted_regions: Vec<u32> = Vec::new();
     for &src in old_live.iter().chain(young_live.iter()) {
-        let dest = forwarding[&src];
+        let dest = forwarding.at(src);
         let size = object::size_of(heap.mem[src as usize]);
         // Clear GC bits in the header before the object reaches its new home.
         heap.mem[src as usize] =
             object::without_candidate(object::without_mark(heap.mem[src as usize]));
         work.copied_words += size as u64;
+        let (src_i, src_end) = (src as usize, src as usize + size);
         if Addr::new(dest).is_h2() {
-            let words: Vec<u64> = heap.mem[src as usize..src as usize + size].to_vec();
-            let h2 = heap.h2.as_mut().unwrap();
-            h2.write_promoted(Addr::new(dest), &words, Category::MajorGc);
-            let region = h2.regions().region_of(Addr::new(dest));
+            // Split-field borrow: stream the object out of `mem` straight
+            // into the promotion buffer, no intermediate copy.
+            let region = {
+                let Heap { mem, h2, .. } = &mut *heap;
+                let h2 = h2.as_mut().unwrap();
+                h2.write_promoted(Addr::new(dest), &mem[src_i..src_end], Category::MajorGc);
+                h2.regions().region_of(Addr::new(dest))
+            };
             heap.h2_starts.entry(region.0).or_default().push(dest);
+            if promoted_regions.last() != Some(&region.0) {
+                promoted_regions.push(region.0);
+            }
             heap.stats.objects_promoted_h2 += 1;
         } else if dest <= src {
-            heap.mem.copy_within(src as usize..src as usize + size, dest as usize);
+            heap.mem.copy_within(src_i..src_end, dest as usize);
             h1_copied_words += size as u64;
             work.extra_ns += heap.h1_word_extra_ns(Addr::new(dest)) * size as u64;
         } else {
             // G1 humongous rounding can push a destination past its source;
             // buffer such copies until every source has been read.
-            stash.push((dest, heap.mem[src as usize..src as usize + size].to_vec()));
+            let off = stash_words.len();
+            stash_words.extend_from_slice(&heap.mem[src_i..src_end]);
+            stash_meta.push((dest, off, size));
             h1_copied_words += size as u64;
         }
     }
-    for (dest, words) in stash {
-        heap.mem[dest as usize..dest as usize + words.len()].copy_from_slice(&words);
+    for (dest, off, len) in stash_meta {
+        heap.mem[dest as usize..dest as usize + len]
+            .copy_from_slice(&stash_words[off..off + len]);
+    }
+    heap.fwd_scratch = forwarding.reset();
+    // The compaction loop above visits sources in H1 address order, but H2
+    // destinations were assigned in closure-discovery order (phase 2), so the
+    // per-region start lists are appended out of address order. Card scans
+    // binary-search these lists (`first_overlapping`), which silently misses
+    // objects on unsorted input — restore the sort invariant here.
+    promoted_regions.sort_unstable();
+    promoted_regions.dedup();
+    for rid in promoted_regions {
+        if let Some(starts) = heap.h2_starts.get_mut(&rid) {
+            starts.sort_unstable();
+        }
     }
     if let Some(h2) = heap.h2.as_mut() {
         h2.finish_promotion(Category::MajorGc);
@@ -357,6 +390,63 @@ pub(crate) fn major_gc(heap: &mut Heap) -> Result<(), OomError> {
     Ok(())
 }
 
+/// The compaction forwarding table: `src → dest` for every live object.
+///
+/// Hit once per reference slot during pointer adjustment and once per object
+/// during compaction, this went `HashMap<u64, u64>` → sorted vec + binary
+/// search → (now) a dense direct-mapped array indexed by the H1 source
+/// address: one bounds-checked load per lookup, no hashing and no
+/// `log(live)` probe. The array spans the whole H1 word range, so it is
+/// recycled across collections through `Heap::fwd_scratch` (zeroed lazily by
+/// [`ForwardTable::reset`], which only touches the entries this GC set)
+/// instead of being reallocated and memset every major GC. Entries store
+/// `dest + 1` so 0 means "not forwarded"; H2 destinations (`1 << 40` and up)
+/// cannot overflow the +1.
+struct ForwardTable {
+    dense: Vec<u64>,
+    srcs: Vec<u64>,
+}
+
+impl ForwardTable {
+    /// Builds the table over `heap_words` of H1, reusing `recycled` (the
+    /// previous GC's array, already reset to all-zero) when it is the right
+    /// size.
+    fn recycled(recycled: Vec<u64>, heap_words: usize, live: usize) -> Self {
+        let mut dense = recycled;
+        dense.resize(heap_words, 0);
+        ForwardTable { dense, srcs: Vec::with_capacity(live) }
+    }
+
+    /// Records `src → dest`. Sources must be unique (every live object has
+    /// exactly one destination).
+    fn push(&mut self, src: u64, dest: u64) {
+        debug_assert_eq!(self.dense[src as usize], 0, "duplicate forwarding source");
+        self.dense[src as usize] = dest + 1;
+        self.srcs.push(src);
+    }
+
+    fn get(&self, src: u64) -> Option<u64> {
+        match self.dense.get(src as usize) {
+            Some(&v) if v != 0 => Some(v - 1),
+            _ => None,
+        }
+    }
+
+    /// Lookup that must succeed (the table covers every live object).
+    fn at(&self, src: u64) -> u64 {
+        self.get(src).expect("live object missing from the forwarding table")
+    }
+
+    /// Clears the entries this GC set and hands the all-zero array back for
+    /// the next collection.
+    fn reset(mut self) -> Vec<u64> {
+        for src in self.srcs {
+            self.dense[src as usize] = 0;
+        }
+        self.dense
+    }
+}
+
 fn mark_push(heap: &mut Heap, addr: Addr, stack: &mut Vec<Addr>, live: &mut Vec<u64>, work: &mut Work) {
     debug_assert!(addr.is_h1());
     let header = heap.mem[addr.raw() as usize];
@@ -384,17 +474,26 @@ fn scan_h2_cards_major(
     if heap.h2.is_none() {
         return;
     }
-    let cards = heap.h2.as_ref().unwrap().cards().major_scan_cards();
+    let cards = heap.h2.as_mut().unwrap().cards_mut().major_scan_cards();
     work.cards += cards.len() as u64;
     let seg_words = heap.h2.as_ref().unwrap().cards().seg_words() as u64;
     let region_words = heap.h2.as_ref().unwrap().regions().region_words() as u64;
+    // Take/put-back the region's start index instead of cloning it per card
+    // (consecutive cards usually share a region).
+    let mut cached: Option<(u32, Vec<u64>)> = None;
     for card in cards {
         let base = heap.h2.as_ref().unwrap().cards().card_base(card);
         let region = (base.h2_offset() / region_words) as u32;
         let lo = base.raw();
         let hi = lo + seg_words;
-        let starts = match heap.h2_starts.get(&region) {
-            Some(s) => s.clone(),
+        if cached.as_ref().map(|&(r, _)| r) != Some(region) {
+            if let Some((r, v)) = cached.take() {
+                heap.h2_starts.insert(r, v);
+            }
+            cached = heap.h2_starts.remove(&region).map(|v| (region, v));
+        }
+        let starts = match &cached {
+            Some((_, s)) => s,
             None => {
                 scanned_cards.push((card, false));
                 continue;
@@ -409,7 +508,9 @@ fn scan_h2_cards_major(
                 let size = object::size_of(header) as u64;
                 work.objects += 1;
                 if obj.raw() + size > lo {
-                    for slot in h2_ref_slots_in(heap, obj, lo, hi) {
+                    let (first_slot, end_slot) = heap.ref_slot_range_in(obj, lo, hi);
+                    for s in first_slot..end_slot {
+                        let slot = Addr::new(s);
                         work.refs += 1;
                         let val = heap.h2.as_mut().unwrap().read_word(slot, Category::MajorGc);
                         if val == 0 {
@@ -438,27 +539,9 @@ fn scan_h2_cards_major(
         }
         scanned_cards.push((card, has_backward));
     }
-}
-
-/// Reference slots of the H2 object at `obj` within `[lo, hi)`.
-fn h2_ref_slots_in(heap: &mut Heap, obj: Addr, lo: u64, hi: u64) -> Vec<Addr> {
-    let header = heap.h2.as_ref().unwrap().read_word_free(obj);
-    let class = object::class_of(header);
-    if class == crate::class::PRIM_ARRAY_CLASS {
-        return Vec::new();
+    if let Some((r, v)) = cached.take() {
+        heap.h2_starts.insert(r, v);
     }
-    if class == crate::class::OBJ_ARRAY_CLASS {
-        let len = heap.h2.as_ref().unwrap().read_word_free(obj.add(object::HEADER_WORDS as u64));
-        let first = obj.raw() + (object::HEADER_WORDS + object::ARRAY_LEN_WORDS) as u64;
-        let start = first.max(lo);
-        let end = (first + len).min(hi);
-        return (start..end).map(Addr::new).collect();
-    }
-    let refs = heap.classes.get(class).ref_fields;
-    (0..refs)
-        .map(|i| obj.add((object::HEADER_WORDS + i) as u64))
-        .filter(|s| s.raw() >= lo && s.raw() < hi)
-        .collect()
 }
 
 /// Marking-phase task 4: find live tagged root key-objects, decide which
@@ -569,8 +652,9 @@ fn tag_closure(
         // Push in reverse so the LIFO pops children in field/element order:
         // the placement order then matches the mutator's forward traversal,
         // which is what makes H2 scans sequential on the device.
-        for slot in heap.ref_slots(obj).into_iter().rev() {
-            let val = heap.mem[slot.raw() as usize];
+        let (first_slot, end_slot) = heap.ref_slot_range(obj);
+        for s in (first_slot..end_slot).rev() {
+            let val = heap.mem[s as usize];
             if val != 0 && Addr::new(val).is_h1() {
                 stack.push(Addr::new(val));
             }
@@ -646,38 +730,23 @@ fn record_h2_liveness(heap: &mut Heap) {
             };
             let h2 = heap.h2.as_mut().unwrap();
             h2.regions_mut().record_live_object(obj, size);
-            for slot in h2_ref_slots_all(heap, obj) {
-                let val = heap.h2.as_ref().unwrap().read_word_free(slot);
+            // `ref_slot_range` reads H2 headers through the uncharged path,
+            // matching this statistics pass.
+            let (first_slot, end_slot) = heap.ref_slot_range(obj);
+            for s in first_slot..end_slot {
+                let val = heap.h2.as_ref().unwrap().read_word_free(Addr::new(s));
                 if val != 0 {
                     stack.push(Addr::new(val));
                 }
             }
         } else {
-            for slot in heap.ref_slots(obj) {
-                let val = heap.mem[slot.raw() as usize];
+            let (first_slot, end_slot) = heap.ref_slot_range(obj);
+            for s in first_slot..end_slot {
+                let val = heap.mem[s as usize];
                 if val != 0 {
                     stack.push(Addr::new(val));
                 }
             }
         }
     }
-}
-
-/// All reference slots of an H2 object (uncharged; statistics pass).
-fn h2_ref_slots_all(heap: &Heap, obj: Addr) -> Vec<Addr> {
-    let h2 = heap.h2.as_ref().unwrap();
-    let header = h2.read_word_free(obj);
-    let class = object::class_of(header);
-    if class == crate::class::PRIM_ARRAY_CLASS {
-        return Vec::new();
-    }
-    if class == crate::class::OBJ_ARRAY_CLASS {
-        let len = h2.read_word_free(obj.add(object::HEADER_WORDS as u64)) as usize;
-        let first = object::HEADER_WORDS + object::ARRAY_LEN_WORDS;
-        return (0..len).map(|i| obj.add((first + i) as u64)).collect();
-    }
-    let refs = heap.classes.get(class).ref_fields;
-    (0..refs)
-        .map(|i| obj.add((object::HEADER_WORDS + i) as u64))
-        .collect()
 }

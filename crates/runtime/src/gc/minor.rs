@@ -108,7 +108,9 @@ fn copy_young(heap: &mut Heap, addr: Addr, work: &mut Work, worklist: &mut Vec<A
 /// references it now holds.
 fn scan_copied(heap: &mut Heap, obj: Addr, work: &mut Work, worklist: &mut Vec<Addr>) {
     let in_old = heap.old.contains(obj);
-    for slot in heap.ref_slots(obj) {
+    let (first_slot, end_slot) = heap.ref_slot_range(obj);
+    for s in first_slot..end_slot {
+        let slot = Addr::new(s);
         work.refs += 1;
         let val = heap.mem[slot.raw() as usize];
         if val == 0 {
@@ -132,23 +134,6 @@ fn scan_copied(heap: &mut Heap, obj: Addr, work: &mut Work, worklist: &mut Vec<A
     }
 }
 
-/// Reference slots of `obj` whose addresses fall in `[lo, hi)` — used to
-/// scan only the portion of an object overlapping one card segment.
-fn ref_slots_in(heap: &Heap, obj: Addr, lo: u64, hi: u64) -> Vec<Addr> {
-    let class = heap.object_class(obj);
-    if class == crate::class::OBJ_ARRAY_CLASS {
-        let len = heap.word(obj.add(object::HEADER_WORDS as u64));
-        let first = obj.raw() + (object::HEADER_WORDS + object::ARRAY_LEN_WORDS) as u64;
-        let start = first.max(lo);
-        let end = (first + len).min(hi);
-        return (start..end).map(Addr::new).collect();
-    }
-    heap.ref_slots(obj)
-        .into_iter()
-        .filter(|s| s.raw() >= lo && s.raw() < hi)
-        .collect()
-}
-
 /// Index of the first object in `starts` that could overlap an address
 /// range beginning at `base` (i.e. the last object starting at or before
 /// `base`, or the first after it).
@@ -161,7 +146,11 @@ fn scan_h1_cards(heap: &mut Heap, work: &mut Work, worklist: &mut Vec<Addr>) {
     let dirty = heap.h1_cards.dirty_cards();
     work.cards += dirty.len() as u64;
     let seg = heap.h1_cards.seg_words() as u64;
-    let starts = heap.old_starts.clone();
+    // Snapshot the start index by moving it out: objects tenured *during*
+    // this scan (`copy_young` → `alloc_old`) append to the now-empty heap
+    // vector and are re-attached below — same snapshot semantics as a
+    // clone, without copying the index every minor GC.
+    let mut starts = std::mem::take(&mut heap.old_starts);
     for card in dirty {
         let base = heap.h1_cards.card_base(card).raw();
         let end = (base + seg).min(heap.old.top().raw());
@@ -172,7 +161,9 @@ fn scan_h1_cards(heap: &mut Heap, work: &mut Work, worklist: &mut Vec<Addr>) {
                 let obj = Addr::new(starts[i]);
                 let size = heap.object_size(obj) as u64;
                 if obj.raw() + size > base {
-                    for slot in ref_slots_in(heap, obj, base, end) {
+                    let (first_slot, end_slot) = heap.ref_slot_range_in(obj, base, end);
+                    for s in first_slot..end_slot {
+                        let slot = Addr::new(s);
                         work.refs += 1;
                         let val = heap.mem[slot.raw() as usize];
                         if val == 0 {
@@ -201,6 +192,10 @@ fn scan_h1_cards(heap: &mut Heap, work: &mut Work, worklist: &mut Vec<Addr>) {
             heap.h1_cards.clear(card);
         }
     }
+    // Mid-scan tenured objects all sit above the snapshot (old is a bump
+    // allocator), so appending keeps the index sorted.
+    starts.append(&mut heap.old_starts);
+    heap.old_starts = starts;
 }
 
 /// Scans the H2 card table for backward references (§3.4): minor GC visits
@@ -211,20 +206,29 @@ fn scan_h2_cards(heap: &mut Heap, worklist: &mut Vec<Addr>) {
         return;
     }
     let mut work = Work::default();
-    let cards = heap.h2.as_ref().unwrap().cards().minor_scan_cards();
+    let cards = heap.h2.as_mut().unwrap().cards_mut().minor_scan_cards();
     heap.stats.h2_cards_scanned_minor += cards.len() as u64;
     // The card-table walk examines every entry; smaller segments mean a
     // larger table and a longer walk (the Figure 11a trade-off).
     work.cards += heap.h2.as_ref().unwrap().cards().card_count() as u64;
     let seg_words = heap.h2.as_ref().unwrap().cards().seg_words() as u64;
     let region_words = heap.h2.as_ref().unwrap().regions().region_words() as u64;
+    // Consecutive cards usually share a region; hold the region's start
+    // index out of the map (take/put-back) instead of cloning it per card.
+    let mut cached: Option<(u32, Vec<u64>)> = None;
     for card in cards {
         let base = heap.h2.as_ref().unwrap().cards().card_base(card);
         let region = (base.h2_offset() / region_words) as u32;
         let lo = base.raw();
         let hi = lo + seg_words;
-        let starts = match heap.h2_starts.get(&region) {
-            Some(s) => s.clone(),
+        if cached.as_ref().map(|&(r, _)| r) != Some(region) {
+            if let Some((r, v)) = cached.take() {
+                heap.h2_starts.insert(r, v);
+            }
+            cached = heap.h2_starts.remove(&region).map(|v| (region, v));
+        }
+        let starts = match &cached {
+            Some((_, s)) => s,
             None => {
                 // Region freed since the card was dirtied.
                 heap.h2.as_mut().unwrap().cards_mut().set_state(card, CardState::Clean);
@@ -234,7 +238,7 @@ fn scan_h2_cards(heap: &mut Heap, worklist: &mut Vec<Addr>) {
         let mut has_young = false;
         let mut has_old = false;
         if !starts.is_empty() {
-            let mut i = first_overlapping(&starts, lo);
+            let mut i = first_overlapping(starts, lo);
             while i < starts.len() && starts[i] < hi {
                 let obj = Addr::new(starts[i]);
                 // Reading the header from the device-backed heap.
@@ -242,7 +246,9 @@ fn scan_h2_cards(heap: &mut Heap, worklist: &mut Vec<Addr>) {
                 let size = object::size_of(header) as u64;
                 work.objects += 1;
                 if obj.raw() + size > lo {
-                    for slot in ref_slots_in(heap, obj, lo, hi) {
+                    let (first_slot, end_slot) = heap.ref_slot_range_in(obj, lo, hi);
+                    for s in first_slot..end_slot {
+                        let slot = Addr::new(s);
                         work.refs += 1;
                         let val = heap.h2.as_mut().unwrap().read_word(slot, Category::MinorGc);
                         if val == 0 {
@@ -278,6 +284,9 @@ fn scan_h2_cards(heap: &mut Heap, worklist: &mut Vec<Addr>) {
             CardState::Clean
         };
         heap.h2.as_mut().unwrap().cards_mut().set_state(card, state);
+    }
+    if let Some((r, v)) = cached.take() {
+        heap.h2_starts.insert(r, v);
     }
     let cpu = work.cpu_ns(&heap.config.cost);
     let threads = heap.config.gc_threads_minor.max(1) as u64;

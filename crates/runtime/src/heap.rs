@@ -62,6 +62,9 @@ pub struct Heap {
     /// GCs requested while one is already running would be re-entrant;
     /// guarded for debugging.
     pub(crate) in_gc: bool,
+    /// Recycled dense forwarding array for major GC (all-zero between
+    /// collections); avoids an alloc+memset of the full H1 word range per GC.
+    pub(crate) fwd_scratch: Vec<u64>,
 }
 
 impl Heap {
@@ -109,6 +112,7 @@ impl Heap {
             track_h2_liveness: false,
             h2_starts: std::collections::HashMap::new(),
             in_gc: false,
+            fwd_scratch: Vec::new(),
         }
     }
 
@@ -222,6 +226,12 @@ impl Heap {
     /// Number of live root handles (diagnostics).
     pub fn live_roots(&self) -> usize {
         self.roots.iter().filter(|a| !a.is_null()).count()
+    }
+
+    /// Total root-table slots, live or free (diagnostics): stays bounded
+    /// under alloc/release churn because released slots are recycled.
+    pub fn root_table_len(&self) -> usize {
+        self.roots.len()
     }
 
     /// Whether two handles refer to the same object.
@@ -462,21 +472,36 @@ impl Heap {
         object::class_of(self.header(addr))
     }
 
-    /// Word addresses of every reference slot of the object at `addr`.
-    pub(crate) fn ref_slots(&self, addr: Addr) -> Vec<Addr> {
+    /// The contiguous reference-slot range `[start, end)` of the object at
+    /// `addr`, as raw word addresses. Reference slots are always contiguous
+    /// (plain objects store references before primitives; arrays are
+    /// homogeneous), so GC tracing iterates this range directly instead of
+    /// materializing a `Vec<Addr>` per visited object — the former
+    /// `ref_slots` allocation was the single hottest line of every trace.
+    ///
+    /// Valid for both H1 and H2 objects: header reads go through
+    /// [`Heap::word`], which dispatches to the uncharged H2 read path for
+    /// device-resident objects (tracing charges its costs in bulk).
+    pub(crate) fn ref_slot_range(&self, addr: Addr) -> (u64, u64) {
         let class = self.object_class(addr);
         if class == PRIM_ARRAY_CLASS {
-            return Vec::new();
+            return (addr.raw(), addr.raw());
         }
         if class == OBJ_ARRAY_CLASS {
-            let len = self.word(addr.add(object::HEADER_WORDS as u64)) as usize;
-            let first = object::HEADER_WORDS + object::ARRAY_LEN_WORDS;
-            return (0..len).map(|i| addr.add((first + i) as u64)).collect();
+            let len = self.word(addr.add(object::HEADER_WORDS as u64));
+            let first = addr.raw() + (object::HEADER_WORDS + object::ARRAY_LEN_WORDS) as u64;
+            return (first, first + len);
         }
-        let refs = self.classes.get(class).ref_fields;
-        (0..refs)
-            .map(|i| addr.add((object::HEADER_WORDS + i) as u64))
-            .collect()
+        let first = addr.raw() + object::HEADER_WORDS as u64;
+        (first, first + self.classes.get(class).ref_fields as u64)
+    }
+
+    /// The sub-range of `addr`'s reference slots falling within `[lo, hi)` —
+    /// used by card scans to visit only the portion of an object overlapping
+    /// one card segment. May be empty (`start >= end`).
+    pub(crate) fn ref_slot_range_in(&self, addr: Addr, lo: u64, hi: u64) -> (u64, u64) {
+        let (start, end) = self.ref_slot_range(addr);
+        (start.max(lo), end.min(hi))
     }
 
     // ----- mutator field access --------------------------------------------
@@ -574,6 +599,84 @@ impl Heap {
         let obj = self.root_of(h);
         let slot = self.prim_slot(obj, idx);
         self.store(slot, val, Category::Mutator);
+    }
+
+    /// Bulk [`Heap::read_prim`]: reads the `out.len()` consecutive primitive
+    /// fields/elements starting at `start` into `out`. Charges exactly what
+    /// the equivalent per-element loop would — the layout lookup and bounds
+    /// check happen once and the H1 copy is a single memcpy, which is what
+    /// makes the streaming scans in the frameworks cheap in *real* time.
+    pub fn read_prims(&mut self, h: Handle, start: usize, out: &mut [u64]) {
+        if out.is_empty() {
+            return;
+        }
+        let obj = self.root_of(h);
+        let base = self.prim_range_slot(obj, start, out.len());
+        if base.is_h2() {
+            // Device-resident object: per-word reads keep the page-cache
+            // touch sequence identical to the unbatched loop.
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = self.load(base.add(i as u64), Category::Mutator);
+            }
+            return;
+        }
+        self.charge_h1_words(base, out.len() as u64, Category::Mutator);
+        let s = base.raw() as usize;
+        out.copy_from_slice(&self.mem[s..s + out.len()]);
+    }
+
+    /// Bulk [`Heap::write_prim`]: writes `vals` into the consecutive
+    /// primitive fields/elements starting at `start`. Charge-equivalent to
+    /// the per-element loop, like [`Heap::read_prims`].
+    pub fn write_prims(&mut self, h: Handle, start: usize, vals: &[u64]) {
+        if vals.is_empty() {
+            return;
+        }
+        let obj = self.root_of(h);
+        let base = self.prim_range_slot(obj, start, vals.len());
+        if base.is_h2() {
+            for (i, &v) in vals.iter().enumerate() {
+                self.store(base.add(i as u64), v, Category::Mutator);
+            }
+            return;
+        }
+        self.charge_h1_words(base, vals.len() as u64, Category::Mutator);
+        let s = base.raw() as usize;
+        self.mem[s..s + vals.len()].copy_from_slice(vals);
+    }
+
+    /// First slot of the `n`-element primitive range starting at `start`,
+    /// with the object's bounds checked once for the whole range.
+    fn prim_range_slot(&self, obj: Addr, start: usize, n: usize) -> Addr {
+        let class = self.object_class(obj);
+        if class == PRIM_ARRAY_CLASS {
+            let len = self.word(obj.add(object::HEADER_WORDS as u64)) as usize;
+            assert!(
+                start + n <= len,
+                "prim array range {start}+{n} out of bounds ({len})"
+            );
+            return obj.add((object::HEADER_WORDS + object::ARRAY_LEN_WORDS + start) as u64);
+        }
+        let desc = self.classes.get(class);
+        assert!(
+            start + n <= desc.prim_fields,
+            "prim field range {start}+{n} out of bounds ({})",
+            desc.prim_fields
+        );
+        obj.add((object::HEADER_WORDS + desc.ref_fields + start) as u64)
+    }
+
+    /// Charges `n` H1 mutator word accesses in one step: the exact integer
+    /// sum of the per-word charges, including the Panthera-NVM premium for
+    /// the words at or above the NVM boundary.
+    fn charge_h1_words(&self, base: Addr, n: u64, cat: Category) {
+        let mut total = n * (self.config.cost.dram_word_ns + self.h1_extra_ns);
+        let end = base.raw() + n;
+        if end > self.panthera_nvm_base {
+            let nvm_words = end - self.panthera_nvm_base.max(base.raw());
+            total += nvm_words * self.panthera_extra_ns;
+        }
+        self.clock.charge(cat, total);
     }
 
     /// Length of the (reference or primitive) array behind `h`.

@@ -84,11 +84,25 @@ impl Space {
 
 /// The H1 card table: one dirty bit per 512-byte (64-word) segment of the
 /// old generation, marking old→young references for minor-GC root scanning.
+///
+/// Dirty bits are word-packed (64 cards per `u64`), and a maintained list of
+/// touched bitmap words (`dirty_words`, with a `listed` membership flag per
+/// word) makes [`H1CardTable::dirty_cards`] proportional to the number of
+/// dirty cards rather than the table size — minor GC no longer sweeps every
+/// card of a mostly-clean old generation.
+///
+/// Invariant: every bitmap word with a set bit appears in `dirty_words`
+/// (entries whose bits have all been cleared are dropped lazily at the next
+/// `dirty_cards` call). The scan order is ascending card index, identical to
+/// the full sweep it replaces.
 #[derive(Debug, Clone)]
 pub struct H1CardTable {
     base: u64,
     seg_words: usize,
-    dirty: Vec<bool>,
+    n_cards: usize,
+    bits: Vec<u64>,
+    dirty_words: Vec<u32>,
+    listed: Vec<bool>,
 }
 
 impl H1CardTable {
@@ -98,16 +112,21 @@ impl H1CardTable {
     /// Creates a card table over the old generation `[base, base + words)`.
     pub fn new(base: Addr, words: usize, seg_words: usize) -> Self {
         assert!(seg_words > 0);
+        let n_cards = words.div_ceil(seg_words);
+        let n_words = n_cards.div_ceil(64);
         H1CardTable {
             base: base.raw(),
             seg_words,
-            dirty: vec![false; words.div_ceil(seg_words)],
+            n_cards,
+            bits: vec![0; n_words],
+            dirty_words: Vec::new(),
+            listed: vec![false; n_words],
         }
     }
 
     /// Number of cards.
     pub fn card_count(&self) -> usize {
-        self.dirty.len()
+        self.n_cards
     }
 
     /// Card segment size in words.
@@ -128,32 +147,56 @@ impl H1CardTable {
     /// Marks the card covering `addr` dirty (post-write barrier).
     pub fn mark_dirty(&mut self, addr: Addr) {
         let idx = self.card_of(addr);
-        self.dirty[idx] = true;
+        debug_assert!(idx < self.n_cards);
+        let w = idx / 64;
+        self.bits[w] |= 1u64 << (idx % 64);
+        if !self.listed[w] {
+            self.listed[w] = true;
+            self.dirty_words.push(w as u32);
+        }
     }
 
     /// Whether card `idx` is dirty.
     pub fn is_dirty(&self, idx: usize) -> bool {
-        self.dirty[idx]
+        self.bits[idx / 64] >> (idx % 64) & 1 != 0
     }
 
-    /// Clears card `idx`.
+    /// Clears card `idx`. The bitmap word stays listed until the next
+    /// `dirty_cards` call reconciles the list.
     pub fn clear(&mut self, idx: usize) {
-        self.dirty[idx] = false;
+        self.bits[idx / 64] &= !(1u64 << (idx % 64));
     }
 
     /// Clears every card (after a major GC rebuilds precise state).
     pub fn clear_all(&mut self) {
-        self.dirty.iter_mut().for_each(|d| *d = false);
+        for &w in &self.dirty_words {
+            self.bits[w as usize] = 0;
+            self.listed[w as usize] = false;
+        }
+        self.dirty_words.clear();
     }
 
-    /// Indices of all dirty cards.
-    pub fn dirty_cards(&self) -> Vec<usize> {
-        self.dirty
-            .iter()
-            .enumerate()
-            .filter(|(_, &d)| d)
-            .map(|(i, _)| i)
-            .collect()
+    /// Indices of all dirty cards, ascending. Also compacts the dirty-word
+    /// list, dropping words whose cards have all been cleared.
+    pub fn dirty_cards(&mut self) -> Vec<usize> {
+        self.dirty_words.sort_unstable();
+        let mut cards = Vec::new();
+        let bits = &mut self.bits;
+        let listed = &mut self.listed;
+        self.dirty_words.retain(|&w| {
+            let mut word = bits[w as usize];
+            if word == 0 {
+                listed[w as usize] = false;
+                return false;
+            }
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                cards.push(w as usize * 64 + bit);
+                word &= word - 1;
+            }
+            true
+        });
+        cards
     }
 }
 

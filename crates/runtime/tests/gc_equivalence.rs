@@ -1,0 +1,316 @@
+//! Golden-equivalence suite: the performance work on the GC and H2 hot
+//! paths (allocation-free tracing, the sorted forwarding table, indexed
+//! card tables, the page-cache TLB) must not change *simulated* behaviour
+//! by a single nanosecond. This test runs a mixed minor/major/H2 workload
+//! and asserts the object-graph checksum, the `GcStats` counters and phase
+//! breakdowns, and the total `SimClock` time against golden values captured
+//! from the pre-optimization implementation.
+//!
+//! If a change legitimately alters the cost model (new feature, new
+//! charge), re-capture the goldens with
+//! `TERAHEAP_GOLDEN_PRINT=1 cargo test -p teraheap-runtime --test gc_equivalence -- --nocapture`
+//! and say so in the PR; an *optimization* PR must reproduce them exactly.
+
+use teraheap_core::{H2Config, Label};
+use teraheap_runtime::{Handle, Heap, HeapConfig};
+use teraheap_storage::{Category, DeviceSpec};
+
+/// FNV-1a over a stream of u64s — deterministic, dependency-free.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn push(&mut self, v: u64) {
+        let mut h = self.0;
+        for byte in v.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+/// Checksums the reachable object graph through the public mutator API in
+/// deterministic (depth-first, field-order) order: class ids, array
+/// lengths, primitive payloads, H2-residency of every visited object, and
+/// the shape of the reference graph (via a visit-order numbering).
+fn graph_checksum(heap: &mut Heap, roots: &[Handle]) -> u64 {
+    use std::collections::HashMap;
+    let mut fnv = Fnv::new();
+    let mut order: HashMap<u64, u64> = HashMap::new();
+    let mut stack: Vec<Handle> = Vec::new();
+    for &r in roots.iter().rev() {
+        stack.push(heap.dup(r));
+    }
+    while let Some(h) = stack.pop() {
+        let addr = heap.handle_addr(h).raw();
+        if let Some(&seen) = order.get(&addr) {
+            fnv.push(u64::MAX); // back-reference marker
+            fnv.push(seen);
+            heap.release(h);
+            continue;
+        }
+        let n = order.len() as u64;
+        order.insert(addr, n);
+        let class = heap.class_of(h);
+        fnv.push(class.0 as u64);
+        fnv.push(heap.is_in_h2(h) as u64);
+        fnv.push(heap.h2_label_of(h));
+        if class == teraheap_runtime::OBJ_ARRAY_CLASS {
+            let len = heap.array_len(h);
+            fnv.push(len as u64);
+            for i in (0..len).rev() {
+                match heap.read_ref(h, i) {
+                    Some(c) => stack.push(c),
+                    None => fnv.push(0),
+                }
+            }
+        } else if class == teraheap_runtime::PRIM_ARRAY_CLASS {
+            let len = heap.array_len(h);
+            fnv.push(len as u64);
+            for i in 0..len {
+                fnv.push(heap.read_prim(h, i));
+            }
+        } else {
+            let desc = heap.class_desc(class).clone();
+            for i in (0..desc.ref_fields).rev() {
+                match heap.read_ref(h, i) {
+                    Some(c) => stack.push(c),
+                    None => fnv.push(0),
+                }
+            }
+            for i in 0..desc.prim_fields {
+                fnv.push(heap.read_prim(h, i));
+            }
+        }
+        heap.release(h);
+    }
+    fnv.0
+}
+
+/// The mixed workload: generational churn, H1 card traffic, hint-driven H2
+/// promotion, mutator H2 updates (backward references), region death, and
+/// enough pressure for several minor and major collections.
+fn run_mixed_workload() -> (Heap, Vec<Handle>) {
+    let mut heap = Heap::new(HeapConfig::with_words(24 << 10, 96 << 10));
+    heap.enable_teraheap(
+        H2Config {
+            region_words: 8 << 10,
+            n_regions: 48,
+            card_seg_words: 256,
+            resident_budget_bytes: 96 << 10,
+            page_size: 4096,
+            promo_buffer_bytes: 16 << 10,
+        },
+        DeviceSpec::nvme_ssd(),
+    );
+    let node = heap.register_class("Node", 2, 2);
+    let leaf = heap.register_class("Leaf", 0, 3);
+
+    let mut keep: Vec<Handle> = Vec::new();
+
+    // Three tagged partitions that will move to H2, each a list of nodes
+    // with leaf payloads and a spine array.
+    for part in 0..3u64 {
+        let spine = heap.alloc_ref_array(64).unwrap();
+        for i in 0..64 {
+            let n = heap.alloc(node).unwrap();
+            let l = heap.alloc(leaf).unwrap();
+            heap.write_prim(l, 0, part * 1000 + i as u64);
+            heap.write_prim(l, 1, i as u64 * 3);
+            heap.write_ref(n, 1, l);
+            heap.write_prim(n, 0, i as u64);
+            if i > 0 {
+                let prev = heap.read_ref(spine, i - 1).unwrap();
+                heap.write_ref(prev, 0, n);
+                heap.release(prev);
+            }
+            heap.write_ref(spine, i, n);
+            heap.release(n);
+            heap.release(l);
+        }
+        heap.h2_tag_root(spine, Label::new(part + 1));
+        keep.push(spine);
+    }
+
+    // Generational churn with surviving islands to exercise minor GCs and
+    // old→young card traffic.
+    let island = heap.alloc_ref_array(32).unwrap();
+    keep.push(island);
+    for round in 0..6u64 {
+        for i in 0..400u64 {
+            let t = heap.alloc(leaf).unwrap();
+            heap.write_prim(t, 0, round * 10_000 + i);
+            if i % 13 == 0 {
+                heap.write_ref(island, (i % 32) as usize, t);
+            }
+            heap.release(t);
+        }
+        heap.gc_minor().unwrap();
+    }
+
+    // Move partitions 1 and 2 to H2; partition 3 stays (its hint never
+    // arrives) so the pressure path is exercised too.
+    heap.h2_move(Label::new(1));
+    heap.h2_move(Label::new(2));
+    heap.gc_major().unwrap();
+
+    // Mutator updates against H2-resident nodes: create backward (H2→H1)
+    // references, dirtying H2 cards for the next minor scans.
+    for part in 0..2usize {
+        let spine = keep[part];
+        for i in (0..64).step_by(7) {
+            let n = heap.read_ref(spine, i).unwrap();
+            let fresh = heap.alloc(leaf).unwrap();
+            heap.write_prim(fresh, 0, 777_000 + i as u64);
+            heap.write_ref(n, 1, fresh);
+            heap.release(fresh);
+            heap.release(n);
+        }
+        heap.gc_minor().unwrap();
+    }
+
+    // Drop partition 2 entirely: its regions die and are swept by the next
+    // major GC.
+    let dead = keep.remove(1);
+    heap.release(dead);
+    heap.gc_major().unwrap();
+
+    // Final churn + minor so post-major card state is exercised.
+    for i in 0..200u64 {
+        let t = heap.alloc(leaf).unwrap();
+        heap.write_prim(t, 0, 999_000 + i);
+        if i % 9 == 0 {
+            heap.write_ref(island, (i % 32) as usize, t);
+        }
+        heap.release(t);
+    }
+    heap.gc_minor().unwrap();
+
+    (heap, keep)
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct Snapshot {
+    checksum: u64,
+    total_ns: u64,
+    mutator_ns: u64,
+    minor_gc_ns: u64,
+    major_gc_ns: u64,
+    minor_count: u64,
+    major_count: u64,
+    marking_ns: u64,
+    precompact_ns: u64,
+    adjust_ns: u64,
+    compact_ns: u64,
+    h2_minor_scan_ns: u64,
+    backward_refs_seen: u64,
+    forward_refs_fenced: u64,
+    objects_promoted_h2: u64,
+    h2_page_faults: u64,
+    h2_read_bytes: u64,
+    h2_write_bytes: u64,
+    h2_evictions: u64,
+}
+
+fn capture() -> Snapshot {
+    let (mut heap, keep) = run_mixed_workload();
+    // Clock and stats first: the checksum traversal itself charges time.
+    let total_ns = heap.clock().total_ns();
+    let mutator_ns = heap.clock().category_ns(Category::Mutator);
+    let minor_gc_ns = heap.clock().category_ns(Category::MinorGc);
+    let major_gc_ns = heap.clock().category_ns(Category::MajorGc);
+    let stats = heap.stats().clone();
+    let io = {
+        let m = heap.h2().unwrap().mmap().stats();
+        (m.page_faults(), m.read_bytes(), m.write_bytes(), m.evictions())
+    };
+    let checksum = graph_checksum(&mut heap, &keep);
+    Snapshot {
+        checksum,
+        total_ns,
+        mutator_ns,
+        minor_gc_ns,
+        major_gc_ns,
+        minor_count: stats.minor_count,
+        major_count: stats.major_count,
+        marking_ns: stats.phases.marking_ns,
+        precompact_ns: stats.phases.precompact_ns,
+        adjust_ns: stats.phases.adjust_ns,
+        compact_ns: stats.phases.compact_ns,
+        h2_minor_scan_ns: stats.h2_minor_scan_ns,
+        backward_refs_seen: stats.backward_refs_seen,
+        forward_refs_fenced: stats.forward_refs_fenced,
+        objects_promoted_h2: stats.objects_promoted_h2,
+        h2_page_faults: io.0,
+        h2_read_bytes: io.1,
+        h2_write_bytes: io.2,
+        h2_evictions: io.3,
+    }
+}
+
+/// Golden values captured from the pre-optimization implementation
+/// (PR 1 tree). See the module docs for the re-capture procedure.
+fn golden() -> Snapshot {
+    Snapshot {
+        checksum: 17052372585936982735,
+        total_ns: 275453,
+        mutator_ns: 197628,
+        minor_gc_ns: 5091,
+        major_gc_ns: 72734,
+        minor_count: 9,
+        major_count: 2,
+        marking_ns: 22524,
+        precompact_ns: 7200,
+        adjust_ns: 4180,
+        compact_ns: 38830,
+        h2_minor_scan_ns: 3027,
+        backward_refs_seen: 50,
+        forward_refs_fenced: 0,
+        objects_promoted_h2: 258,
+        h2_page_faults: 2,
+        h2_read_bytes: 8192,
+        h2_write_bytes: 0,
+        h2_evictions: 0,
+    }
+}
+
+#[test]
+fn mixed_workload_matches_golden_snapshot() {
+    let got = capture();
+    if std::env::var("TERAHEAP_GOLDEN_PRINT").is_ok() {
+        println!("golden() -> Snapshot {got:#?}");
+    }
+    assert_eq!(got, golden());
+}
+
+#[test]
+fn workload_is_self_deterministic() {
+    // Two fresh runs in the same process must agree exactly — guards the
+    // suite itself against nondeterminism (hash-order dependence, ambient
+    // time or randomness), which would make the golden comparison moot.
+    assert_eq!(capture(), capture());
+}
+
+#[test]
+fn release_recycles_slots_under_churn() {
+    // The root-table free list must keep the root set bounded under
+    // long-running alloc/release churn (leaked slots would grow every root
+    // scan forever).
+    let (mut heap, _keep) = run_mixed_workload();
+    let baseline = heap.root_table_len();
+    let leaf = heap.register_class("ChurnLeaf", 0, 1);
+    for i in 0..10_000u64 {
+        let h = heap.alloc(leaf).unwrap();
+        heap.write_prim(h, 0, i);
+        heap.release(h);
+    }
+    assert!(
+        heap.root_table_len() <= baseline + 1,
+        "root table grew from {} to {} under pure churn",
+        baseline,
+        heap.root_table_len()
+    );
+}

@@ -216,15 +216,16 @@ fn build_graph(ctx: &mut SparkContext, g: &GraphDataset) -> Result<(u64, Vec<Blo
     let parts = ctx.config.partitions;
     let rdd = ctx.new_rdd();
     let mut blocks = Vec::new();
+    let mut scratch: Vec<u64> = Vec::new();
     for p in 0..parts {
         let ids: Vec<usize> = (p..g.vertices).step_by(parts).collect();
         let part = ctx.heap.alloc(ctx.partition_class)?;
         let arr = ctx.heap.alloc_ref_array(ids.len())?;
         for (i, &vid) in ids.iter().enumerate() {
             let edges = ctx.heap.alloc_prim_array(adjacency[vid].len().max(1))?;
-            for (e, &t) in adjacency[vid].iter().enumerate() {
-                ctx.heap.write_prim(edges, e, t as u64);
-            }
+            scratch.clear();
+            scratch.extend(adjacency[vid].iter().map(|&t| t as u64));
+            ctx.heap.write_prims(edges, 0, &scratch);
             let v = ctx.heap.alloc(ctx.vertex_class)?;
             ctx.heap.write_prim(v, 0, vid as u64);
             ctx.heap.write_prim(v, 1, adjacency[vid].len() as u64);
@@ -294,6 +295,7 @@ fn pagerank(ctx: &mut SparkContext, scale: DatasetScale) -> Result<f64, OomError
     let n = g.vertices;
     let mut ranks = vec![1.0f64; n];
     let mut prev_arrays: Vec<Handle> = Vec::new();
+    let mut scratch: Vec<u64> = Vec::new();
     for _ in 0..ctx.config.iterations {
         let mut contrib = vec![0.0f64; n];
         for_each_vertex(ctx, &blocks, |ctx, v, edges| {
@@ -301,9 +303,10 @@ fn pagerank(ctx: &mut SparkContext, scale: DatasetScale) -> Result<f64, OomError
             let deg = ctx.heap.array_len(edges);
             let real_deg = ctx.heap.read_prim(v, 1) as usize;
             let share = if real_deg > 0 { 0.85 * ranks[id] / real_deg as f64 } else { 0.0 };
-            for e in 0..deg.min(real_deg) {
-                let t = ctx.heap.read_prim(edges, e) as usize;
-                contrib[t] += share;
+            scratch.resize(deg.min(real_deg), 0);
+            ctx.heap.read_prims(edges, 0, &mut scratch);
+            for &t in &scratch {
+                contrib[t as usize] += share;
             }
             ctx.heap.charge_mutator_ops(real_deg as u64 + 1);
             Ok(())
@@ -316,9 +319,9 @@ fn pagerank(ctx: &mut SparkContext, scale: DatasetScale) -> Result<f64, OomError
         release_all(ctx, std::mem::take(&mut prev_arrays));
         let arrays = alloc_iteration_arrays(ctx, n / ctx.config.partitions + 1)?;
         for (p, &a) in arrays.iter().enumerate() {
-            for (slot, i) in (p..n).step_by(ctx.config.partitions).enumerate() {
-                ctx.heap.write_prim(a, slot, ranks[i].to_bits());
-            }
+            scratch.clear();
+            scratch.extend((p..n).step_by(ctx.config.partitions).map(|i| ranks[i].to_bits()));
+            ctx.heap.write_prims(a, 0, &scratch);
         }
         prev_arrays = arrays;
         ctx.charge_shuffle(g.edges.len() as u64)?;
@@ -333,14 +336,17 @@ fn connected_components(ctx: &mut SparkContext, scale: DatasetScale) -> Result<f
     let n = g.vertices;
     let mut labels: Vec<u64> = (0..n as u64).collect();
     let mut prev_arrays: Vec<Handle> = Vec::new();
+    let mut scratch: Vec<u64> = Vec::new();
     for _ in 0..ctx.config.iterations * 2 {
         let mut next = labels.clone();
         let mut changed = false;
         for_each_vertex(ctx, &blocks, |ctx, v, edges| {
             let id = ctx.heap.read_prim(v, 0) as usize;
             let deg = ctx.heap.read_prim(v, 1) as usize;
-            for e in 0..deg.min(ctx.heap.array_len(edges)) {
-                let t = ctx.heap.read_prim(edges, e) as usize;
+            scratch.resize(deg.min(ctx.heap.array_len(edges)), 0);
+            ctx.heap.read_prims(edges, 0, &mut scratch);
+            for &e in &scratch {
+                let t = e as usize;
                 // Propagate minimum label both ways (undirected CC).
                 if labels[id] < next[t] {
                     next[t] = labels[id];
@@ -374,14 +380,17 @@ fn shortest_paths(ctx: &mut SparkContext, scale: DatasetScale) -> Result<f64, Oo
     let mut dist = vec![inf; n];
     dist[0] = 0;
     let mut prev_arrays: Vec<Handle> = Vec::new();
+    let mut scratch: Vec<u64> = Vec::new();
     for _ in 0..ctx.config.iterations * 2 {
         let mut changed = false;
         for_each_vertex(ctx, &blocks, |ctx, v, edges| {
             let id = ctx.heap.read_prim(v, 0) as usize;
             let deg = ctx.heap.read_prim(v, 1) as usize;
             if dist[id] < inf {
-                for e in 0..deg.min(ctx.heap.array_len(edges)) {
-                    let t = ctx.heap.read_prim(edges, e) as usize;
+                scratch.resize(deg.min(ctx.heap.array_len(edges)), 0);
+                ctx.heap.read_prims(edges, 0, &mut scratch);
+                for &e in &scratch {
+                    let t = e as usize;
                     if dist[id] + 1 < dist[t] {
                         dist[t] = dist[id] + 1;
                         changed = true;
@@ -412,12 +421,15 @@ fn svd_factors(ctx: &mut SparkContext, scale: DatasetScale) -> Result<f64, OomEr
     let mut item: Vec<f64> = (0..n * K).map(|i| ((i * 40503) % 1000) as f64 / 1000.0).collect();
     let lr = 0.01;
     let mut prev_arrays: Vec<Handle> = Vec::new();
+    let mut scratch: Vec<u64> = Vec::new();
     for _ in 0..ctx.config.iterations {
         for_each_vertex(ctx, &blocks, |ctx, v, edges| {
             let s = ctx.heap.read_prim(v, 0) as usize;
             let deg = ctx.heap.read_prim(v, 1) as usize;
-            for e in 0..deg.min(ctx.heap.array_len(edges)) {
-                let t = ctx.heap.read_prim(edges, e) as usize;
+            scratch.resize(deg.min(ctx.heap.array_len(edges)), 0);
+            ctx.heap.read_prims(edges, 0, &mut scratch);
+            for &e in &scratch {
+                let t = e as usize;
                 let mut dot = 0.0;
                 for k in 0..K {
                     dot += user[s * K + k] * item[t * K + k];
@@ -446,12 +458,13 @@ fn triangle_count(ctx: &mut SparkContext, scale: DatasetScale) -> Result<f64, Oo
     let (_rdd, blocks) = build_graph(ctx, &g)?;
     // Pass 1: collect (capped) adjacency sets from the cached RDD.
     let mut adj: Vec<Vec<u32>> = vec![Vec::new(); g.vertices];
+    let mut scratch: Vec<u64> = Vec::new();
     for_each_vertex(ctx, &blocks, |ctx, v, edges| {
         let id = ctx.heap.read_prim(v, 0) as usize;
         let deg = (ctx.heap.read_prim(v, 1) as usize).min(ctx.heap.array_len(edges));
-        for e in 0..deg.min(NEIGHBOR_CAP) {
-            adj[id].push(ctx.heap.read_prim(edges, e) as u32);
-        }
+        scratch.resize(deg.min(NEIGHBOR_CAP), 0);
+        ctx.heap.read_prims(edges, 0, &mut scratch);
+        adj[id].extend(scratch.iter().map(|&t| t as u32));
         adj[id].sort_unstable();
         adj[id].dedup();
         ctx.heap.charge_mutator_ops(deg as u64 + 1);
@@ -462,8 +475,10 @@ fn triangle_count(ctx: &mut SparkContext, scale: DatasetScale) -> Result<f64, Oo
     for_each_vertex(ctx, &blocks, |ctx, v, edges| {
         let id = ctx.heap.read_prim(v, 0) as usize;
         let deg = (ctx.heap.read_prim(v, 1) as usize).min(ctx.heap.array_len(edges));
-        for e in 0..deg.min(NEIGHBOR_CAP) {
-            let t = ctx.heap.read_prim(edges, e) as usize;
+        scratch.resize(deg.min(NEIGHBOR_CAP), 0);
+        ctx.heap.read_prims(edges, 0, &mut scratch);
+        for &e in scratch.iter() {
+            let t = e as usize;
             // |adj[id] ∩ adj[t]| closed wedges through this edge.
             let (mut i, mut j) = (0, 0);
             let (a, b) = (&adj[id], &adj[t]);
@@ -510,10 +525,11 @@ fn build_ml(ctx: &mut SparkContext, rows: usize, dims: usize, seed: u64) -> Resu
         let part = ctx.heap.alloc(ctx.partition_class)?;
         let features = ctx.heap.alloc_prim_array(row_ids.len() * dims)?;
         let labels = ctx.heap.alloc_prim_array(row_ids.len().max(1))?;
+        let mut scratch: Vec<u64> = Vec::with_capacity(dims);
         for (i, &r) in row_ids.iter().enumerate() {
-            for d in 0..dims {
-                ctx.heap.write_prim(features, i * dims + d, data.row(r)[d].to_bits());
-            }
+            scratch.clear();
+            scratch.extend(data.row(r).iter().map(|x| x.to_bits()));
+            ctx.heap.write_prims(features, i * dims, &scratch);
             ctx.heap.write_prim(labels, i, data.labels[r].to_bits());
         }
         ctx.heap.write_ref(part, 0, features);
@@ -533,6 +549,7 @@ fn ml_train(ctx: &mut SparkContext, scale: DatasetScale, loss: LossKind) -> Resu
     let (blocks, _data) = build_ml(ctx, scale.rows, dims, scale.seed)?;
     let mut w = vec![0.0f64; dims];
     let step = 0.05;
+    let mut scratch: Vec<u64> = Vec::new();
     for _ in 0..ctx.config.iterations {
         let mut grad = vec![0.0f64; dims];
         let mut seen_rows = 0u64;
@@ -546,9 +563,11 @@ fn ml_train(ctx: &mut SparkContext, scale: DatasetScale, loss: LossKind) -> Resu
             // bandwidth in LR/LgR/SVM (§7.1).
             for r in 0..rows_p {
                 let y = f64::from_bits(ctx.heap.read_prim(labels, r));
+                scratch.resize(dims, 0);
+                ctx.heap.read_prims(features, r * dims, &mut scratch);
                 let mut dot = 0.0;
                 for d in 0..dims {
-                    dot += w[d] * f64::from_bits(ctx.heap.read_prim(features, r * dims + d));
+                    dot += w[d] * f64::from_bits(scratch[d]);
                 }
                 let coeff = match loss {
                     LossKind::Squared => dot - y,
@@ -562,8 +581,11 @@ fn ml_train(ctx: &mut SparkContext, scale: DatasetScale, loss: LossKind) -> Resu
                     }
                 };
                 if coeff != 0.0 {
+                    // The misclassified row is re-read, as the unbatched
+                    // gradient loop did (charge and touch order preserved).
+                    ctx.heap.read_prims(features, r * dims, &mut scratch);
                     for d in 0..dims {
-                        grad[d] += coeff * f64::from_bits(ctx.heap.read_prim(features, r * dims + d));
+                        grad[d] += coeff * f64::from_bits(scratch[d]);
                     }
                 }
                 seen_rows += 1;
@@ -590,6 +612,7 @@ fn kmeans(ctx: &mut SparkContext, scale: DatasetScale) -> Result<f64, OomError> 
     let (blocks, data) = build_ml(ctx, scale.rows, dims, scale.seed)?;
     // Deterministic centroid init from the first K rows.
     let mut centroids: Vec<f64> = (0..K).flat_map(|c| data.row(c).to_vec()).collect();
+    let mut scratch: Vec<u64> = Vec::new();
     for _ in 0..ctx.config.iterations {
         let mut sums = vec![0.0f64; K * dims];
         let mut counts = vec![0u64; K];
@@ -601,10 +624,14 @@ fn kmeans(ctx: &mut SparkContext, scale: DatasetScale) -> Result<f64, OomError> 
             for r in 0..rows_p {
                 let mut best = 0usize;
                 let mut best_d = f64::INFINITY;
+                scratch.resize(dims, 0);
+                // The unbatched loop re-read the row for every centroid and
+                // again for the sums; keep that charge/touch sequence.
                 for c in 0..K {
+                    ctx.heap.read_prims(features, r * dims, &mut scratch);
                     let mut d2 = 0.0;
                     for d in 0..dims {
-                        let x = f64::from_bits(ctx.heap.read_prim(features, r * dims + d));
+                        let x = f64::from_bits(scratch[d]);
                         let diff = x - centroids[c * dims + d];
                         d2 += diff * diff;
                     }
@@ -614,9 +641,9 @@ fn kmeans(ctx: &mut SparkContext, scale: DatasetScale) -> Result<f64, OomError> 
                     }
                 }
                 counts[best] += 1;
+                ctx.heap.read_prims(features, r * dims, &mut scratch);
                 for d in 0..dims {
-                    sums[best * dims + d] +=
-                        f64::from_bits(ctx.heap.read_prim(features, r * dims + d));
+                    sums[best * dims + d] += f64::from_bits(scratch[d]);
                 }
             }
             ctx.heap.charge_mutator_ops(rows_p as u64 * (K * dims) as u64 / 4);
@@ -645,6 +672,7 @@ fn naive_bayes(ctx: &mut SparkContext, scale: DatasetScale) -> Result<f64, OomEr
     let mut pos_rows = 0u64;
     let mut total = 0u64;
     let mut counts = vec![0u64; dims * 2];
+    let mut scratch: Vec<u64> = Vec::new();
     for pass in 0..2 {
         for &b in &blocks {
             let part = ctx.bm.get(&mut ctx.heap, b)?.expect("cached block");
@@ -660,9 +688,10 @@ fn naive_bayes(ctx: &mut SparkContext, scale: DatasetScale) -> Result<f64, OomEr
                     }
                 } else {
                     let class = usize::from(y > 0.0);
+                    scratch.resize(dims, 0);
+                    ctx.heap.read_prims(features, r * dims, &mut scratch);
                     for d in 0..dims {
-                        let x = f64::from_bits(ctx.heap.read_prim(features, r * dims + d));
-                        if x > 0.0 {
+                        if f64::from_bits(scratch[d]) > 0.0 {
                             counts[class * dims + d] += 1;
                         }
                     }

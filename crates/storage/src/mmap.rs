@@ -50,6 +50,17 @@ pub struct MmapSim {
     resident: HashMap<u64, PageEntry>,
     lru: BinaryHeap<Reverse<(u64, u64)>>,
     next_stamp: u64,
+    /// Last-touched-page "TLB": the authoritative `(stamp, dirty)` for the
+    /// most recently touched page, held out of `resident` so that runs of
+    /// touches to one page (the common case for word-at-a-time H2 object
+    /// scans) skip the hash lookup and the per-touch LRU push. The map
+    /// keeps a possibly stale entry for this page (so `resident.len()` and
+    /// the budget check are unaffected); [`MmapSim::tlb_sync`] re-attaches
+    /// the authoritative entry before anything inspects the map or heap —
+    /// a miss, an eviction, a flush or a discard. Equivalent to the
+    /// un-cached model because only a run's *final* stamp can ever win the
+    /// lazy-deletion eviction scan; intermediate stamps were always stale.
+    tlb: Option<(u64, PageEntry)>,
     /// Recent sequential-stream heads (the kernel tracks one readahead
     /// window per access stream; a handful suffices for interleaved object
     /// and array scans).
@@ -85,6 +96,7 @@ impl MmapSim {
             resident: HashMap::new(),
             lru: BinaryHeap::new(),
             next_stamp: 0,
+            tlb: None,
             readahead_heads: [u64::MAX - 1; 4],
             readahead_next: 0,
             stats: Arc::new(IoStats::default()),
@@ -174,11 +186,27 @@ impl MmapSim {
     fn touch_page(&mut self, page: u64, write: bool, cat: Category) {
         self.next_stamp += 1;
         let stamp = self.next_stamp;
-        if let Some(entry) = self.resident.get_mut(&page) {
-            entry.stamp = stamp;
-            entry.dirty |= write;
-            self.lru.push(Reverse((stamp, page)));
-            self.maybe_compact_lru();
+        // Fast path: repeat touch of the TLB page — just advance its
+        // authoritative stamp; no hash lookup, no LRU traffic.
+        if let Some((tlb_page, entry)) = &mut self.tlb {
+            if *tlb_page == page {
+                entry.stamp = stamp;
+                entry.dirty |= write;
+                return;
+            }
+        }
+        self.tlb_sync();
+        if let Some(&entry) = self.resident.get(&page) {
+            // The map entry is authoritative here (the TLB was just
+            // synced), so it can seed the new TLB run directly. The LRU
+            // push is deferred to the next sync.
+            self.tlb = Some((
+                page,
+                PageEntry {
+                    stamp,
+                    dirty: entry.dirty | write,
+                },
+            ));
             return;
         }
         // Page fault: transfer the page from the device. Sequential faults
@@ -215,6 +243,19 @@ impl MmapSim {
             self.evict_one(cat);
         }
         self.maybe_compact_lru();
+        // The just-faulted page (highest stamp, so never the eviction
+        // victim above) starts a new TLB run.
+        self.tlb = Some((page, PageEntry { stamp, dirty: write }));
+    }
+
+    /// Re-attaches the TLB's authoritative entry to the resident map and
+    /// the LRU heap. Must run before any code inspects or mutates the map:
+    /// a fault (miss path), `flush`, or `discard`.
+    fn tlb_sync(&mut self) {
+        if let Some((page, entry)) = self.tlb.take() {
+            self.resident.insert(page, entry);
+            self.lru.push(Reverse((entry.stamp, page)));
+        }
     }
 
     fn evict_one(&mut self, cat: Category) {
@@ -248,6 +289,7 @@ impl MmapSim {
 
     /// Writes back every dirty resident page (like `msync`), charging `cat`.
     pub fn flush(&mut self, cat: Category) {
+        self.tlb_sync();
         let mut dirty_pages = 0u64;
         for entry in self.resident.values_mut() {
             if entry.dirty {
@@ -272,6 +314,9 @@ impl MmapSim {
         if bytes == 0 || self.is_dax() {
             return;
         }
+        // Sync first so a TLB run over a discarded page can't resurrect it;
+        // the orphaned LRU entry is skipped by the lazy-deletion scan.
+        self.tlb_sync();
         let first = (offset / self.page_size) as u64;
         let last = ((offset + bytes - 1) / self.page_size) as u64;
         for page in first..=last {

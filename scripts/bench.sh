@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Wall-clock performance baseline: runs the micro-benchmarks and every
+# figure binary in release mode and writes BENCH_<name>.json with per-binary
+# wall-clock seconds plus machine info, so future PRs can compare against a
+# recorded baseline instead of folklore.
+#
+# Usage: scripts/bench.sh [name]     (default name: baseline)
+#   BENCH_SKIP_MICRO=1   skip the micro-benchmark pass
+#   TERAHEAP_BENCH_THREADS=N  thread count for the parallel fig drivers
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+name="${1:-baseline}"
+out="BENCH_${name}.json"
+
+fig_bins=(fig6_spark fig6_giraph fig7_timeline fig8_collectors fig9_hints
+          fig10_regions fig11_gc_overhead fig12_nvm fig13_scaling
+          table5_metadata ablations)
+
+echo "== release build =="
+cargo build --release --offline --workspace
+
+now_ms() { date +%s%3N; }
+
+declare -A secs
+if [[ "${BENCH_SKIP_MICRO:-0}" != "1" ]]; then
+    echo "== micro =="
+    t0=$(now_ms)
+    cargo run -q --release -p teraheap-bench --bin micro >/dev/null
+    secs[micro]=$(awk "BEGIN{printf \"%.3f\", ($(now_ms)-$t0)/1000}")
+    echo "micro: ${secs[micro]}s"
+fi
+
+for b in "${fig_bins[@]}"; do
+    echo "== $b =="
+    t0=$(now_ms)
+    cargo run -q --release -p teraheap-bench --bin "$b" >/dev/null
+    secs[$b]=$(awk "BEGIN{printf \"%.3f\", ($(now_ms)-$t0)/1000}")
+    echo "$b: ${secs[$b]}s"
+done
+
+threads="${TERAHEAP_BENCH_THREADS:-$(nproc)}"
+{
+    echo "{"
+    echo "  \"name\": \"${name}\","
+    echo "  \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+    echo "  \"machine\": {"
+    echo "    \"kernel\": \"$(uname -sr)\","
+    echo "    \"cpu\": \"$(grep -m1 '^model name' /proc/cpuinfo | cut -d: -f2- | sed 's/^ //' || echo unknown)\","
+    echo "    \"cores\": $(nproc),"
+    echo "    \"bench_threads\": ${threads},"
+    echo "    \"mem_kb\": $(grep -m1 MemTotal /proc/meminfo | awk '{print $2}')"
+    echo "  },"
+    echo "  \"wall_clock_secs\": {"
+    sep=""
+    for b in micro "${fig_bins[@]}"; do
+        [[ -v "secs[$b]" ]] || continue
+        printf '%s    "%s": %s' "$sep" "$b" "${secs[$b]}"
+        sep=$',\n'
+    done
+    printf '\n  }\n}\n'
+} > "$out"
+
+echo "wrote $out"

@@ -43,4 +43,30 @@ cargo build --release --offline --workspace
 echo "== offline tests =="
 cargo test -q --offline --workspace
 
+# Simulated-determinism guard: every committed figure CSV must regenerate
+# bit-identically. Simulated time is a pure function of the cost model and
+# the deterministic workloads, so any diff here means a change quietly
+# altered experiment results. microbench.csv is excluded (it records real
+# wall-clock times). Skip with VERIFY_SKIP_RESULTS=1 for a quick check.
+if [[ "${VERIFY_SKIP_RESULTS:-0}" != "1" ]]; then
+    echo "== results determinism: regenerate and diff results/*.csv =="
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' EXIT
+    cp -r results "$tmp/committed"
+    for bin in fig6_spark fig6_giraph fig7_timeline fig8_collectors \
+               fig9_hints fig10_regions fig11_gc_overhead fig12_nvm \
+               fig13_scaling table5_metadata ablations; do
+        echo "  regenerating: $bin"
+        cargo run -q --release --offline -p teraheap-bench --bin "$bin" >/dev/null
+    done
+    if ! diff -rq -x microbench.csv "$tmp/committed" results; then
+        echo "ERROR: regenerated results differ from committed CSVs." >&2
+        echo "Simulated time must be deterministic; if the change is an" >&2
+        echo "intentional cost-model/bug fix, re-commit the CSVs and say so" >&2
+        echo "in the PR (see crates/runtime/tests/gc_equivalence.rs)." >&2
+        exit 1
+    fi
+    echo "ok"
+fi
+
 echo "verify: all checks passed"
