@@ -19,14 +19,15 @@ use teraheap_storage::DeviceSpec;
 fn h2_minor_scan_ns(holders: usize, update_pct: usize, card_seg_words: usize) -> u64 {
     let mut heap = Heap::new(HeapConfig::with_words(64 << 10, 1 << 20));
     heap.enable_teraheap(
-        H2Config {
-            region_words: 64 << 10,
-            n_regions: 64,
-            card_seg_words,
-            resident_budget_bytes: 8 << 20,
-            page_size: 4096,
-            promo_buffer_bytes: 2 << 20,
-        },
+        H2Config::builder()
+            .region_words(64 << 10)
+            .n_regions(64)
+            .card_seg_words(card_seg_words)
+            .resident_budget_bytes(8 << 20)
+            .page_size(4096)
+            .promo_buffer_bytes(2 << 20)
+            .build()
+            .expect("valid H2 config"),
         DeviceSpec::nvme_ssd(),
     );
     let holder_class = heap.register_class("Holder", 1, 2);

@@ -5,71 +5,55 @@
 //! execution-time breakdowns (normalized to the first completing bar, as in
 //! the paper) and marking OOM bars. Writes `results/fig6_spark.csv`.
 //!
-//! Every bar is an independent simulation (own heap, own clock), so the
-//! whole figure fans out across worker threads via
-//! [`teraheap_bench::harness::run_parallel`]; reporting happens from the
-//! ordered results, so the output is identical at any thread count.
+//! The whole figure is declared as a [`FigureSpec`]: every bar is an
+//! independent simulation (own heap, own clock) fanned across worker
+//! threads, and reporting happens from the ordered results, so the output
+//! is identical at any thread count.
 //!
 //! Expected shape (paper): TeraHeap completes at DRAM sizes where Spark-SD
 //! OOMs, and at equal DRAM reduces execution time 18–73%, mostly from major
 //! GC and S/D reductions.
 
-use mini_spark::{run_workload, RunReport};
+use mini_spark::run_workload;
 use teraheap_bench::harness::{
-    bar, run_parallel, spark_dataset, spark_rows, spark_sd, spark_th, write_csv,
+    spark_dataset, spark_rows, spark_sd, spark_th, FigureBar, FigureGroup, FigureSpec,
 };
 use teraheap_storage::DeviceSpec;
 
 fn main() {
-    let rows = spark_rows();
-    // One job per bar, tagged with its row index and label.
-    let mut meta: Vec<(usize, String)> = Vec::new();
-    let mut jobs: Vec<Box<dyn FnOnce() -> RunReport + Send>> = Vec::new();
-    for (ri, row) in rows.iter().enumerate() {
-        for &dram in row.sd_dram_gb {
-            let r = row.clone();
-            meta.push((ri, format!("Spark-SD {dram}GB")));
-            jobs.push(Box::new(move || {
-                run_workload(r.workload, spark_sd(&r, dram, DeviceSpec::nvme_ssd()), spark_dataset(&r))
-            }));
-        }
-        for &dram in row.th_dram_gb {
-            let r = row.clone();
-            meta.push((ri, format!("TH {dram}GB")));
-            jobs.push(Box::new(move || {
-                run_workload(r.workload, spark_th(&r, dram, DeviceSpec::nvme_ssd()), spark_dataset(&r))
-            }));
-        }
-    }
-    let reports = run_parallel(jobs);
-
-    let mut csv: Vec<String> = Vec::new();
-    println!("=== Figure 6 (Spark): TeraHeap (TH) vs Spark-SD, NVMe ===\n");
-    let mut idx = 0;
-    for (ri, row) in rows.iter().enumerate() {
-        println!("--- Spark-{} (dataset {} GB-scaled) ---", row.workload.name(), row.dataset_gb);
-        let mut reference_ns = 0u64;
-        while idx < meta.len() && meta[idx].0 == ri {
-            let label = &meta[idx].1;
-            let report = &reports[idx];
-            if report.oom {
-                println!("  {label:>18}: OOM");
-            } else {
-                if reference_ns == 0 {
-                    reference_ns = report.breakdown.total_ns();
-                }
-                println!(
-                    "  {label:>18}: {}  [minor {} major {}]",
-                    bar(&report.breakdown, reference_ns),
-                    report.minor_gcs,
-                    report.major_gcs
-                );
+    let groups = spark_rows()
+        .into_iter()
+        .map(|row| {
+            let mut bars = Vec::new();
+            for &dram in row.sd_dram_gb {
+                let r = row.clone();
+                bars.push(FigureBar::new(format!("Spark-SD {dram}GB"), move || {
+                    run_workload(r.workload, spark_sd(&r, dram, DeviceSpec::nvme_ssd()), spark_dataset(&r))
+                }));
             }
-            csv.push(format!("{},{}", label.replace(' ', "_"), report.csv_row()));
-            idx += 1;
-        }
-        println!();
+            for &dram in row.th_dram_gb {
+                let r = row.clone();
+                bars.push(FigureBar::new(format!("TH {dram}GB"), move || {
+                    run_workload(r.workload, spark_th(&r, dram, DeviceSpec::nvme_ssd()), spark_dataset(&r))
+                }));
+            }
+            FigureGroup {
+                header: format!(
+                    "--- Spark-{} (dataset {} GB-scaled) ---",
+                    row.workload.name(),
+                    row.dataset_gb
+                ),
+                bars,
+            }
+        })
+        .collect();
+    FigureSpec {
+        title: "=== Figure 6 (Spark): TeraHeap (TH) vs Spark-SD, NVMe ===".to_string(),
+        csv_name: "fig6_spark",
+        key_column: "bar",
+        label_width: 18,
+        gc_counts: true,
+        groups,
     }
-    let path = write_csv("fig6_spark", &format!("bar,{}", RunReport::csv_header()), &csv);
-    println!("wrote {}", path.display());
+    .run();
 }

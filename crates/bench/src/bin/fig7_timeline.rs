@@ -2,26 +2,48 @@
 //! and old-generation occupancy over execution, Spark-SD vs TeraHeap at the
 //! same heap size.
 //!
+//! The timeline comes entirely from the flight recorder: each configuration
+//! runs **once** with tracing at full level and a ring large enough to hold
+//! the whole run, and `teraheap_obs::timeline::gc_cycles` reconstructs the
+//! per-cycle series from the `GcBegin`/`GcEnd` events. Besides the CSV, the
+//! raw GC events are exported as `results/fig7_timeline.jsonl`.
+//!
 //! Expected shape (paper, §7.1): Spark-SD suffers frequent low-yield major
 //! GCs (171 cycles, ~3.7 s each, reclaiming ~10% of the old generation);
 //! TeraHeap performs an order of magnitude fewer major GCs (13), each
 //! longer (mostly compaction I/O), and minor GC time drops ~38%.
 
-use mini_spark::{run_workload, Workload};
-use teraheap_bench::harness::{spark_dataset, spark_row, spark_sd, spark_th, write_csv};
+use mini_spark::{run_workload_traced, RunReport, Workload};
+use teraheap_bench::harness::{run_parallel, spark_dataset, spark_row, spark_sd, spark_th, write_csv};
+use teraheap_runtime::obs::timeline::{gc_cycles, gc_only, json_string, to_json, GcCycle};
+use teraheap_runtime::obs::{Event, Level};
 use teraheap_storage::DeviceSpec;
+
+type TracedJob = Box<dyn FnOnce() -> (RunReport, Vec<Event>) + Send>;
 
 fn main() {
     let row = spark_row(Workload::Pr);
     let scale = spark_dataset(&row);
     println!("=== Figure 7: GC timeline, Spark PR, equal heap ===\n");
-    let mut csv: Vec<String> = Vec::new();
-    for (label, cfg) in [
+    let configs = [
         ("Spark-SD", spark_sd(&row, 80, DeviceSpec::nvme_ssd())),
         ("TeraHeap", spark_th(&row, 80, DeviceSpec::nvme_ssd())),
-    ] {
-        // Re-run through the context-preserving path to get the event log.
-        let report = run_workload(Workload::Pr, cfg, scale);
+    ];
+    // One traced run per configuration: the report and the event series come
+    // from the same simulation.
+    let jobs: Vec<TracedJob> = configs
+        .iter()
+        .map(|&(_, cfg)| {
+            let mut cfg = cfg;
+            cfg.heap.obs_level = Some(Level::Full);
+            cfg.heap.obs_events = 1 << 20; // hold the whole run, no wrap
+            Box::new(move || run_workload_traced(Workload::Pr, cfg, scale)) as _
+        })
+        .collect();
+    let runs = run_parallel(jobs);
+
+    let mut csv: Vec<String> = Vec::new();
+    for ((label, _), (report, _)) in configs.iter().zip(&runs) {
         if report.oom {
             println!("{label}: OOM");
             continue;
@@ -42,40 +64,39 @@ fn main() {
             report.breakdown.major_gc_ns
         ));
     }
-    // Detailed per-cycle series need heap access; use the spark context
-    // directly for the two configurations.
-    for (label, cfg) in [
-        ("Spark-SD", spark_sd(&row, 80, DeviceSpec::nvme_ssd())),
-        ("TeraHeap", spark_th(&row, 80, DeviceSpec::nvme_ssd())),
-    ] {
-        let events = mini_spark::run_workload_events(Workload::Pr, cfg, scale);
+    let mut jsonl = String::new();
+    for ((label, _), (_, events)) in configs.iter().zip(&runs) {
+        let cycles: Vec<GcCycle> = gc_cycles(events);
         println!("\n{label}: first 10 GC events (t_ms, kind, dur_ms, old occupancy %):");
-        for e in events.iter().take(10) {
+        for c in cycles.iter().take(10) {
             println!(
                 "  t={:8.2}  {:5}  dur={:7.3}  occ {:4.1}% -> {:4.1}%",
-                e.start_ns as f64 / 1e6,
-                match e.kind {
-                    teraheap_runtime::GcEventKind::Minor => "minor",
-                    teraheap_runtime::GcEventKind::Major => "major",
-                },
-                e.duration_ns as f64 / 1e6,
-                100.0 * e.old_used_before as f64 / e.old_capacity as f64,
-                100.0 * e.old_used_after as f64 / e.old_capacity as f64,
+                c.start_ns as f64 / 1e6,
+                c.gc.name(),
+                c.duration_ns as f64 / 1e6,
+                100.0 * c.old_used_before as f64 / c.old_capacity as f64,
+                100.0 * c.old_used_after as f64 / c.old_capacity as f64,
             );
         }
-        for e in &events {
+        for c in &cycles {
             csv.push(format!(
                 "{label},event,{},{},{},{}",
-                e.start_ns,
-                match e.kind {
-                    teraheap_runtime::GcEventKind::Minor => "minor",
-                    teraheap_runtime::GcEventKind::Major => "major",
-                },
-                e.duration_ns,
-                100 * e.old_used_after / e.old_capacity.max(1)
+                c.start_ns,
+                c.gc.name(),
+                c.duration_ns,
+                100 * c.old_used_after / c.old_capacity.max(1)
             ));
+        }
+        // The raw event export: one JSON object per GC event, tagged with
+        // the configuration it came from.
+        for e in gc_only(events) {
+            let body = to_json(&e);
+            jsonl.push_str(&format!("{{\"config\":{},{}\n", json_string(label), &body[1..]));
         }
     }
     let path = write_csv("fig7_timeline", "config,row_kind,a,b,c,d", &csv);
     println!("\nwrote {}", path.display());
+    let jsonl_path = std::path::Path::new("results").join("fig7_timeline.jsonl");
+    std::fs::write(&jsonl_path, jsonl).expect("write jsonl");
+    println!("wrote {}", jsonl_path.display());
 }

@@ -1,10 +1,10 @@
 //! Figure 8: TeraHeap vs Parallel Scavenge (OpenJDK 11) vs G1 (OpenJDK 17)
 //! for the ten Spark workloads at equal DRAM.
 //!
-//! The thirty runs (ten workloads × three collectors) are independent
-//! simulations, fanned across worker threads via
-//! [`teraheap_bench::harness::run_parallel`]; output and CSV come from the
-//! ordered results and are identical at any thread count.
+//! The thirty runs (ten workloads × three collectors) are declared as a
+//! [`FigureSpec`]: independent simulations fanned across worker threads,
+//! with output and CSV coming from the ordered results — identical at any
+//! thread count.
 //!
 //! Expected shape (paper): G1 beats PS by cutting GC time (concurrent
 //! marking + garbage-first mixed collections) but cannot remove the S/D
@@ -12,62 +12,49 @@
 //! SVM, BC and RL because long-lived humongous objects fragment its
 //! regions.
 
-use mini_spark::{run_workload, RunReport};
+use mini_spark::run_workload;
 use teraheap_bench::harness::{
-    bar, run_parallel, spark_dataset, spark_rows, spark_sd, spark_th, write_csv,
+    spark_dataset, spark_rows, spark_sd, spark_th, FigureBar, FigureGroup, FigureSpec,
 };
 use teraheap_runtime::GcVariant;
 use teraheap_storage::DeviceSpec;
 
 fn main() {
-    let rows = spark_rows();
-    let mut jobs: Vec<Box<dyn FnOnce() -> RunReport + Send>> = Vec::new();
-    for row in &rows {
-        let dram = row.th_dram_gb[row.th_dram_gb.len() - 1];
-        // PS: plain Spark-SD.
-        let r = row.clone();
-        jobs.push(Box::new(move || {
-            run_workload(r.workload, spark_sd(&r, dram, DeviceSpec::nvme_ssd()), spark_dataset(&r))
-        }));
-        // G1: same cache mode, G1 collector with region size heap/256.
-        let r = row.clone();
-        jobs.push(Box::new(move || {
-            let mut cfg = spark_sd(&r, dram, DeviceSpec::nvme_ssd());
-            cfg.heap.variant = GcVariant::G1 {
-                region_words: cfg.heap.h1_words() / 128,
-            };
-            run_workload(r.workload, cfg, spark_dataset(&r))
-        }));
-        let r = row.clone();
-        jobs.push(Box::new(move || {
-            run_workload(r.workload, spark_th(&r, dram, DeviceSpec::nvme_ssd()), spark_dataset(&r))
-        }));
-    }
-    let reports = run_parallel(jobs);
-
-    let mut csv: Vec<String> = Vec::new();
-    println!("=== Figure 8: PS vs G1 vs TeraHeap (TH), equal DRAM ===\n");
-    for (ri, row) in rows.iter().enumerate() {
-        let dram = row.th_dram_gb[row.th_dram_gb.len() - 1];
-        let trio = &reports[3 * ri..3 * ri + 3];
-        // Normalize to the first completing configuration, as the paper does.
-        let reference = trio
-            .iter()
-            .find(|r| !r.oom)
-            .map(|r| r.breakdown.total_ns())
-            .unwrap_or(1)
-            .max(1);
-        println!("--- {} at {} GB DRAM ---", row.workload.name(), dram);
-        for (label, r) in ["PS", "G1", "TH"].iter().zip(trio) {
-            if r.oom {
-                println!("  {label:>3}: OOM");
-            } else {
-                println!("  {label:>3}: {}", bar(&r.breakdown, reference));
+    let groups = spark_rows()
+        .into_iter()
+        .map(|row| {
+            let dram = row.th_dram_gb[row.th_dram_gb.len() - 1];
+            // PS: plain Spark-SD.
+            let r = row.clone();
+            let ps = FigureBar::new("PS", move || {
+                run_workload(r.workload, spark_sd(&r, dram, DeviceSpec::nvme_ssd()), spark_dataset(&r))
+            });
+            // G1: same cache mode, G1 collector with region size heap/128.
+            let r = row.clone();
+            let g1 = FigureBar::new("G1", move || {
+                let mut cfg = spark_sd(&r, dram, DeviceSpec::nvme_ssd());
+                cfg.heap.variant = GcVariant::G1 {
+                    region_words: cfg.heap.h1_words() / 128,
+                };
+                run_workload(r.workload, cfg, spark_dataset(&r))
+            });
+            let r = row.clone();
+            let th = FigureBar::new("TH", move || {
+                run_workload(r.workload, spark_th(&r, dram, DeviceSpec::nvme_ssd()), spark_dataset(&r))
+            });
+            FigureGroup {
+                header: format!("--- {} at {} GB DRAM ---", row.workload.name(), dram),
+                bars: vec![ps, g1, th],
             }
-            csv.push(format!("{label},{}", r.csv_row()));
-        }
-        println!();
+        })
+        .collect();
+    FigureSpec {
+        title: "=== Figure 8: PS vs G1 vs TeraHeap (TH), equal DRAM ===".to_string(),
+        csv_name: "fig8_collectors",
+        key_column: "collector",
+        label_width: 3,
+        gc_counts: false,
+        groups,
     }
-    let path = write_csv("fig8_collectors", &format!("collector,{}", RunReport::csv_header()), &csv);
-    println!("wrote {}", path.display());
+    .run();
 }

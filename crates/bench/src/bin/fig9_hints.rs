@@ -80,9 +80,7 @@ fn main() {
         // in the fourth major GC" during graph loading, §7.2): the load
         // floor is vertices + edges ≈ 14.2 words/vertex at degree 8.
         let load_floor_words = vertices * 142 / 10;
-        no_low.heap = HeapConfig {
-            ..heap_words_config(load_floor_words * 135 / 100)
-        };
+        no_low.heap = heap_words_config(load_floor_words * 135 / 100);
         let mut with_low = no_low;
         with_low.low_threshold = Some(0.5);
         let nl = run_giraph(big.workload, no_low, vertices, 8, 42);

@@ -117,14 +117,15 @@ pub fn spark_heap(dram_gb: usize) -> HeapConfig {
 pub fn h2_for(dataset_gb: usize) -> H2Config {
     let region_words = 64 << 10;
     let capacity_words = 6 * dataset_gb * WORDS_PER_GB;
-    H2Config {
-        region_words,
-        n_regions: capacity_words.div_ceil(region_words).max(16),
-        card_seg_words: 1 << 10,
-        resident_budget_bytes: 16 * WORDS_PER_GB * 8, // DR2 page-cache share
-        page_size: 4096,
-        promo_buffer_bytes: 2 << 20,
-    }
+    H2Config::builder()
+        .region_words(region_words)
+        .n_regions(capacity_words.div_ceil(region_words).max(16))
+        .card_seg_words(1 << 10)
+        .resident_budget_bytes(16 * WORDS_PER_GB * 8) // DR2 page-cache share
+        .page_size(4096)
+        .promo_buffer_bytes(2 << 20)
+        .build()
+        .expect("paper-default H2 layout is valid")
 }
 
 /// Spark-SD configuration at `dram_gb` on `device`.
@@ -293,6 +294,103 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) -> std::path::PathBu
     }
     std::fs::write(&path, body).expect("write csv");
     path
+}
+
+/// One bar of a figure: a display label and the job that simulates it.
+pub struct FigureBar {
+    /// Display label (spaces become `_` in the CSV key column).
+    pub label: String,
+    /// The simulation; runs on a worker thread via [`run_parallel`].
+    pub job: Box<dyn FnOnce() -> mini_spark::RunReport + Send>,
+}
+
+impl FigureBar {
+    /// Builds a bar from a label and a job closure.
+    pub fn new<F>(label: impl Into<String>, job: F) -> Self
+    where
+        F: FnOnce() -> mini_spark::RunReport + Send + 'static,
+    {
+        FigureBar { label: label.into(), job: Box::new(job) }
+    }
+}
+
+/// A group of bars normalized together (one workload's cluster in the
+/// paper's figures). The reference is the first non-OOM bar in declaration
+/// order, matching the paper's "normalized to the first completing bar".
+pub struct FigureGroup {
+    /// Printed group header (e.g. `--- Spark-PR (dataset 80 GB-scaled) ---`).
+    pub header: String,
+    /// Bars in display order.
+    pub bars: Vec<FigureBar>,
+}
+
+/// A whole normalized-execution-time figure: title, CSV naming and the bar
+/// groups. [`FigureSpec::run`] fans every bar out through [`run_parallel`],
+/// then prints groups and writes the CSV from the ordered results, so the
+/// output is byte-identical at any worker-thread count.
+pub struct FigureSpec {
+    /// Banner printed before the groups (without trailing newline).
+    pub title: String,
+    /// CSV file stem under `results/`.
+    pub csv_name: &'static str,
+    /// Name of the CSV key column (`bar`, `collector`, ...).
+    pub key_column: &'static str,
+    /// Right-alignment width for bar labels.
+    pub label_width: usize,
+    /// Whether to append `  [minor N major M]` after each bar.
+    pub gc_counts: bool,
+    /// The bar groups.
+    pub groups: Vec<FigureGroup>,
+}
+
+impl FigureSpec {
+    /// Runs every bar (in parallel), prints the figure and writes its CSV.
+    pub fn run(self) {
+        use mini_spark::RunReport;
+        println!("{}\n", self.title);
+        let mut jobs: Vec<Box<dyn FnOnce() -> RunReport + Send>> = Vec::new();
+        let mut shape: Vec<(String, Vec<String>)> = Vec::new();
+        for group in self.groups {
+            let labels = group.bars.iter().map(|b| b.label.clone()).collect();
+            shape.push((group.header, labels));
+            jobs.extend(group.bars.into_iter().map(|b| b.job));
+        }
+        let reports = run_parallel(jobs);
+
+        let mut csv: Vec<String> = Vec::new();
+        let mut idx = 0;
+        let width = self.label_width;
+        for (header, labels) in shape {
+            println!("{header}");
+            let group_reports = &reports[idx..idx + labels.len()];
+            let reference = group_reports
+                .iter()
+                .find(|r| !r.oom)
+                .map(|r| r.breakdown.total_ns())
+                .unwrap_or(1)
+                .max(1);
+            for (label, report) in labels.iter().zip(group_reports) {
+                if report.oom {
+                    println!("  {label:>width$}: OOM");
+                } else if self.gc_counts {
+                    println!(
+                        "  {label:>width$}: {}  [minor {} major {}]",
+                        bar(&report.breakdown, reference),
+                        report.minor_gcs,
+                        report.major_gcs
+                    );
+                } else {
+                    println!("  {label:>width$}: {}", bar(&report.breakdown, reference));
+                }
+                csv.push(format!("{},{}", label.replace(' ', "_"), report.csv_row()));
+            }
+            idx += labels.len();
+            println!();
+        }
+        let header = format!("{},{}", self.key_column, RunReport::csv_header());
+        let path = write_csv(self.csv_name, &header, &csv);
+        println!("wrote {}", path.display());
+    }
 }
 
 /// Renders a normalized stacked bar (other/sd+io/minor/major as percentages

@@ -74,6 +74,7 @@ impl Addr {
     }
 
     /// The address `words` words past this one.
+    #[allow(clippy::should_implement_trait)] // word-offset arithmetic, not `ops::Add`
     pub fn add(self, words: u64) -> Addr {
         Addr(self.0 + words)
     }

@@ -79,7 +79,7 @@ impl H2CardTable {
     pub fn new(h2_words: usize, seg_words: usize, stripe_words: usize) -> Self {
         assert!(seg_words > 0, "card segment size must be non-zero");
         assert!(
-            stripe_words % seg_words == 0,
+            stripe_words.is_multiple_of(seg_words),
             "stripe size must be a multiple of the card segment size"
         );
         let n = h2_words.div_ceil(seg_words);

@@ -79,8 +79,8 @@ impl RegionGroups {
         assert_eq!(h1_referenced.len(), self.parent.len());
         let n = self.parent.len();
         let mut group_live = vec![false; n];
-        for i in 0..n {
-            if h1_referenced[i] {
+        for (i, &referenced) in h1_referenced.iter().enumerate() {
+            if referenced {
                 let root = self.find(RegionId(i as u32)).0 as usize;
                 group_live[root] = true;
             }

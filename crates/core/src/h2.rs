@@ -13,6 +13,7 @@ use crate::card::H2CardTable;
 use crate::policy::{Label, TransferPolicy};
 use crate::promo::Promoter;
 use crate::region::{RegionError, RegionId, RegionManager};
+use teraheap_storage::obs::EventKind;
 use teraheap_storage::{Category, DeviceSpec, MmapSim, SimClock};
 use std::sync::Arc;
 
@@ -53,7 +54,133 @@ impl H2Config {
     pub fn capacity_words(&self) -> usize {
         self.region_words * self.n_regions
     }
+
+    /// Starts a builder seeded with [`H2Config::default`].
+    pub fn builder() -> H2ConfigBuilder {
+        H2ConfigBuilder { config: H2Config::default() }
+    }
+
+    /// Checks the structural invariants the simulator relies on.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated [`H2ConfigError`].
+    pub fn validate(&self) -> Result<(), H2ConfigError> {
+        if self.region_words == 0 {
+            return Err(H2ConfigError::ZeroRegionSize);
+        }
+        if self.n_regions == 0 {
+            return Err(H2ConfigError::ZeroRegionCount);
+        }
+        if self.card_seg_words == 0 || !self.region_words.is_multiple_of(self.card_seg_words) {
+            return Err(H2ConfigError::CardSegment {
+                card_seg_words: self.card_seg_words,
+                region_words: self.region_words,
+            });
+        }
+        if !self.page_size.is_power_of_two() {
+            return Err(H2ConfigError::PageSize { page_size: self.page_size });
+        }
+        if self.promo_buffer_bytes == 0 {
+            return Err(H2ConfigError::ZeroPromoBuffer);
+        }
+        Ok(())
+    }
 }
+
+/// Builder for [`H2Config`]: the only supported construction path outside
+/// this crate. `build` validates region sizing, card-segment divisibility
+/// and page-size constraints up front, so a bad configuration is a typed
+/// error instead of a panic (or silent nonsense) mid-run.
+#[derive(Debug, Clone)]
+pub struct H2ConfigBuilder {
+    config: H2Config,
+}
+
+impl H2ConfigBuilder {
+    /// Region size in words.
+    pub fn region_words(mut self, words: usize) -> Self {
+        self.config.region_words = words;
+        self
+    }
+
+    /// Number of regions.
+    pub fn n_regions(mut self, n: usize) -> Self {
+        self.config.n_regions = n;
+        self
+    }
+
+    /// Card segment size in words (must divide the region size).
+    pub fn card_seg_words(mut self, words: usize) -> Self {
+        self.config.card_seg_words = words;
+        self
+    }
+
+    /// Page-cache resident budget in bytes (the DR2 DRAM share).
+    pub fn resident_budget_bytes(mut self, bytes: usize) -> Self {
+        self.config.resident_budget_bytes = bytes;
+        self
+    }
+
+    /// Page size for the mapping (4096, or `2 << 20` for HugeMap).
+    pub fn page_size(mut self, bytes: usize) -> Self {
+        self.config.page_size = bytes;
+        self
+    }
+
+    /// Promotion buffer size in bytes.
+    pub fn promo_buffer_bytes(mut self, bytes: usize) -> Self {
+        self.config.promo_buffer_bytes = bytes;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// See [`H2Config::validate`].
+    pub fn build(self) -> Result<H2Config, H2ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+/// A structurally invalid [`H2Config`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum H2ConfigError {
+    /// `region_words` was zero.
+    ZeroRegionSize,
+    /// `n_regions` was zero.
+    ZeroRegionCount,
+    /// The card segment size is zero or does not divide the region size.
+    CardSegment { card_seg_words: usize, region_words: usize },
+    /// The page size is not a power of two.
+    PageSize { page_size: usize },
+    /// The promotion buffer size was zero.
+    ZeroPromoBuffer,
+}
+
+impl std::fmt::Display for H2ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            H2ConfigError::ZeroRegionSize => write!(f, "H2 region size must be non-zero"),
+            H2ConfigError::ZeroRegionCount => write!(f, "H2 must have at least one region"),
+            H2ConfigError::CardSegment { card_seg_words, region_words } => write!(
+                f,
+                "card segment of {card_seg_words} words must be non-zero and divide \
+                 the region size ({region_words} words)"
+            ),
+            H2ConfigError::PageSize { page_size } => {
+                write!(f, "page size {page_size} is not a power of two")
+            }
+            H2ConfigError::ZeroPromoBuffer => {
+                write!(f, "promotion buffer must be non-zero")
+            }
+        }
+    }
+}
+
+impl std::error::Error for H2ConfigError {}
 
 /// Errors surfaced by H2 operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -278,6 +405,8 @@ impl H2 {
     fn charge_flush(&self, flushed_bytes: usize, cat: Category) {
         if flushed_bytes > 0 {
             self.clock.charge(cat, self.spec.write_cost_ns(flushed_bytes));
+            self.clock
+                .emit(EventKind::H2PromoFlush { bytes: flushed_bytes as u64 });
         }
     }
 
@@ -316,15 +445,15 @@ mod tests {
 
     fn h2() -> (H2, Arc<SimClock>) {
         let clock = Arc::new(SimClock::new());
-        let config = H2Config {
-            region_words: 1024,
-            n_regions: 8,
-            card_seg_words: 128,
-            resident_budget_bytes: 64 << 10,
-            page_size: 4096,
-            promo_buffer_bytes: 4096,
-            ..H2Config::default()
-        };
+        let config = H2Config::builder()
+            .region_words(1024)
+            .n_regions(8)
+            .card_seg_words(128)
+            .resident_budget_bytes(64 << 10)
+            .page_size(4096)
+            .promo_buffer_bytes(4096)
+            .build()
+            .unwrap();
         (H2::new(config, DeviceSpec::nvme_ssd(), clock.clone()), clock)
     }
 
@@ -411,16 +540,41 @@ mod tests {
     }
 
     #[test]
+    fn builder_rejects_invalid_configs() {
+        assert_eq!(
+            H2Config::builder().region_words(0).build(),
+            Err(H2ConfigError::ZeroRegionSize)
+        );
+        assert_eq!(
+            H2Config::builder().n_regions(0).build(),
+            Err(H2ConfigError::ZeroRegionCount)
+        );
+        // 100 does not divide the default 1 MB region.
+        let err = H2Config::builder().card_seg_words(100).build().unwrap_err();
+        assert!(matches!(err, H2ConfigError::CardSegment { card_seg_words: 100, .. }));
+        assert_eq!(
+            H2Config::builder().page_size(1000).build(),
+            Err(H2ConfigError::PageSize { page_size: 1000 })
+        );
+        assert_eq!(
+            H2Config::builder().promo_buffer_bytes(0).build(),
+            Err(H2ConfigError::ZeroPromoBuffer)
+        );
+        assert!(H2Config::builder().build().is_ok(), "default config is valid");
+    }
+
+    #[test]
     fn out_of_space_is_reported() {
         let clock = Arc::new(SimClock::new());
-        let config = H2Config {
-            region_words: 16,
-            n_regions: 1,
-            card_seg_words: 16,
-            resident_budget_bytes: 4096,
-            page_size: 4096,
-            promo_buffer_bytes: 4096,
-        };
+        let config = H2Config::builder()
+            .region_words(16)
+            .n_regions(1)
+            .card_seg_words(16)
+            .resident_budget_bytes(4096)
+            .page_size(4096)
+            .promo_buffer_bytes(4096)
+            .build()
+            .unwrap();
         let mut h2 = H2::new(config, DeviceSpec::nvme_ssd(), clock);
         h2.alloc(Label::new(1), 16).unwrap();
         assert_eq!(h2.alloc(Label::new(2), 1), Err(H2Error::OutOfSpace));

@@ -333,8 +333,8 @@ impl GiraphContext {
                             continue;
                         }
                         let e = self.heap.read_ref(edges, i).expect("edge array");
-                        for k in from..to {
-                            self.heap.write_prim(e, k, adjacency[vid][k] as u64);
+                        for (k, &dst) in adjacency[vid][from..to].iter().enumerate() {
+                            self.heap.write_prim(e, from + k, dst as u64);
                         }
                         self.heap.release(e);
                     }
@@ -723,14 +723,15 @@ mod tests {
     #[test]
     fn teraheap_moves_edges_and_messages() {
         let mode = GiraphMode::TeraHeap {
-            h2: H2Config {
-                region_words: 16 << 10,
-                n_regions: 32,
-                card_seg_words: 1 << 10,
-                resident_budget_bytes: 256 << 10,
-                page_size: 4096,
-                promo_buffer_bytes: 2 << 20,
-            },
+            h2: H2Config::builder()
+                .region_words(16 << 10)
+                .n_regions(32)
+                .card_seg_words(1 << 10)
+                .resident_budget_bytes(256 << 10)
+                .page_size(4096)
+                .promo_buffer_bytes(2 << 20)
+                .build()
+                .expect("valid H2 config"),
             device: DeviceSpec::nvme_ssd(),
         };
         let mut cfg = GiraphConfig::small(mode);

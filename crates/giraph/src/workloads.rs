@@ -194,9 +194,7 @@ pub fn run_giraph_with_context(
                         (rank.to_bits(), Some(share.to_bits()))
                     }
                     GiraphWorkload::Cdlp => {
-                        let label = if ss == 0 {
-                            value
-                        } else if grouped[i].is_empty() {
+                        let label = if ss == 0 || grouped[i].is_empty() {
                             value
                         } else {
                             most_frequent(&grouped[i])
@@ -236,7 +234,7 @@ pub fn run_giraph_with_context(
                 ctx.heap.release(e);
                 let _ = id;
             }
-            ctx.heap.charge_mutator_ops(ops);
+            ctx.heap.charge_ops(ops);
             ctx.heap.release(edges);
             ctx.ooc_pressure_check()?;
         }
@@ -284,14 +282,15 @@ mod tests {
 
     fn th_mode() -> GiraphMode {
         GiraphMode::TeraHeap {
-            h2: H2Config {
-                region_words: 16 << 10,
-                n_regions: 64,
-                card_seg_words: 1 << 10,
-                resident_budget_bytes: 256 << 10,
-                page_size: 4096,
-                promo_buffer_bytes: 2 << 20,
-            },
+            h2: H2Config::builder()
+                .region_words(16 << 10)
+                .n_regions(64)
+                .card_seg_words(1 << 10)
+                .resident_budget_bytes(256 << 10)
+                .page_size(4096)
+                .promo_buffer_bytes(2 << 20)
+                .build()
+                .expect("valid H2 config"),
             device: DeviceSpec::nvme_ssd(),
         }
     }

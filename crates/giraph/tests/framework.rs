@@ -90,14 +90,15 @@ fn ooc_offloaded_messages_reload_intact() {
 #[test]
 fn teraheap_moves_message_stores_with_superstep_labels() {
     let mode = GiraphMode::TeraHeap {
-        h2: H2Config {
-            region_words: 8 << 10,
-            n_regions: 16,
-            card_seg_words: 1 << 10,
-            resident_budget_bytes: 128 << 10,
-            page_size: 4096,
-            promo_buffer_bytes: 64 << 10,
-        },
+        h2: H2Config::builder()
+            .region_words(8 << 10)
+            .n_regions(16)
+            .card_seg_words(1 << 10)
+            .resident_budget_bytes(128 << 10)
+            .page_size(4096)
+            .promo_buffer_bytes(64 << 10)
+            .build()
+            .expect("valid H2 config"),
         device: DeviceSpec::nvme_ssd(),
     };
     let mut cfg = GiraphConfig::small(mode);

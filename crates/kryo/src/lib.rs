@@ -270,7 +270,7 @@ pub fn serialized_size(heap: &mut Heap, root: Handle) -> usize {
 fn charge_sd(heap: &mut Heap, objects: usize, bytes: usize) {
     let cost = heap.config().cost;
     let ns = objects as u64 * cost.serde_object_ns + bytes as u64 * cost.serde_byte_ns;
-    heap.charge_parallel(Category::SerDe, ns);
+    heap.charge_ns(Category::SerDe, ns);
 }
 
 fn ref_count(heap: &mut Heap, h: Handle) -> usize {

@@ -1,5 +1,6 @@
 //! Heap configuration, collector variants and the out-of-memory error.
 
+use teraheap_storage::obs::Level;
 use teraheap_storage::{CostModel, DeviceSpec};
 
 /// Which collector personality the heap runs.
@@ -81,6 +82,13 @@ pub struct HeapConfig {
     pub memory_mode: Option<MemoryMode>,
     /// CPU cost model.
     pub cost: CostModel,
+    /// Flight-recorder level override applied to the clock's tracer when the
+    /// heap is created; `None` keeps the tracer's current (environment)
+    /// level.
+    pub obs_level: Option<Level>,
+    /// Flight-recorder ring capacity override in events (0 keeps the
+    /// default). Figure drivers that export a full GC timeline raise this.
+    pub obs_events: usize,
 }
 
 impl HeapConfig {
@@ -104,6 +112,8 @@ impl HeapConfig {
             variant: GcVariant::ParallelScavenge,
             memory_mode: None,
             cost: CostModel::default_model(),
+            obs_level: None,
+            obs_events: 0,
         }
     }
 
@@ -118,7 +128,189 @@ impl HeapConfig {
     pub fn h1_words(&self) -> usize {
         self.young_words + self.old_words
     }
+
+    /// Starts a builder with the given generation sizes and paper-default
+    /// thread counts (the same seed as [`HeapConfig::with_words`]).
+    pub fn builder(young_words: usize, old_words: usize) -> HeapConfigBuilder {
+        HeapConfigBuilder { config: Self::with_words(young_words, old_words) }
+    }
+
+    /// Checks the structural invariants the heap relies on: a young
+    /// generation big enough to carve non-empty survivor spaces out of, a
+    /// non-empty old generation, a non-zero card segment, at least one
+    /// thread per pool, sane variant parameters and a miss ratio ≤ 100%.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        // Eden takes 80% of young; each survivor gets half the rest. The
+        // split must leave survivors at least one word or minor GC has
+        // nowhere to copy survivors to.
+        let eden = self.young_words * 8 / 10;
+        if (self.young_words - eden) / 2 == 0 {
+            return Err(ConfigError::YoungTooSmall { young_words: self.young_words });
+        }
+        if self.old_words == 0 {
+            return Err(ConfigError::ZeroOldGeneration);
+        }
+        if self.card_seg_words == 0 {
+            return Err(ConfigError::ZeroCardSegment);
+        }
+        if self.gc_threads_minor == 0 {
+            return Err(ConfigError::ZeroThreads { pool: "gc_threads_minor" });
+        }
+        if self.gc_threads_major == 0 {
+            return Err(ConfigError::ZeroThreads { pool: "gc_threads_major" });
+        }
+        if self.mutator_threads == 0 {
+            return Err(ConfigError::ZeroThreads { pool: "mutator_threads" });
+        }
+        match self.variant {
+            GcVariant::G1 { region_words: 0 } => {
+                return Err(ConfigError::ZeroG1Region);
+            }
+            GcVariant::Panthera { old_dram_words, .. } if old_dram_words > self.old_words => {
+                return Err(ConfigError::PantheraSplit {
+                    old_dram_words,
+                    old_words: self.old_words,
+                });
+            }
+            _ => {}
+        }
+        if let Some(mm) = self.memory_mode {
+            if mm.miss_percent > 100 {
+                return Err(ConfigError::MissPercent { miss_percent: mm.miss_percent });
+            }
+        }
+        Ok(())
+    }
 }
+
+/// Builder for [`HeapConfig`]: validated construction for the figure
+/// drivers and tests, so a bad configuration surfaces as a typed
+/// [`ConfigError`] before any simulation runs.
+#[derive(Debug, Clone)]
+pub struct HeapConfigBuilder {
+    config: HeapConfig,
+}
+
+impl HeapConfigBuilder {
+    /// H1 card segment size in words.
+    pub fn card_seg_words(mut self, words: usize) -> Self {
+        self.config.card_seg_words = words;
+        self
+    }
+
+    /// Minor GCs an object survives before tenuring.
+    pub fn tenure_age(mut self, age: u8) -> Self {
+        self.config.tenure_age = age;
+        self
+    }
+
+    /// Parallel GC threads for minor GC.
+    pub fn gc_threads_minor(mut self, threads: usize) -> Self {
+        self.config.gc_threads_minor = threads;
+        self
+    }
+
+    /// GC threads for major GC.
+    pub fn gc_threads_major(mut self, threads: usize) -> Self {
+        self.config.gc_threads_major = threads;
+        self
+    }
+
+    /// Mutator (executor) threads.
+    pub fn mutator_threads(mut self, threads: usize) -> Self {
+        self.config.mutator_threads = threads;
+        self
+    }
+
+    /// Collector personality.
+    pub fn variant(mut self, variant: GcVariant) -> Self {
+        self.config.variant = variant;
+        self
+    }
+
+    /// NVM Memory-mode access model (Spark-MO).
+    pub fn memory_mode(mut self, mode: MemoryMode) -> Self {
+        self.config.memory_mode = Some(mode);
+        self
+    }
+
+    /// CPU cost model.
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.config.cost = cost;
+        self
+    }
+
+    /// Flight-recorder level applied when the heap is created.
+    pub fn obs_level(mut self, level: Level) -> Self {
+        self.config.obs_level = Some(level);
+        self
+    }
+
+    /// Flight-recorder ring capacity in events.
+    pub fn obs_events(mut self, events: usize) -> Self {
+        self.config.obs_events = events;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// See [`HeapConfig::validate`].
+    pub fn build(self) -> Result<HeapConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+/// A structurally invalid [`HeapConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The young generation is too small to hold non-empty survivor spaces.
+    YoungTooSmall { young_words: usize },
+    /// The old generation was zero words.
+    ZeroOldGeneration,
+    /// The H1 card segment size was zero.
+    ZeroCardSegment,
+    /// A thread pool was configured with zero threads.
+    ZeroThreads { pool: &'static str },
+    /// The G1 region size was zero.
+    ZeroG1Region,
+    /// Panthera's DRAM share exceeds the old generation.
+    PantheraSplit { old_dram_words: usize, old_words: usize },
+    /// A memory-mode miss ratio above 100%.
+    MissPercent { miss_percent: u8 },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::YoungTooSmall { young_words } => write!(
+                f,
+                "young generation of {young_words} words leaves empty survivor spaces \
+                 (needs at least 10 words)"
+            ),
+            ConfigError::ZeroOldGeneration => write!(f, "old generation must be non-zero"),
+            ConfigError::ZeroCardSegment => write!(f, "card segment size must be non-zero"),
+            ConfigError::ZeroThreads { pool } => write!(f, "{pool} must be at least 1"),
+            ConfigError::ZeroG1Region => write!(f, "G1 region size must be non-zero"),
+            ConfigError::PantheraSplit { old_dram_words, old_words } => write!(
+                f,
+                "Panthera DRAM share ({old_dram_words} words) exceeds the old \
+                 generation ({old_words} words)"
+            ),
+            ConfigError::MissPercent { miss_percent } => {
+                write!(f, "memory-mode miss ratio {miss_percent}% exceeds 100%")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// The heap could not satisfy an allocation even after a full GC.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -160,6 +352,70 @@ mod tests {
         let m60 = MemoryMode { nvm, miss_percent: 60 };
         assert!(m30.extra_ns_per_word() > 0);
         assert_eq!(m60.extra_ns_per_word(), 2 * m30.extra_ns_per_word());
+    }
+
+    #[test]
+    fn builder_rejects_invalid_configs() {
+        assert_eq!(
+            HeapConfig::builder(4, 1 << 10).build(),
+            Err(ConfigError::YoungTooSmall { young_words: 4 })
+        );
+        assert_eq!(
+            HeapConfig::builder(1 << 10, 0).build(),
+            Err(ConfigError::ZeroOldGeneration)
+        );
+        assert_eq!(
+            HeapConfig::builder(1 << 10, 1 << 10).card_seg_words(0).build(),
+            Err(ConfigError::ZeroCardSegment)
+        );
+        assert_eq!(
+            HeapConfig::builder(1 << 10, 1 << 10).mutator_threads(0).build(),
+            Err(ConfigError::ZeroThreads { pool: "mutator_threads" })
+        );
+        assert_eq!(
+            HeapConfig::builder(1 << 10, 1 << 10)
+                .variant(GcVariant::G1 { region_words: 0 })
+                .build(),
+            Err(ConfigError::ZeroG1Region)
+        );
+        assert_eq!(
+            HeapConfig::builder(1 << 10, 1 << 10)
+                .variant(GcVariant::Panthera {
+                    old_dram_words: 2 << 10,
+                    nvm: DeviceSpec::optane_nvm(),
+                })
+                .build(),
+            Err(ConfigError::PantheraSplit { old_dram_words: 2 << 10, old_words: 1 << 10 })
+        );
+        assert_eq!(
+            HeapConfig::builder(1 << 10, 1 << 10)
+                .memory_mode(MemoryMode { nvm: DeviceSpec::optane_nvm(), miss_percent: 101 })
+                .build(),
+            Err(ConfigError::MissPercent { miss_percent: 101 })
+        );
+    }
+
+    #[test]
+    fn builder_accepts_and_applies_settings() {
+        let cfg = HeapConfig::builder(64 << 10, 256 << 10)
+            .tenure_age(1)
+            .gc_threads_minor(8)
+            .obs_level(Level::Counters)
+            .obs_events(1 << 12)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.tenure_age, 1);
+        assert_eq!(cfg.gc_threads_minor, 8);
+        assert_eq!(cfg.obs_level, Some(Level::Counters));
+        assert_eq!(cfg.obs_events, 1 << 12);
+        assert_eq!(cfg, { // builder with no overrides == with_words
+            let mut c = HeapConfig::with_words(64 << 10, 256 << 10);
+            c.tenure_age = 1;
+            c.gc_threads_minor = 8;
+            c.obs_level = Some(Level::Counters);
+            c.obs_events = 1 << 12;
+            c
+        });
     }
 
     #[test]

@@ -21,9 +21,9 @@ use super::Work;
 use crate::config::{GcVariant, OomError};
 use crate::heap::Heap;
 use crate::object;
-use crate::stats::{GcEvent, GcEventKind};
 use std::collections::HashMap;
 use teraheap_core::{Addr, CardState, Label};
+use teraheap_storage::obs::{CardTableKind, EventKind, GcCause, GcKind, GcPhase};
 use teraheap_storage::Category;
 
 /// Runs a full collection.
@@ -32,15 +32,21 @@ use teraheap_storage::Category;
 ///
 /// Returns [`OomError`] when live data does not fit the old generation.
 /// The heap must not be used further after an error.
-pub(crate) fn major_gc(heap: &mut Heap) -> Result<(), OomError> {
+pub(crate) fn major_gc(heap: &mut Heap, cause: GcCause) -> Result<(), OomError> {
     debug_assert!(!heap.in_gc, "re-entrant GC");
     heap.in_gc = true;
     let start_ns = heap.clock.total_ns();
     let old_before = heap.old.used_words();
     let h2_words_before = heap.h2.as_ref().map(|h| h.words_promoted()).unwrap_or(0);
+    heap.clock.emit(EventKind::GcBegin {
+        gc: GcKind::Major,
+        cause,
+        old_used_words: old_before as u64,
+    });
 
     // ---------------- Phase 1: marking ------------------------------------
     let phase_start = heap.clock.total_ns();
+    heap.clock.emit(EventKind::PhaseBegin { phase: GcPhase::Mark });
     let mut work = Work::default();
     if let Some(h2) = heap.h2.as_mut() {
         h2.begin_major_marking();
@@ -124,9 +130,11 @@ pub(crate) fn major_gc(heap: &mut Heap) -> Result<(), OomError> {
     heap.clock
         .charge(Category::MajorGc, marking_charged / threads + work.extra_ns);
     heap.stats.phases.marking_ns += heap.clock.total_ns() - phase_start;
+    heap.clock.emit(EventKind::PhaseEnd { phase: GcPhase::Mark });
 
     // ---------------- Phase 2: pre-compaction -----------------------------
     let phase_start = heap.clock.total_ns();
+    heap.clock.emit(EventKind::PhaseBegin { phase: GcPhase::Precompact });
     let mut work = Work::default();
     let old_base = heap.old.base().raw();
     let mut old_live: Vec<u64> = live.iter().copied().filter(|&a| a >= old_base).collect();
@@ -183,7 +191,8 @@ pub(crate) fn major_gc(heap: &mut Heap) -> Result<(), OomError> {
         if new_top + footprint as u64 > heap.old.limit().raw() {
             heap.in_gc = false;
             let placed = new_top - old_base;
-            return Err(OomError {
+            heap.clock.emit(EventKind::PhaseEnd { phase: GcPhase::Precompact });
+            return Err(heap.note_oom(OomError {
                 requested_words: size,
                 context: format!(
                     "live data exceeds the old generation: {} live objects, \
@@ -193,7 +202,7 @@ pub(crate) fn major_gc(heap: &mut Heap) -> Result<(), OomError> {
                     old_live.len(),
                     young_live.len()
                 ),
-            });
+            }));
         }
         if footprint > size {
             heap.stats.g1_humongous_waste_words += (footprint - size) as u64;
@@ -208,9 +217,11 @@ pub(crate) fn major_gc(heap: &mut Heap) -> Result<(), OomError> {
     heap.clock
         .charge(Category::MajorGc, work.cpu_ns(&heap.config.cost) / threads);
     heap.stats.phases.precompact_ns += heap.clock.total_ns() - phase_start;
+    heap.clock.emit(EventKind::PhaseEnd { phase: GcPhase::Precompact });
 
     // ---------------- Phase 3: pointer adjustment -------------------------
     let phase_start = heap.clock.total_ns();
+    heap.clock.emit(EventKind::PhaseBegin { phase: GcPhase::Adjust });
     let mut work = Work::default();
 
     // Re-derive the states of the H2 cards scanned during marking: after
@@ -286,9 +297,11 @@ pub(crate) fn major_gc(heap: &mut Heap) -> Result<(), OomError> {
     heap.clock
         .charge(Category::MajorGc, adjust_cpu / threads + work.extra_ns);
     heap.stats.phases.adjust_ns += heap.clock.total_ns() - phase_start;
+    heap.clock.emit(EventKind::PhaseEnd { phase: GcPhase::Adjust });
 
     // ---------------- Phase 4: compaction ---------------------------------
     let phase_start = heap.clock.total_ns();
+    heap.clock.emit(EventKind::PhaseBegin { phase: GcPhase::Compact });
     let mut work = Work::default();
     // Deferred-copy arena: one growable buffer instead of a `Vec<u64>`
     // allocation per stashed object.
@@ -364,6 +377,7 @@ pub(crate) fn major_gc(heap: &mut Heap) -> Result<(), OomError> {
     heap.clock
         .charge(Category::MajorGc, compact_cpu / threads + work.extra_ns);
     heap.stats.phases.compact_ns += heap.clock.total_ns() - phase_start;
+    heap.clock.emit(EventKind::PhaseEnd { phase: GcPhase::Compact });
 
     // End-of-GC: update the transfer policy's pressure state from what is
     // left in H1 (§3.2).
@@ -377,13 +391,10 @@ pub(crate) fn major_gc(heap: &mut Heap) -> Result<(), OomError> {
     heap.stats.major_count += 1;
     heap.stats.major_ns += duration;
     let h2_words_after = heap.h2.as_ref().map(|h| h.words_promoted()).unwrap_or(0);
-    heap.stats.events.push(GcEvent {
-        kind: GcEventKind::Major,
-        start_ns,
-        duration_ns: duration,
-        old_used_before: old_before,
-        old_used_after: heap.old.used_words(),
-        old_capacity: heap.old.capacity_words(),
+    heap.clock.emit(EventKind::GcEnd {
+        gc: GcKind::Major,
+        old_used_words: heap.old.used_words() as u64,
+        old_capacity_words: heap.old.capacity_words() as u64,
         promoted_h2_words: h2_words_after - h2_words_before,
     });
     heap.in_gc = false;
@@ -476,6 +487,10 @@ fn scan_h2_cards_major(
     }
     let cards = heap.h2.as_mut().unwrap().cards_mut().major_scan_cards();
     work.cards += cards.len() as u64;
+    heap.clock.emit(EventKind::CardScan {
+        table: CardTableKind::H2Major,
+        cards: cards.len() as u64,
+    });
     let seg_words = heap.h2.as_ref().unwrap().cards().seg_words() as u64;
     let region_words = heap.h2.as_ref().unwrap().regions().region_words() as u64;
     // Take/put-back the region's start index instead of cloning it per card
@@ -691,7 +706,7 @@ fn g1_moved_fraction_milli(heap: &Heap, region_live: &HashMap<u64, u64>, total_l
         .values()
         .map(|&l| ((region_words as u64).saturating_sub(l), l))
         .collect();
-    per_region.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+    per_region.sort_unstable_by_key(|r| std::cmp::Reverse(r.0));
     let total_garbage: u64 = per_region.iter().map(|(g, _)| g).sum();
     if total_garbage == 0 {
         return 1000;

@@ -7,17 +7,22 @@
 use super::Work;
 use crate::heap::Heap;
 use crate::object;
-use crate::stats::{GcEvent, GcEventKind};
 use teraheap_core::{Addr, CardState};
+use teraheap_storage::obs::{CardTableKind, EventKind, GcCause, GcKind};
 use teraheap_storage::Category;
 
 /// Runs a minor collection. The caller must have ensured the promotion
 /// guarantee (old free ≥ young used); see [`Heap::gc_minor`].
-pub(crate) fn minor_gc(heap: &mut Heap) {
+pub(crate) fn minor_gc(heap: &mut Heap, cause: GcCause) {
     debug_assert!(!heap.in_gc, "re-entrant GC");
     heap.in_gc = true;
     let start_ns = heap.clock.total_ns();
     let old_before = heap.old.used_words();
+    heap.clock.emit(EventKind::GcBegin {
+        gc: GcKind::Minor,
+        cause,
+        old_used_words: old_before as u64,
+    });
     let mut work = Work::default();
     let mut worklist: Vec<Addr> = Vec::new();
 
@@ -58,13 +63,10 @@ pub(crate) fn minor_gc(heap: &mut Heap) {
     let duration = heap.clock.total_ns() - start_ns;
     heap.stats.minor_count += 1;
     heap.stats.minor_ns += duration;
-    heap.stats.events.push(GcEvent {
-        kind: GcEventKind::Minor,
-        start_ns,
-        duration_ns: duration,
-        old_used_before: old_before,
-        old_used_after: heap.old.used_words(),
-        old_capacity: heap.old.capacity_words(),
+    heap.clock.emit(EventKind::GcEnd {
+        gc: GcKind::Minor,
+        old_used_words: heap.old.used_words() as u64,
+        old_capacity_words: heap.old.capacity_words() as u64,
         promoted_h2_words: 0,
     });
     heap.in_gc = false;
@@ -145,6 +147,10 @@ fn first_overlapping(starts: &[u64], base: u64) -> usize {
 fn scan_h1_cards(heap: &mut Heap, work: &mut Work, worklist: &mut Vec<Addr>) {
     let dirty = heap.h1_cards.dirty_cards();
     work.cards += dirty.len() as u64;
+    heap.clock.emit(EventKind::CardScan {
+        table: CardTableKind::H1,
+        cards: dirty.len() as u64,
+    });
     let seg = heap.h1_cards.seg_words() as u64;
     // Snapshot the start index by moving it out: objects tenured *during*
     // this scan (`copy_young` → `alloc_old`) append to the now-empty heap
@@ -208,6 +214,10 @@ fn scan_h2_cards(heap: &mut Heap, worklist: &mut Vec<Addr>) {
     let mut work = Work::default();
     let cards = heap.h2.as_mut().unwrap().cards_mut().minor_scan_cards();
     heap.stats.h2_cards_scanned_minor += cards.len() as u64;
+    heap.clock.emit(EventKind::CardScan {
+        table: CardTableKind::H2Minor,
+        cards: cards.len() as u64,
+    });
     // The card-table walk examines every entry; smaller segments mean a
     // larger table and a longer walk (the Figure 11a trade-off).
     work.cards += heap.h2.as_ref().unwrap().cards().card_count() as u64;

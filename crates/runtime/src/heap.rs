@@ -13,7 +13,8 @@ use crate::space::{H1CardTable, Space};
 use crate::stats::GcStats;
 use std::sync::Arc;
 use teraheap_core::{Addr, H2Config, Label, H2, NULL};
-use teraheap_storage::{Category, DeviceSpec, SimClock};
+use teraheap_storage::obs::{EventKind, GcCause, SpanKind};
+use teraheap_storage::{Category, DeviceSpec, SimClock, TraceSpan};
 
 /// Reserved low words so that address 0 stays the null reference.
 const RESERVED_WORDS: usize = 16;
@@ -74,7 +75,16 @@ impl Heap {
     }
 
     /// Creates a heap sharing `clock` with other simulation components.
+    ///
+    /// Applies the configuration's flight-recorder overrides (`obs_level`,
+    /// `obs_events`) to the clock's tracer.
     pub fn with_clock(config: HeapConfig, clock: Arc<SimClock>) -> Self {
+        if let Some(level) = config.obs_level {
+            clock.tracer().set_level(level);
+        }
+        if config.obs_events != 0 {
+            clock.tracer().set_capacity(config.obs_events);
+        }
         let eden_words = config.young_words * 8 / 10;
         let surv_words = (config.young_words - eden_words) / 2;
         let eden = Space::new(RESERVED_WORDS as u64, eden_words);
@@ -310,20 +320,32 @@ impl Heap {
             if let Some(a) = self.alloc_old(words) {
                 return Ok(a);
             }
-            gc::major::major_gc(self)?;
-            return self.alloc_old(words).ok_or(OomError {
-                requested_words: words,
-                context: "large allocation does not fit the old generation".to_string(),
+            gc::major::major_gc(self, GcCause::LargeAlloc)?;
+            return self.alloc_old(words).ok_or_else(|| {
+                self.note_oom(OomError {
+                    requested_words: words,
+                    context: "large allocation does not fit the old generation".to_string(),
+                })
             });
         }
         if let Some(a) = self.eden.alloc(words) {
             return Ok(a);
         }
         self.collect_for(words)?;
-        self.eden.alloc(words).ok_or(OomError {
-            requested_words: words,
-            context: "eden exhausted after garbage collection".to_string(),
+        self.eden.alloc(words).ok_or_else(|| {
+            self.note_oom(OomError {
+                requested_words: words,
+                context: "eden exhausted after garbage collection".to_string(),
+            })
         })
+    }
+
+    /// Records an OOM in the flight recorder and fires the crash-dump hook
+    /// (`TERAHEAP_OBS_DUMP`), returning the error for propagation.
+    pub(crate) fn note_oom(&self, e: OomError) -> OomError {
+        self.clock.emit(EventKind::Oom);
+        self.clock.tracer().crash_dump(&e.to_string());
+        e
     }
 
     /// Allocates in the old generation, applying G1 humongous-region
@@ -367,12 +389,12 @@ impl Heap {
         // generation cannot absorb that worst case.
         let worst_promo = self.worst_case_promotion();
         if self.old.free_words() < worst_promo {
-            gc::major::major_gc(self)?;
+            gc::major::major_gc(self, GcCause::PromotionGuarantee)?;
         } else {
-            gc::minor::minor_gc(self);
+            gc::minor::minor_gc(self, GcCause::AllocFailure);
         }
         if self.eden.free_words() < words {
-            gc::major::major_gc(self)?;
+            gc::major::major_gc(self, GcCause::EdenFullAfterGc)?;
         }
         Ok(())
     }
@@ -381,9 +403,9 @@ impl Heap {
     pub fn gc_minor(&mut self) -> Result<(), OomError> {
         let worst_promo = self.worst_case_promotion();
         if self.old.free_words() < worst_promo {
-            gc::major::major_gc(self)
+            gc::major::major_gc(self, GcCause::PromotionGuarantee)
         } else {
-            gc::minor::minor_gc(self);
+            gc::minor::minor_gc(self, GcCause::Explicit);
             Ok(())
         }
     }
@@ -394,7 +416,7 @@ impl Heap {
     ///
     /// Returns [`OomError`] if live data exceeds the old generation.
     pub fn gc_major(&mut self) -> Result<(), OomError> {
-        gc::major::major_gc(self)
+        gc::major::major_gc(self, GcCause::Explicit)
     }
 
     // ----- memory access ---------------------------------------------------
@@ -717,20 +739,40 @@ impl Heap {
         self.word(self.root_of(h).add(1))
     }
 
-    // ----- workload cost hook ------------------------------------------------
+    // ----- tracer charge/span API (workload cost hooks) ---------------------
 
     /// Charges `ops` element-operations of mutator compute, divided across
-    /// the configured mutator threads.
-    pub fn charge_mutator_ops(&self, ops: u64) {
+    /// the configured mutator threads. The charge routes through the
+    /// clock's tracer, so the flight recorder attributes it per category.
+    pub fn charge_ops(&self, ops: u64) {
         let ns = ops * self.config.cost.mutator_op_ns / self.config.mutator_threads.max(1) as u64;
         self.clock.charge(Category::Mutator, ns);
     }
 
     /// Charges `ns` nanoseconds directly to a category, divided across
     /// mutator threads (frameworks use this for S/D work).
-    pub fn charge_parallel(&self, cat: Category, ns: u64) {
+    pub fn charge_ns(&self, cat: Category, ns: u64) {
         self.clock
             .charge(cat, ns / self.config.mutator_threads.max(1) as u64);
+    }
+
+    /// Opens a mutator-side flight-recorder span (stage, shuffle, ...); the
+    /// returned guard records the span end when dropped. The guard holds the
+    /// clock, not the heap, so it can live across `&mut self` calls.
+    pub fn span(&self, kind: SpanKind) -> TraceSpan {
+        self.clock.span(kind)
+    }
+
+    /// Deprecated name of [`Heap::charge_ops`].
+    #[deprecated(note = "use `charge_ops` (tracer charge API)")]
+    pub fn charge_mutator_ops(&self, ops: u64) {
+        self.charge_ops(ops);
+    }
+
+    /// Deprecated name of [`Heap::charge_ns`].
+    #[deprecated(note = "use `charge_ns` (tracer charge API)")]
+    pub fn charge_parallel(&self, cat: Category, ns: u64) {
+        self.charge_ns(cat, ns);
     }
 }
 
@@ -814,6 +856,19 @@ mod tests {
         h.release(a);
         let b = h.alloc(c).unwrap();
         assert_eq!(a.0, b.0, "slot recycled");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_charge_shims_match_new_api() {
+        let a = heap();
+        let b = heap();
+        a.charge_ops(1000);
+        a.charge_ns(Category::SerDe, 12345);
+        b.charge_mutator_ops(1000);
+        b.charge_parallel(Category::SerDe, 12345);
+        assert_eq!(a.clock().total_ns(), b.clock().total_ns());
+        assert_eq!(a.clock().breakdown(), b.clock().breakdown());
     }
 
     #[test]

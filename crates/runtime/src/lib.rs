@@ -54,6 +54,7 @@ pub mod space;
 pub mod stats;
 
 pub use class::{ClassDesc, ClassId, ClassRegistry, OBJ_ARRAY_CLASS, PRIM_ARRAY_CLASS};
-pub use config::{GcVariant, HeapConfig, MemoryMode, OomError};
+pub use config::{ConfigError, GcVariant, HeapConfig, HeapConfigBuilder, MemoryMode, OomError};
 pub use heap::{Handle, Heap};
-pub use stats::{GcEvent, GcEventKind, GcStats, MajorPhases};
+pub use stats::{GcStats, MajorPhases};
+pub use teraheap_storage::obs;

@@ -1,34 +1,9 @@
-//! GC statistics, the per-cycle event log (Figure 7) and the major-GC phase
-//! breakdown (Figure 11b).
-
-/// Whether a GC event was a minor or major collection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum GcEventKind {
-    /// Young-generation (scavenge) collection.
-    Minor,
-    /// Full-heap mark–compact collection.
-    Major,
-}
-
-/// One GC cycle, as plotted in Figure 7 (per-cycle GC time and old-gen
-/// occupancy over execution time).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct GcEvent {
-    /// Minor or major.
-    pub kind: GcEventKind,
-    /// Simulated time at which the collection started.
-    pub start_ns: u64,
-    /// Simulated duration of the collection.
-    pub duration_ns: u64,
-    /// Old-generation occupancy before the collection, in words.
-    pub old_used_before: usize,
-    /// Old-generation occupancy after the collection, in words.
-    pub old_used_after: usize,
-    /// Old-generation capacity, in words.
-    pub old_capacity: usize,
-    /// Words moved to H2 by this collection (major GC with TeraHeap only).
-    pub promoted_h2_words: u64,
-}
+//! Cumulative GC statistics and the major-GC phase breakdown (Figure 11b).
+//!
+//! Per-cycle GC history (Figure 7's timeline) is no longer kept here: the
+//! flight recorder in `teraheap-obs` records `GcBegin`/`GcEnd` events with
+//! the same payloads, and `teraheap_obs::timeline::gc_cycles` reconstructs
+//! the per-cycle view from the trace.
 
 /// Cumulative time in each of the four PS major-GC phases (§4), which
 /// Figure 11b breaks down.
@@ -77,8 +52,6 @@ pub struct GcStats {
     pub objects_promoted_h2: u64,
     /// G1 only: words wasted by humongous-object region rounding.
     pub g1_humongous_waste_words: u64,
-    /// Per-cycle event log (Figure 7).
-    pub events: Vec<GcEvent>,
 }
 
 impl GcStats {
@@ -89,20 +62,12 @@ impl GcStats {
 
     /// Average major-GC duration, in nanoseconds.
     pub fn mean_major_ns(&self) -> u64 {
-        if self.major_count == 0 {
-            0
-        } else {
-            self.major_ns / self.major_count
-        }
+        self.major_ns.checked_div(self.major_count).unwrap_or(0)
     }
 
     /// Average minor-GC duration, in nanoseconds.
     pub fn mean_minor_ns(&self) -> u64 {
-        if self.minor_count == 0 {
-            0
-        } else {
-            self.minor_ns / self.minor_count
-        }
+        self.minor_ns.checked_div(self.minor_count).unwrap_or(0)
     }
 }
 

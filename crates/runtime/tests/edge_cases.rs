@@ -1,18 +1,20 @@
 //! Edge cases and failure injection for the runtime + TeraHeap integration.
 
 use teraheap_core::{H2Config, Label};
+use teraheap_runtime::obs::timeline::gc_cycles;
 use teraheap_runtime::{GcVariant, Heap, HeapConfig, MemoryMode};
 use teraheap_storage::{Category, DeviceSpec};
 
 fn tiny_h2(region_words: usize, n_regions: usize) -> H2Config {
-    H2Config {
-        region_words,
-        n_regions,
-        card_seg_words: region_words.min(128),
-        resident_budget_bytes: 64 << 10,
-        page_size: 4096,
-        promo_buffer_bytes: 8 << 10,
-    }
+    H2Config::builder()
+        .region_words(region_words)
+        .n_regions(n_regions)
+        .card_seg_words(region_words.min(128))
+        .resident_budget_bytes(64 << 10)
+        .page_size(4096)
+        .promo_buffer_bytes(8 << 10)
+        .build()
+        .expect("valid tiny H2 config")
 }
 
 #[test]
@@ -234,16 +236,18 @@ fn gc_event_log_is_consistent() {
         let t = heap.alloc(c).unwrap();
         heap.release(t);
     }
-    let stats = heap.stats();
+    let stats = heap.stats().clone();
+    let cycles = gc_cycles(&heap.clock().tracer().events());
     assert_eq!(
-        stats.events.len() as u64,
+        cycles.len() as u64,
         stats.minor_count + stats.major_count,
-        "one event per collection"
+        "one flight-recorder cycle per collection"
     );
+    // GCs never nest, so completion order is also start order.
     let mut last_start = 0;
-    for e in &stats.events {
-        assert!(e.start_ns >= last_start, "events are time-ordered");
-        assert!(e.old_used_after <= e.old_capacity);
-        last_start = e.start_ns;
+    for cyc in &cycles {
+        assert!(cyc.start_ns >= last_start, "cycles are time-ordered");
+        assert!(cyc.old_used_after <= cyc.old_capacity);
+        last_start = cyc.start_ns;
     }
 }

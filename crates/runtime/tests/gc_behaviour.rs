@@ -11,14 +11,15 @@ fn small_heap() -> Heap {
 fn th_heap() -> Heap {
     let mut heap = Heap::new(HeapConfig::with_words(2048, 8192));
     heap.enable_teraheap(
-        H2Config {
-            region_words: 1024,
-            n_regions: 16,
-            card_seg_words: 128,
-            resident_budget_bytes: 64 << 10,
-            page_size: 4096,
-            promo_buffer_bytes: 8 << 10,
-        },
+        H2Config::builder()
+            .region_words(1024)
+            .n_regions(16)
+            .card_seg_words(128)
+            .resident_budget_bytes(64 << 10)
+            .page_size(4096)
+            .promo_buffer_bytes(8 << 10)
+            .build()
+            .expect("valid H2 config"),
         DeviceSpec::nvme_ssd(),
     );
     heap
@@ -289,14 +290,15 @@ fn pressure_moves_marked_objects_without_hint() {
     // High threshold forces movement when H1 fills past 85%.
     let mut h = Heap::new(HeapConfig::with_words(512, 2048));
     h.enable_teraheap(
-        H2Config {
-            region_words: 2048,
-            n_regions: 8,
-            card_seg_words: 256,
-            resident_budget_bytes: 64 << 10,
-            page_size: 4096,
-            promo_buffer_bytes: 8 << 10,
-        },
+        H2Config::builder()
+            .region_words(2048)
+            .n_regions(8)
+            .card_seg_words(256)
+            .resident_budget_bytes(64 << 10)
+            .page_size(4096)
+            .promo_buffer_bytes(8 << 10)
+            .build()
+            .expect("valid H2 config"),
         DeviceSpec::nvme_ssd(),
     );
     let big = h.register_class("Big", 0, 200);
@@ -392,14 +394,15 @@ fn barrier_overhead_zero_when_teraheap_disabled() {
         let mut h = small_heap();
         if enable {
             h.enable_teraheap(
-                H2Config {
-                    region_words: 1024,
-                    n_regions: 4,
-                    card_seg_words: 128,
-                    resident_budget_bytes: 4096,
-                    page_size: 4096,
-                    promo_buffer_bytes: 4096,
-                },
+                H2Config::builder()
+                    .region_words(1024)
+                    .n_regions(4)
+                    .card_seg_words(128)
+                    .resident_budget_bytes(4096)
+                    .page_size(4096)
+                    .promo_buffer_bytes(4096)
+                    .build()
+                    .expect("valid H2 config"),
                 DeviceSpec::nvme_ssd(),
             );
         }

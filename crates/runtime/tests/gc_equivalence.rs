@@ -96,14 +96,15 @@ fn graph_checksum(heap: &mut Heap, roots: &[Handle]) -> u64 {
 fn run_mixed_workload() -> (Heap, Vec<Handle>) {
     let mut heap = Heap::new(HeapConfig::with_words(24 << 10, 96 << 10));
     heap.enable_teraheap(
-        H2Config {
-            region_words: 8 << 10,
-            n_regions: 48,
-            card_seg_words: 256,
-            resident_budget_bytes: 96 << 10,
-            page_size: 4096,
-            promo_buffer_bytes: 16 << 10,
-        },
+        H2Config::builder()
+            .region_words(8 << 10)
+            .n_regions(48)
+            .card_seg_words(256)
+            .resident_budget_bytes(96 << 10)
+            .page_size(4096)
+            .promo_buffer_bytes(16 << 10)
+            .build()
+            .expect("valid H2 config"),
         DeviceSpec::nvme_ssd(),
     );
     let node = heap.register_class("Node", 2, 2);
@@ -159,8 +160,7 @@ fn run_mixed_workload() -> (Heap, Vec<Handle>) {
 
     // Mutator updates against H2-resident nodes: create backward (H2→H1)
     // references, dirtying H2 cards for the next minor scans.
-    for part in 0..2usize {
-        let spine = keep[part];
+    for &spine in &keep[..2] {
         for i in (0..64).step_by(7) {
             let n = heap.read_ref(spine, i).unwrap();
             let fresh = heap.alloc(leaf).unwrap();

@@ -61,14 +61,15 @@ fn mutation_programs_preserve_the_graph() {
         |ops: Vec<Op>| {
             let mut heap = Heap::new(HeapConfig::with_words(4096, 16384));
             heap.enable_teraheap(
-                H2Config {
-                    region_words: 2048,
-                    n_regions: 16,
-                    card_seg_words: 256,
-                    resident_budget_bytes: 64 << 10,
-                    page_size: 4096,
-                    promo_buffer_bytes: 8 << 10,
-                },
+                H2Config::builder()
+                    .region_words(2048)
+                    .n_regions(16)
+                    .card_seg_words(256)
+                    .resident_budget_bytes(64 << 10)
+                    .page_size(4096)
+                    .promo_buffer_bytes(8 << 10)
+                    .build()
+                    .expect("valid H2 config"),
                 DeviceSpec::nvme_ssd(),
             );
             let class = heap.register_class("PropNode", 1, 1);

@@ -230,14 +230,15 @@ mod tests {
         let clock = Arc::new(teraheap_storage::SimClock::new());
         let mut heap = Heap::with_clock(HeapConfig::small(), clock);
         heap.enable_teraheap(
-            H2Config {
-                region_words: 4096,
-                n_regions: 8,
-                card_seg_words: 512,
-                resident_budget_bytes: 64 << 10,
-                page_size: 4096,
-                promo_buffer_bytes: 8 << 10,
-            },
+            H2Config::builder()
+                .region_words(4096)
+                .n_regions(8)
+                .card_seg_words(512)
+                .resident_budget_bytes(64 << 10)
+                .page_size(4096)
+                .promo_buffer_bytes(8 << 10)
+                .build()
+                .expect("valid H2 config"),
             DeviceSpec::nvme_ssd(),
         );
         let mut bm = BlockManager::new(CacheMode::TeraHeap);

@@ -2,6 +2,7 @@
 
 use crate::block::{BlockManager, CacheMode};
 use teraheap_core::H2Config;
+use teraheap_runtime::obs::SpanKind;
 use teraheap_runtime::{ClassId, Heap, HeapConfig};
 use teraheap_storage::{Category, DeviceSpec, SimDevice};
 
@@ -124,9 +125,10 @@ impl SparkContext {
     ///
     /// Returns an error if the temporary allocations exhaust the heap.
     pub fn charge_shuffle(&mut self, elements: u64) -> Result<(), teraheap_runtime::OomError> {
+        let _shuffle = self.heap.span(SpanKind::Shuffle);
         let cost = self.heap.config().cost;
         let ns = elements * 8 * cost.serde_byte_ns + elements / 16 * cost.serde_object_ns;
-        self.heap.charge_parallel(Category::SerDe, ns);
+        self.heap.charge_ns(Category::SerDe, ns);
         let temps = (elements / 4096).min(64);
         for _ in 0..temps {
             let t = self.heap.alloc_prim_array(256)?;

@@ -14,6 +14,7 @@
 use crate::block::BlockId;
 use crate::context::{SparkConfig, SparkContext};
 use crate::report::RunReport;
+use teraheap_runtime::obs::SpanKind;
 use teraheap_runtime::{Handle, OomError};
 use teraheap_workloads::{powerlaw_graph, relational_dataset, vector_dataset, GraphDataset};
 
@@ -137,9 +138,20 @@ impl DatasetScale {
 /// Runs one workload under one configuration, turning OOM into the report's
 /// OOM flag (the paper's missing bars).
 pub fn run_workload(workload: Workload, config: SparkConfig, scale: DatasetScale) -> RunReport {
+    run_workload_traced(workload, config, scale).0
+}
+
+/// Runs a workload once and returns both the report and the flight-recorder
+/// trace (Figure 7's timeline comes from the `GcBegin`/`GcEnd` events).
+/// OOM runs return the events recorded up to the failure.
+pub fn run_workload_traced(
+    workload: Workload,
+    config: SparkConfig,
+    scale: DatasetScale,
+) -> (RunReport, Vec<teraheap_runtime::obs::Event>) {
     let mut ctx = SparkContext::new(config);
     let mode_name = mode_label(&config);
-    match exec(workload, &mut ctx, scale) {
+    let report = match exec(workload, &mut ctx, scale) {
         Err(e) => {
             let mut r = RunReport::oom(workload.name(), mode_name);
             r.oom_context = Some(e.to_string());
@@ -160,19 +172,9 @@ pub fn run_workload(workload: Workload, config: SparkConfig, scale: DatasetScale
                 checksum,
             }
         }
-    }
-}
-
-/// Runs a workload and returns the heap's GC event log (Figure 7's
-/// timeline). OOM runs return the events up to the failure.
-pub fn run_workload_events(
-    workload: Workload,
-    config: SparkConfig,
-    scale: DatasetScale,
-) -> Vec<teraheap_runtime::GcEvent> {
-    let mut ctx = SparkContext::new(config);
-    let _ = exec(workload, &mut ctx, scale);
-    ctx.heap.stats().events.clone()
+    };
+    let events = ctx.heap.clock().tracer().events();
+    (report, events)
 }
 
 fn mode_label(config: &SparkConfig) -> String {
@@ -297,6 +299,7 @@ fn pagerank(ctx: &mut SparkContext, scale: DatasetScale) -> Result<f64, OomError
     let mut prev_arrays: Vec<Handle> = Vec::new();
     let mut scratch: Vec<u64> = Vec::new();
     for _ in 0..ctx.config.iterations {
+        let _stage = ctx.heap.span(SpanKind::Stage);
         let mut contrib = vec![0.0f64; n];
         for_each_vertex(ctx, &blocks, |ctx, v, edges| {
             let id = ctx.heap.read_prim(v, 0) as usize;
@@ -308,7 +311,7 @@ fn pagerank(ctx: &mut SparkContext, scale: DatasetScale) -> Result<f64, OomError
             for &t in &scratch {
                 contrib[t as usize] += share;
             }
-            ctx.heap.charge_mutator_ops(real_deg as u64 + 1);
+            ctx.heap.charge_ops(real_deg as u64 + 1);
             Ok(())
         })?;
         for (i, c) in contrib.iter().enumerate() {
@@ -338,6 +341,7 @@ fn connected_components(ctx: &mut SparkContext, scale: DatasetScale) -> Result<f
     let mut prev_arrays: Vec<Handle> = Vec::new();
     let mut scratch: Vec<u64> = Vec::new();
     for _ in 0..ctx.config.iterations * 2 {
+        let _stage = ctx.heap.span(SpanKind::Stage);
         let mut next = labels.clone();
         let mut changed = false;
         for_each_vertex(ctx, &blocks, |ctx, v, edges| {
@@ -357,7 +361,7 @@ fn connected_components(ctx: &mut SparkContext, scale: DatasetScale) -> Result<f
                     changed = true;
                 }
             }
-            ctx.heap.charge_mutator_ops(deg as u64 + 1);
+            ctx.heap.charge_ops(deg as u64 + 1);
             Ok(())
         })?;
         labels = next;
@@ -382,6 +386,7 @@ fn shortest_paths(ctx: &mut SparkContext, scale: DatasetScale) -> Result<f64, Oo
     let mut prev_arrays: Vec<Handle> = Vec::new();
     let mut scratch: Vec<u64> = Vec::new();
     for _ in 0..ctx.config.iterations * 2 {
+        let _stage = ctx.heap.span(SpanKind::Stage);
         let mut changed = false;
         for_each_vertex(ctx, &blocks, |ctx, v, edges| {
             let id = ctx.heap.read_prim(v, 0) as usize;
@@ -397,7 +402,7 @@ fn shortest_paths(ctx: &mut SparkContext, scale: DatasetScale) -> Result<f64, Oo
                     }
                 }
             }
-            ctx.heap.charge_mutator_ops(deg as u64 + 1);
+            ctx.heap.charge_ops(deg as u64 + 1);
             Ok(())
         })?;
         release_all(ctx, std::mem::take(&mut prev_arrays));
@@ -423,6 +428,7 @@ fn svd_factors(ctx: &mut SparkContext, scale: DatasetScale) -> Result<f64, OomEr
     let mut prev_arrays: Vec<Handle> = Vec::new();
     let mut scratch: Vec<u64> = Vec::new();
     for _ in 0..ctx.config.iterations {
+        let _stage = ctx.heap.span(SpanKind::Stage);
         for_each_vertex(ctx, &blocks, |ctx, v, edges| {
             let s = ctx.heap.read_prim(v, 0) as usize;
             let deg = ctx.heap.read_prim(v, 1) as usize;
@@ -441,7 +447,7 @@ fn svd_factors(ctx: &mut SparkContext, scale: DatasetScale) -> Result<f64, OomEr
                     item[t * K + k] += lr * err * u;
                 }
             }
-            ctx.heap.charge_mutator_ops((deg * K * 4) as u64 + 1);
+            ctx.heap.charge_ops((deg * K * 4) as u64 + 1);
             Ok(())
         })?;
         release_all(ctx, std::mem::take(&mut prev_arrays));
@@ -467,7 +473,7 @@ fn triangle_count(ctx: &mut SparkContext, scale: DatasetScale) -> Result<f64, Oo
         adj[id].extend(scratch.iter().map(|&t| t as u32));
         adj[id].sort_unstable();
         adj[id].dedup();
-        ctx.heap.charge_mutator_ops(deg as u64 + 1);
+        ctx.heap.charge_ops(deg as u64 + 1);
         Ok(())
     })?;
     // Pass 2: re-read edges, counting closed wedges via sorted intersection.
@@ -493,7 +499,7 @@ fn triangle_count(ctx: &mut SparkContext, scale: DatasetScale) -> Result<f64, Oo
                     }
                 }
             }
-            ctx.heap.charge_mutator_ops((a.len() + b.len()) as u64);
+            ctx.heap.charge_ops((a.len() + b.len()) as u64);
         }
         Ok(())
     })?;
@@ -551,6 +557,7 @@ fn ml_train(ctx: &mut SparkContext, scale: DatasetScale, loss: LossKind) -> Resu
     let step = 0.05;
     let mut scratch: Vec<u64> = Vec::new();
     for _ in 0..ctx.config.iterations {
+        let _stage = ctx.heap.span(SpanKind::Stage);
         let mut grad = vec![0.0f64; dims];
         let mut seen_rows = 0u64;
         for &b in &blocks {
@@ -590,7 +597,7 @@ fn ml_train(ctx: &mut SparkContext, scale: DatasetScale, loss: LossKind) -> Resu
                 }
                 seen_rows += 1;
             }
-            ctx.heap.charge_mutator_ops(rows_p as u64 * dims as u64 / 4);
+            ctx.heap.charge_ops(rows_p as u64 * dims as u64 / 4);
             // Per-partition temporary gradient buffer (Spark treeAggregate).
             let tmp = ctx.heap.alloc_prim_array(dims.max(1))?;
             ctx.heap.release(tmp);
@@ -614,8 +621,9 @@ fn kmeans(ctx: &mut SparkContext, scale: DatasetScale) -> Result<f64, OomError> 
     let mut centroids: Vec<f64> = (0..K).flat_map(|c| data.row(c).to_vec()).collect();
     let mut scratch: Vec<u64> = Vec::new();
     for _ in 0..ctx.config.iterations {
+        let _stage = ctx.heap.span(SpanKind::Stage);
         let mut sums = vec![0.0f64; K * dims];
-        let mut counts = vec![0u64; K];
+        let mut counts = [0u64; K];
         for &b in &blocks {
             let part = ctx.bm.get(&mut ctx.heap, b)?.expect("cached block");
             let features = ctx.heap.read_ref(part, 0).expect("features");
@@ -646,7 +654,7 @@ fn kmeans(ctx: &mut SparkContext, scale: DatasetScale) -> Result<f64, OomError> 
                     sums[best * dims + d] += f64::from_bits(scratch[d]);
                 }
             }
-            ctx.heap.charge_mutator_ops(rows_p as u64 * (K * dims) as u64 / 4);
+            ctx.heap.charge_ops(rows_p as u64 * (K * dims) as u64 / 4);
             let tmp = ctx.heap.alloc_prim_array((K * dims).max(1))?;
             ctx.heap.release(tmp);
             ctx.heap.release(features);
@@ -697,7 +705,7 @@ fn naive_bayes(ctx: &mut SparkContext, scale: DatasetScale) -> Result<f64, OomEr
                     }
                 }
             }
-            ctx.heap.charge_mutator_ops(rows_p as u64 * if pass == 0 { 1 } else { dims as u64 });
+            ctx.heap.charge_ops(rows_p as u64 * if pass == 0 { 1 } else { dims as u64 });
             ctx.heap.release(features);
             ctx.heap.release(labels);
             ctx.heap.release(part);
@@ -741,6 +749,7 @@ fn relational(ctx: &mut SparkContext, scale: DatasetScale) -> Result<f64, OomErr
     // memory-hungry in the paper.
     let mut result = 0.0f64;
     for q in 0..ctx.config.iterations {
+        let _stage = ctx.heap.span(SpanKind::Stage);
         let threshold = 720_000u64;
         let mut sums = vec![0u64; data.distinct_keys];
         let mut pairs: Vec<(u64, u64)> = Vec::new();
@@ -757,7 +766,7 @@ fn relational(ctx: &mut SparkContext, scale: DatasetScale) -> Result<f64, OomErr
                     pairs.push((k, v));
                 }
             }
-            ctx.heap.charge_mutator_ops(n as u64);
+            ctx.heap.charge_ops(n as u64);
             ctx.heap.release(keys);
             ctx.heap.release(vals);
             ctx.heap.release(part);
@@ -803,14 +812,15 @@ mod tests {
         SparkConfig {
             heap: HeapConfig::with_words(32 << 10, 128 << 10),
             mode: ExecMode::TeraHeap {
-                h2: H2Config {
-                    region_words: 16 << 10,
-                    n_regions: 64,
-                    card_seg_words: 1 << 10,
-                    resident_budget_bytes: 256 << 10,
-                    page_size: 4096,
-                    promo_buffer_bytes: 2 << 20,
-                },
+                h2: H2Config::builder()
+                    .region_words(16 << 10)
+                    .n_regions(64)
+                    .card_seg_words(1 << 10)
+                    .resident_budget_bytes(256 << 10)
+                    .page_size(4096)
+                    .promo_buffer_bytes(2 << 20)
+                    .build()
+                    .expect("valid H2 config"),
                 device: DeviceSpec::nvme_ssd(),
             },
             partitions: 4,

@@ -13,14 +13,15 @@ fn th_ctx() -> SparkContext {
     SparkContext::new(SparkConfig {
         heap: HeapConfig::with_words(16 << 10, 64 << 10),
         mode: ExecMode::TeraHeap {
-            h2: H2Config {
-                region_words: 8 << 10,
-                n_regions: 16,
-                card_seg_words: 1 << 10,
-                resident_budget_bytes: 128 << 10,
-                page_size: 4096,
-                promo_buffer_bytes: 64 << 10,
-            },
+            h2: H2Config::builder()
+                .region_words(8 << 10)
+                .n_regions(16)
+                .card_seg_words(1 << 10)
+                .resident_budget_bytes(128 << 10)
+                .page_size(4096)
+                .promo_buffer_bytes(64 << 10)
+                .build()
+                .expect("valid H2 config"),
             device: DeviceSpec::nvme_ssd(),
         },
         partitions: 2,

@@ -5,50 +5,22 @@
 //! time, *minor GC* time and *major GC* time. [`SimClock`] accumulates
 //! simulated nanoseconds into five internal categories which collapse onto
 //! the paper's four in [`Breakdown`].
+//!
+//! The clock also hosts the flight recorder: a [`Tracer`] (from
+//! `teraheap-obs`) rides inside every `SimClock`, so any component holding
+//! the shared `Arc<SimClock>` can [`SimClock::emit`] typed events stamped
+//! with the current simulated instant. Events *observe* the clock — they
+//! never charge it — so tracing cannot change simulated time.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-/// A cost category that simulated nanoseconds are charged to.
-///
-/// `SerDe` and `Io` are kept separate internally (useful for debugging and
-/// for Giraph, where S/D happens on-heap) but are reported together as the
-/// paper's "S/D + I/O" component.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Category {
-    /// Mutator (application) compute, including H2 page-fault wait.
-    Mutator,
-    /// Serialization / deserialization work.
-    SerDe,
-    /// Explicit device I/O (off-heap cache reads/writes, spills).
-    Io,
-    /// Minor (young-generation) garbage collection.
-    MinorGc,
-    /// Major (full-heap) garbage collection.
-    MajorGc,
-}
+use teraheap_obs::{EventKind, SpanKind, Tracer};
 
-impl Category {
-    const COUNT: usize = 5;
-
-    fn index(self) -> usize {
-        match self {
-            Category::Mutator => 0,
-            Category::SerDe => 1,
-            Category::Io => 2,
-            Category::MinorGc => 3,
-            Category::MajorGc => 4,
-        }
-    }
-
-    /// All categories, in index order.
-    pub const ALL: [Category; 5] = [
-        Category::Mutator,
-        Category::SerDe,
-        Category::Io,
-        Category::MinorGc,
-        Category::MajorGc,
-    ];
-}
+/// The cost category enum lives in `teraheap-obs` (events and charge
+/// counters name categories there); re-exported here so downstream code
+/// keeps importing `teraheap_storage::Category`.
+pub use teraheap_obs::Category;
 
 /// Deterministic simulated clock.
 ///
@@ -57,16 +29,23 @@ impl Category {
 #[derive(Debug, Default)]
 pub struct SimClock {
     nanos: [AtomicU64; Category::COUNT],
+    tracer: Tracer,
 }
 
 impl SimClock {
-    /// Creates a clock with all categories at zero.
+    /// Creates a clock with all categories at zero and an
+    /// environment-configured tracer (`TERAHEAP_OBS`, default full).
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Charges `ns` simulated nanoseconds to `cat`.
+    ///
+    /// Charging routes through the tracer's per-category charge counter (a
+    /// relaxed add, no ring traffic) so the recorder can attribute *how
+    /// often* each category is charged without perturbing *what* is charged.
     pub fn charge(&self, cat: Category, ns: u64) {
+        self.tracer.note_charge(cat);
         self.nanos[cat.index()].fetch_add(ns, Ordering::Relaxed);
     }
 
@@ -83,6 +62,26 @@ impl SimClock {
         Category::ALL.iter().map(|&c| self.category_ns(c)).sum()
     }
 
+    /// The flight recorder attached to this clock.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Records `kind` in the flight recorder, stamped with the current
+    /// simulated instant. A no-op when tracing is off.
+    pub fn emit(&self, kind: EventKind) {
+        if self.tracer.enabled() {
+            self.tracer.emit(self.total_ns(), kind);
+        }
+    }
+
+    /// Opens a mutator-side span; the returned guard emits the matching
+    /// `SpanEnd` (at the then-current simulated instant) when dropped.
+    pub fn span(self: &Arc<Self>, kind: SpanKind) -> TraceSpan {
+        self.emit(EventKind::SpanBegin { kind });
+        TraceSpan { clock: Arc::clone(self), kind }
+    }
+
     /// Snapshots the paper-style execution-time breakdown.
     pub fn breakdown(&self) -> Breakdown {
         Breakdown {
@@ -93,11 +92,27 @@ impl SimClock {
         }
     }
 
-    /// Resets every category to zero.
+    /// Resets every category to zero and clears the flight recorder.
     pub fn reset(&self) {
         for n in &self.nanos {
             n.store(0, Ordering::Relaxed);
         }
+        self.tracer.clear();
+    }
+}
+
+/// RAII guard for a mutator-side span: holds the clock and emits
+/// `SpanEnd` on drop. Owning an `Arc` (rather than borrowing the clock)
+/// lets call sites keep the guard alive across `&mut` uses of the heap.
+#[must_use = "the span closes when this guard is dropped"]
+pub struct TraceSpan {
+    clock: Arc<SimClock>,
+    kind: SpanKind,
+}
+
+impl Drop for TraceSpan {
+    fn drop(&mut self) {
+        self.clock.emit(EventKind::SpanEnd { kind: self.kind });
     }
 }
 
@@ -149,6 +164,7 @@ impl std::fmt::Display for Breakdown {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use teraheap_obs::Level;
 
     #[test]
     fn new_clock_is_zero() {
@@ -184,8 +200,10 @@ mod tests {
         for c in Category::ALL {
             clock.charge(c, 1);
         }
+        clock.emit(EventKind::Oom);
         clock.reset();
         assert_eq!(clock.total_ns(), 0);
+        assert!(clock.tracer().events().is_empty());
     }
 
     #[test]
@@ -205,5 +223,35 @@ mod tests {
     fn display_is_nonempty() {
         let b = Breakdown::default();
         assert!(!format!("{b}").is_empty());
+    }
+
+    #[test]
+    fn emit_stamps_current_instant_and_never_advances_time() {
+        let clock = SimClock::new();
+        clock.tracer().set_level(Level::Full);
+        clock.charge(Category::Io, 42);
+        clock.emit(EventKind::DeviceRead { bytes: 8 });
+        assert_eq!(clock.total_ns(), 42);
+        let events = clock.tracer().events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].t_ns, 42);
+    }
+
+    #[test]
+    fn span_guard_emits_begin_and_end() {
+        let clock = Arc::new(SimClock::new());
+        clock.tracer().set_level(Level::Full);
+        {
+            let _span = clock.span(SpanKind::Shuffle);
+            clock.charge(Category::SerDe, 9);
+        }
+        let events = clock.tracer().events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, EventKind::SpanBegin { kind: SpanKind::Shuffle });
+        assert_eq!(events[0].t_ns, 0);
+        assert_eq!(events[1].kind, EventKind::SpanEnd { kind: SpanKind::Shuffle });
+        assert_eq!(events[1].t_ns, 9);
+        let charges = clock.tracer().charge_counts();
+        assert_eq!(charges[Category::SerDe.index()], 1);
     }
 }

@@ -16,6 +16,7 @@ use crate::clock::{Category, SimClock};
 use crate::stats::IoStats;
 use crate::PAGE_SIZE;
 use std::sync::Arc;
+use teraheap_obs::EventKind;
 use teraheap_util::sync::Mutex;
 
 /// The kind of device backing a mapping or file.
@@ -179,8 +180,9 @@ impl SimDevice {
         drop(data);
         let cost = self.spec.write_cost_ns(buf.len());
         self.clock.charge(cat, cost);
-        self.stats
-            .record_write(self.spec.access_bytes(buf.len()) as u64);
+        let bytes = self.spec.access_bytes(buf.len()) as u64;
+        self.stats.record_write(bytes);
+        self.clock.emit(EventKind::DeviceWrite { bytes });
         Ok(())
     }
 
@@ -205,8 +207,9 @@ impl SimDevice {
         drop(data);
         let cost = self.spec.read_cost_ns(buf.len());
         self.clock.charge(cat, cost);
-        self.stats
-            .record_read(self.spec.access_bytes(buf.len()) as u64);
+        let bytes = self.spec.access_bytes(buf.len()) as u64;
+        self.stats.record_read(bytes);
+        self.clock.emit(EventKind::DeviceRead { bytes });
         Ok(())
     }
 }

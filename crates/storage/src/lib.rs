@@ -37,11 +37,15 @@ pub mod device;
 pub mod mmap;
 pub mod stats;
 
-pub use clock::{Breakdown, Category, SimClock};
+pub use clock::{Breakdown, Category, SimClock, TraceSpan};
 pub use cost::CostModel;
 pub use device::{DeviceKind, DeviceSpec, SimDevice};
 pub use mmap::MmapSim;
 pub use stats::IoStats;
+
+/// The flight-recorder crate, re-exported so clock holders can name event
+/// types without a separate dependency edge.
+pub use teraheap_obs as obs;
 
 /// Size of a small (regular) page in bytes, matching Linux.
 pub const PAGE_SIZE: usize = 4096;

@@ -19,6 +19,7 @@
 use crate::clock::{Category, SimClock};
 use crate::device::DeviceSpec;
 use crate::stats::IoStats;
+use teraheap_obs::EventKind;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
@@ -237,6 +238,7 @@ impl MmapSim {
             self.spec.read_lat_ns
         };
         self.clock.charge(cat, transfer_ns + latency_ns);
+        self.clock.emit(EventKind::PageFault { sequential });
         self.resident.insert(page, PageEntry { stamp, dirty: write });
         self.lru.push(Reverse((stamp, page)));
         while self.resident.len() > self.budget_pages {
@@ -270,6 +272,7 @@ impl MmapSim {
                         self.clock
                             .charge(cat, self.spec.write_cost_ns(self.page_size));
                     }
+                    self.clock.emit(EventKind::PageEvict { writeback: dirty });
                     return;
                 }
                 _ => continue, // stale heap entry
@@ -302,6 +305,7 @@ impl MmapSim {
             self.stats.record_write(bytes);
             self.clock
                 .charge(cat, self.spec.write_cost_ns(bytes as usize));
+            self.clock.emit(EventKind::WriteBack { bytes });
         }
     }
 

@@ -178,6 +178,15 @@ impl Bench {
     }
 }
 
+/// Nearest-rank percentile of an ascending-sorted sample slice.
+/// `p` is a fraction in `[0, 1]` (0.99 = p99). Panics on an empty slice,
+/// like any percentile would be meaningless there.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of an empty sample set");
+    let p = p.clamp(0.0, 1.0);
+    sorted[(((sorted.len() - 1) as f64) * p).round() as usize]
+}
+
 fn fmt_ns(ns: f64) -> String {
     if ns < 1_000.0 {
         format!("{ns:.1} ns")
@@ -245,14 +254,13 @@ impl Measurement {
         self.per_iter_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let s = &self.per_iter_ns;
         let mean = s.iter().sum::<f64>() / s.len() as f64;
-        let pct = |p: f64| s[(((s.len() - 1) as f64) * p).round() as usize];
         Record {
             id,
             iterations: self.iterations,
             samples: s.len(),
             mean_ns: mean,
-            p50_ns: pct(0.50),
-            p99_ns: pct(0.99),
+            p50_ns: percentile(s, 0.50),
+            p99_ns: percentile(s, 0.99),
             min_ns: s[0],
             max_ns: s[s.len() - 1],
             bytes_per_iter,

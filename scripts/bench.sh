@@ -7,6 +7,12 @@
 # Usage: scripts/bench.sh [name]     (default name: baseline)
 #   BENCH_SKIP_MICRO=1   skip the micro-benchmark pass
 #   TERAHEAP_BENCH_THREADS=N  thread count for the parallel fig drivers
+#
+# Special mode: scripts/bench.sh obs
+#   Measures the flight recorder's wall-clock overhead by running every
+#   figure binary with TERAHEAP_OBS=full vs TERAHEAP_OBS=off (best of
+#   BENCH_OBS_REPS runs each, default 3) and writes BENCH_obs.json with
+#   per-binary and aggregate overhead. Target: < 5% at the default level.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,6 +27,53 @@ echo "== release build =="
 cargo build --release --offline --workspace
 
 now_ms() { date +%s%3N; }
+
+if [[ "$name" == "obs" ]]; then
+    reps="${BENCH_OBS_REPS:-3}"
+    declare -A on_secs off_secs
+    for mode in full off; do
+        for b in "${fig_bins[@]}"; do
+            best=""
+            for _ in $(seq "$reps"); do
+                t0=$(now_ms)
+                TERAHEAP_OBS=$mode "target/release/$b" >/dev/null
+                t=$(awk "BEGIN{printf \"%.3f\", ($(now_ms)-$t0)/1000}")
+                if [[ -z "$best" ]] || awk "BEGIN{exit !($t < $best)}"; then
+                    best=$t
+                fi
+            done
+            if [[ "$mode" == full ]]; then on_secs[$b]=$best; else off_secs[$b]=$best; fi
+            echo "$b ($mode): ${best}s"
+        done
+    done
+    total_on=0; total_off=0
+    {
+        echo "{"
+        echo "  \"name\": \"obs\","
+        echo "  \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+        echo "  \"reps\": ${reps},"
+        echo "  \"target_overhead_percent\": 5.0,"
+        echo "  \"bins\": {"
+        sep=""
+        for b in "${fig_bins[@]}"; do
+            on=${on_secs[$b]}; off=${off_secs[$b]}
+            total_on=$(awk "BEGIN{printf \"%.3f\", $total_on+$on}")
+            total_off=$(awk "BEGIN{printf \"%.3f\", $total_off+$off}")
+            pct=$(awk "BEGIN{printf \"%.2f\", ($on-$off)/$off*100}")
+            printf '%s    "%s": {"tracing_on_secs": %s, "tracing_off_secs": %s, "overhead_percent": %s}' \
+                "$sep" "$b" "$on" "$off" "$pct"
+            sep=$',\n'
+        done
+        pct=$(awk "BEGIN{printf \"%.2f\", ($total_on-$total_off)/$total_off*100}")
+        printf '\n  },\n'
+        echo "  \"total_tracing_on_secs\": ${total_on},"
+        echo "  \"total_tracing_off_secs\": ${total_off},"
+        echo "  \"total_overhead_percent\": ${pct}"
+        echo "}"
+    } > "$out"
+    echo "wrote $out (total overhead ${pct}%)"
+    exit 0
+fi
 
 declare -A secs
 if [[ "${BENCH_SKIP_MICRO:-0}" != "1" ]]; then

@@ -43,6 +43,18 @@ cargo build --release --offline --workspace
 echo "== offline tests =="
 cargo test -q --offline --workspace
 
+echo "== lints: clippy -D warnings =="
+cargo clippy -q --offline --workspace --all-targets -- -D warnings
+echo "ok"
+
+# Flight-recorder invariant (DESIGN.md §8): tracing observes the clock and
+# never advances it. Run the suite explicitly even though the workspace
+# test pass above includes it, so a skipped/filtered test run cannot hide
+# a trace-equivalence regression.
+echo "== trace equivalence: tracing never perturbs simulated time =="
+cargo test -q --offline -p teraheap-runtime --test trace_equivalence
+echo "ok"
+
 # Simulated-determinism guard: every committed figure CSV must regenerate
 # bit-identically. Simulated time is a pure function of the cost model and
 # the deterministic workloads, so any diff here means a change quietly
