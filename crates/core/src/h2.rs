@@ -354,6 +354,47 @@ impl H2 {
         self.data[addr.h2_offset() as usize] = value;
     }
 
+    /// Reads `out.len()` consecutive words starting at `addr` through the
+    /// bulk access plane: one [`MmapSim::touch_run`] for the whole range
+    /// (bit-identical cost to the per-word loop, per DESIGN.md §9) and one
+    /// slice copy.
+    ///
+    /// [`MmapSim::touch_run`]: teraheap_storage::MmapSim::touch_run
+    pub fn read_words(&mut self, addr: Addr, out: &mut [u64], cat: Category) {
+        if out.is_empty() {
+            return;
+        }
+        self.mmap
+            .touch_run(addr.h2_byte_offset(), out.len() * WORD_BYTES, false, cat);
+        let base = addr.h2_offset() as usize;
+        out.copy_from_slice(&self.data[base..base + out.len()]);
+    }
+
+    /// Writes `vals` to consecutive words starting at `addr` through the
+    /// bulk access plane (see [`H2::read_words`]). Card marking stays the
+    /// caller's job, as for [`H2::write_word`].
+    pub fn write_words(&mut self, addr: Addr, vals: &[u64], cat: Category) {
+        if vals.is_empty() {
+            return;
+        }
+        self.mmap
+            .touch_run(addr.h2_byte_offset(), vals.len() * WORD_BYTES, true, cat);
+        let base = addr.h2_offset() as usize;
+        self.data[base..base + vals.len()].copy_from_slice(vals);
+    }
+
+    /// Words per page of the backing mapping — the chunk size at which a
+    /// bulk read over monotonically advancing addresses stays bit-identical
+    /// to the per-word loop (DESIGN.md §9). Unbounded in DAX mode, where
+    /// there are no pages.
+    pub fn page_run_words(&self) -> usize {
+        if self.mmap.is_dax() {
+            usize::MAX
+        } else {
+            self.mmap.page_size() / WORD_BYTES
+        }
+    }
+
     /// Reads a word without charging any cost (GC internal bookkeeping that
     /// the phase-level cost model already accounts for).
     pub fn read_word_free(&self, addr: Addr) -> u64 {

@@ -59,26 +59,32 @@ impl Promoter {
     pub fn stage(&mut self, region: RegionId, bytes: usize) -> usize {
         let slot = self.pending.entry(region).or_insert(0);
         *slot += bytes;
-        let mut flushed = 0;
-        while *slot >= self.buffer_bytes {
-            *slot -= self.buffer_bytes;
-            flushed += self.buffer_bytes;
-            self.flushes += 1;
-        }
+        // Closed form: a staged run crossing the buffer boundary n times
+        // flushes n full batches, however large the object.
+        let batches = *slot / self.buffer_bytes;
+        let flushed = batches * self.buffer_bytes;
+        *slot -= flushed;
+        self.flushes += batches as u64;
         self.bytes_flushed += flushed as u64;
         flushed
     }
 
-    /// Flushes every partially-filled buffer (end of compaction). Returns
+    /// Flushes every partially-filled buffer (end of compaction), visiting
+    /// regions in sorted order so any per-flush cost or event emission is
+    /// deterministic across runs (a bare `HashMap` walk is not). Returns
     /// the total bytes written.
     pub fn flush_all(&mut self) -> usize {
+        let mut regions: Vec<RegionId> = self
+            .pending
+            .iter()
+            .filter(|&(_, &slot)| slot > 0)
+            .map(|(&r, _)| r)
+            .collect();
+        regions.sort_unstable();
         let mut flushed = 0;
-        for (_, slot) in self.pending.iter_mut() {
-            if *slot > 0 {
-                flushed += *slot;
-                *slot = 0;
-                self.flushes += 1;
-            }
+        for region in regions {
+            flushed += self.pending[&region];
+            self.flushes += 1;
         }
         self.pending.clear();
         self.bytes_flushed += flushed as u64;

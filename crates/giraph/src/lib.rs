@@ -447,10 +447,15 @@ impl GiraphContext {
                 }
             }
         } else {
-            for i in 0..self.incoming.cursors[p] {
-                let t = self.heap.read_prim(h, 2 * i);
-                let v = self.heap.read_prim(h, 2 * i + 1);
-                out.push((t, v));
+            // Appended stores are dense (target, value) pairs: one bulk read
+            // replaces 2n word reads at identical simulated cost.
+            let n = self.incoming.cursors[p];
+            if n > 0 {
+                let mut buf = vec![0u64; 2 * n];
+                self.heap.read_prims(h, 0, &mut buf);
+                for pair in buf.chunks_exact(2) {
+                    out.push((pair[0], pair[1]));
+                }
             }
         }
         Ok(out)
@@ -542,10 +547,13 @@ impl GiraphContext {
         // allocation pressure of the current message store.
         self.ooc_rebalance()?;
         let h = self.heap.alloc_prim_array(2 * msgs.len())?;
-        for (i, &(t, v)) in msgs.iter().enumerate() {
-            self.heap.write_prim(h, 2 * i, t);
-            self.heap.write_prim(h, 2 * i + 1, v);
+        // Flatten the pairs once and store them with a single bulk write.
+        let mut buf = Vec::with_capacity(2 * msgs.len());
+        for &(t, v) in msgs {
+            buf.push(t);
+            buf.push(v);
         }
+        self.heap.write_prims(h, 0, &buf);
         // 3: mark the generated messages with the superstep label (Figure 5).
         if matches!(self.config.mode, GiraphMode::TeraHeap { .. }) {
             self.heap.h2_tag_root(h, msg_label(self.superstep));

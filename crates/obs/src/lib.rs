@@ -574,6 +574,18 @@ impl Tracer {
         }
     }
 
+    /// Bulk form of [`Tracer::note_charge`]: records `n` charge calls in one
+    /// counter update. The bulk access plane uses this so a batched run
+    /// advances the per-category charge counters by exactly as much as the
+    /// per-word loop it replaces would have.
+    #[inline]
+    pub fn note_charges(&self, cat: Category, n: u64) {
+        if n > 0 && self.level.load(Ordering::Relaxed) != Level::Off as u8 {
+            let c = &self.charges[cat.index()];
+            c.store(c.load(Ordering::Relaxed) + n, Ordering::Relaxed);
+        }
+    }
+
     /// Snapshot of the ring contents, oldest first.
     pub fn events(&self) -> Vec<Event> {
         let inner = self.inner.lock();

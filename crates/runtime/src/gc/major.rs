@@ -496,6 +496,10 @@ fn scan_h2_cards_major(
     // Take/put-back the region's start index instead of cloning it per card
     // (consecutive cards usually share a region).
     let mut cached: Option<(u32, Vec<u64>)> = None;
+    // The slot walk never writes the mapping (mark_push touches H1 memory
+    // only), so each object's slot range is one bulk read — touch_run's
+    // internal page decomposition reproduces the per-word touch order.
+    let mut slot_buf: Vec<u64> = Vec::new();
     for card in cards {
         let base = heap.h2.as_ref().unwrap().cards().card_base(card);
         let region = (base.h2_offset() / region_words) as u32;
@@ -524,10 +528,17 @@ fn scan_h2_cards_major(
                 work.objects += 1;
                 if obj.raw() + size > lo {
                     let (first_slot, end_slot) = heap.ref_slot_range_in(obj, lo, hi);
-                    for s in first_slot..end_slot {
-                        let slot = Addr::new(s);
+                    // The clamped range can be empty (inverted) for objects
+                    // whose ref slots all fall outside the card.
+                    slot_buf.resize(end_slot.saturating_sub(first_slot) as usize, 0);
+                    heap.h2.as_mut().unwrap().read_words(
+                        Addr::new(first_slot),
+                        &mut slot_buf,
+                        Category::MajorGc,
+                    );
+                    for (j, &val) in slot_buf.iter().enumerate() {
+                        let slot = Addr::new(first_slot + j as u64);
                         work.refs += 1;
-                        let val = heap.h2.as_mut().unwrap().read_word(slot, Category::MajorGc);
                         if val == 0 {
                             continue;
                         }
@@ -668,8 +679,9 @@ fn tag_closure(
         // the placement order then matches the mutator's forward traversal,
         // which is what makes H2 scans sequential on the device.
         let (first_slot, end_slot) = heap.ref_slot_range(obj);
-        for s in (first_slot..end_slot).rev() {
-            let val = heap.mem[s as usize];
+        // Slice iteration instead of indexed loads: one bounds check for the
+        // whole slot run of this (often large) transitive-move object.
+        for &val in heap.mem[first_slot as usize..end_slot as usize].iter().rev() {
             if val != 0 && Addr::new(val).is_h1() {
                 stack.push(Addr::new(val));
             }

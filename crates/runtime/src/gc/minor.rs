@@ -226,6 +226,12 @@ fn scan_h2_cards(heap: &mut Heap, worklist: &mut Vec<Addr>) {
     // Consecutive cards usually share a region; hold the region's start
     // index out of the map (take/put-back) instead of cloning it per card.
     let mut cached: Option<(u32, Vec<u64>)> = None;
+    // Bulk access plane: slot runs are read page-chunk-wise through one
+    // touch_run each (bit-identical to the per-word loop because the scan
+    // never returns to an earlier page — DESIGN.md §9). The scratch buffer
+    // is reused across cards.
+    let page_words = heap.h2.as_ref().unwrap().page_run_words() as u64;
+    let mut slot_buf: Vec<u64> = Vec::new();
     for card in cards {
         let base = heap.h2.as_ref().unwrap().cards().card_base(card);
         let region = (base.h2_offset() / region_words) as u32;
@@ -257,30 +263,48 @@ fn scan_h2_cards(heap: &mut Heap, worklist: &mut Vec<Addr>) {
                 work.objects += 1;
                 if obj.raw() + size > lo {
                     let (first_slot, end_slot) = heap.ref_slot_range_in(obj, lo, hi);
-                    for s in first_slot..end_slot {
-                        let slot = Addr::new(s);
-                        work.refs += 1;
-                        let val = heap.h2.as_mut().unwrap().read_word(slot, Category::MinorGc);
-                        if val == 0 {
-                            continue;
+                    let mut s = first_slot;
+                    while s < end_slot {
+                        // One bulk read per page chunk; slot write-backs land
+                        // as TLB hits on the same page, so the per-page touch
+                        // multiset matches the word-at-a-time loop.
+                        let off = Addr::new(s).h2_offset();
+                        let run = (page_words - off % page_words).min(end_slot - s) as usize;
+                        slot_buf.resize(run, 0);
+                        heap.h2.as_mut().unwrap().read_words(
+                            Addr::new(s),
+                            &mut slot_buf,
+                            Category::MinorGc,
+                        );
+                        for (j, &val) in slot_buf.iter().enumerate() {
+                            let slot = Addr::new(s + j as u64);
+                            work.refs += 1;
+                            if val == 0 {
+                                continue;
+                            }
+                            let target = Addr::new(val);
+                            if target.is_h2() {
+                                continue;
+                            }
+                            heap.stats.backward_refs_seen += 1;
+                            let new_target = if in_collected(heap, target) {
+                                let t = copy_young(heap, target, &mut work, worklist);
+                                heap.h2.as_mut().unwrap().write_word(
+                                    slot,
+                                    t.raw(),
+                                    Category::MinorGc,
+                                );
+                                t
+                            } else {
+                                target
+                            };
+                            if heap.in_young(new_target) {
+                                has_young = true;
+                            } else {
+                                has_old = true;
+                            }
                         }
-                        let target = Addr::new(val);
-                        if target.is_h2() {
-                            continue;
-                        }
-                        heap.stats.backward_refs_seen += 1;
-                        let new_target = if in_collected(heap, target) {
-                            let t = copy_young(heap, target, &mut work, worklist);
-                            heap.h2.as_mut().unwrap().write_word(slot, t.raw(), Category::MinorGc);
-                            t
-                        } else {
-                            target
-                        };
-                        if heap.in_young(new_target) {
-                            has_young = true;
-                        } else {
-                            has_old = true;
-                        }
+                        s += run as u64;
                     }
                 }
                 i += 1;

@@ -635,11 +635,12 @@ impl Heap {
         let obj = self.root_of(h);
         let base = self.prim_range_slot(obj, start, out.len());
         if base.is_h2() {
-            // Device-resident object: per-word reads keep the page-cache
-            // touch sequence identical to the unbatched loop.
-            for (i, slot) in out.iter_mut().enumerate() {
-                *slot = self.load(base.add(i as u64), Category::Mutator);
-            }
+            // Device-resident object: one touch_run over the range charges
+            // exactly what the per-word loop did (DESIGN.md §9).
+            self.h2
+                .as_mut()
+                .expect("H2 address without H2")
+                .read_words(base, out, Category::Mutator);
             return;
         }
         self.charge_h1_words(base, out.len() as u64, Category::Mutator);
@@ -657,9 +658,10 @@ impl Heap {
         let obj = self.root_of(h);
         let base = self.prim_range_slot(obj, start, vals.len());
         if base.is_h2() {
-            for (i, &v) in vals.iter().enumerate() {
-                self.store(base.add(i as u64), v, Category::Mutator);
-            }
+            self.h2
+                .as_mut()
+                .expect("H2 address without H2")
+                .write_words(base, vals, Category::Mutator);
             return;
         }
         self.charge_h1_words(base, vals.len() as u64, Category::Mutator);
@@ -762,18 +764,6 @@ impl Heap {
     pub fn span(&self, kind: SpanKind) -> TraceSpan {
         self.clock.span(kind)
     }
-
-    /// Deprecated name of [`Heap::charge_ops`].
-    #[deprecated(note = "use `charge_ops` (tracer charge API)")]
-    pub fn charge_mutator_ops(&self, ops: u64) {
-        self.charge_ops(ops);
-    }
-
-    /// Deprecated name of [`Heap::charge_ns`].
-    #[deprecated(note = "use `charge_ns` (tracer charge API)")]
-    pub fn charge_parallel(&self, cat: Category, ns: u64) {
-        self.charge_ns(cat, ns);
-    }
 }
 
 #[cfg(test)]
@@ -856,19 +846,6 @@ mod tests {
         h.release(a);
         let b = h.alloc(c).unwrap();
         assert_eq!(a.0, b.0, "slot recycled");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_charge_shims_match_new_api() {
-        let a = heap();
-        let b = heap();
-        a.charge_ops(1000);
-        a.charge_ns(Category::SerDe, 12345);
-        b.charge_mutator_ops(1000);
-        b.charge_parallel(Category::SerDe, 12345);
-        assert_eq!(a.clock().total_ns(), b.clock().total_ns());
-        assert_eq!(a.clock().breakdown(), b.clock().breakdown());
     }
 
     #[test]

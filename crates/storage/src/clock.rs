@@ -49,6 +49,16 @@ impl SimClock {
         self.nanos[cat.index()].fetch_add(ns, Ordering::Relaxed);
     }
 
+    /// Charges the sum of `charges` individual charge calls in one atomic
+    /// update: `ns` is the exact total the per-call loop would have added,
+    /// and the tracer's per-category charge counter advances by `charges`.
+    /// This is the clock half of the bulk access plane — callers batch the
+    /// arithmetic, the accounting stays call-for-call identical.
+    pub fn charge_batched(&self, cat: Category, ns: u64, charges: u64) {
+        self.tracer.note_charges(cat, charges);
+        self.nanos[cat.index()].fetch_add(ns, Ordering::Relaxed);
+    }
+
     /// Returns the nanoseconds accumulated in `cat`.
     pub fn category_ns(&self, cat: Category) -> u64 {
         self.nanos[cat.index()].load(Ordering::Relaxed)
@@ -113,6 +123,81 @@ pub struct TraceSpan {
 impl Drop for TraceSpan {
     fn drop(&mut self) {
         self.clock.emit(EventKind::SpanEnd { kind: self.kind });
+    }
+}
+
+/// A local charge accumulator for the bulk access plane.
+///
+/// Hot loops that previously issued one `SimClock::charge` per word collect
+/// their costs here instead: `add`/`add_many` are plain local integer
+/// additions, and [`ChargeScope::flush`] lands the whole sum on the clock
+/// with a single atomic update (while advancing the tracer's charge counter
+/// by the number of calls the per-word loop would have made, so the
+/// accounting stays bit-identical).
+///
+/// Flush rules (DESIGN.md §9): the scope MUST be flushed
+/// 1. before any event is emitted while tracing is enabled — event
+///    timestamps read `total_ns()`, so deferred nanoseconds would stamp
+///    events early ([`ChargeScope::emit`] does this automatically), and
+/// 2. at the end of the scope ([`ChargeScope::flush`]; dropping an
+///    unflushed scope is a bug and debug-asserts).
+#[derive(Debug)]
+pub struct ChargeScope {
+    cat: Category,
+    pending_ns: u64,
+    pending_charges: u64,
+}
+
+impl ChargeScope {
+    /// An empty scope charging to `cat`.
+    pub fn new(cat: Category) -> Self {
+        ChargeScope { cat, pending_ns: 0, pending_charges: 0 }
+    }
+
+    /// Accumulates one charge of `ns`.
+    #[inline]
+    pub fn add(&mut self, ns: u64) {
+        self.pending_ns += ns;
+        self.pending_charges += 1;
+    }
+
+    /// Accumulates `charges` calls totalling `ns` (closed-form batches).
+    #[inline]
+    pub fn add_many(&mut self, ns: u64, charges: u64) {
+        self.pending_ns += ns;
+        self.pending_charges += charges;
+    }
+
+    /// Lands the accumulated charges on `clock` in one atomic update.
+    pub fn flush(&mut self, clock: &SimClock) {
+        if self.pending_charges > 0 {
+            clock.charge_batched(self.cat, self.pending_ns, self.pending_charges);
+            self.pending_ns = 0;
+            self.pending_charges = 0;
+        }
+    }
+
+    /// Emits `kind`, flushing first when tracing is enabled so the event is
+    /// stamped with the fully-charged instant (identical to the per-word
+    /// loop, where every charge lands before its event). With tracing off
+    /// the pending sum keeps accumulating — timestamps are unobservable and
+    /// the total is flushed at scope end.
+    pub fn emit(&mut self, clock: &SimClock, kind: EventKind) {
+        if clock.tracer().enabled() {
+            self.flush(clock);
+            clock.emit(kind);
+        }
+    }
+}
+
+impl Drop for ChargeScope {
+    fn drop(&mut self) {
+        debug_assert!(
+            self.pending_charges == 0,
+            "ChargeScope dropped with {} unflushed charges ({} ns)",
+            self.pending_charges,
+            self.pending_ns
+        );
     }
 }
 
@@ -235,6 +320,49 @@ mod tests {
         let events = clock.tracer().events();
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].t_ns, 42);
+    }
+
+    #[test]
+    fn charge_batched_matches_charge_loop() {
+        let looped = SimClock::new();
+        looped.tracer().set_level(Level::Counters);
+        for _ in 0..5 {
+            looped.charge(Category::Io, 7);
+        }
+        let batched = SimClock::new();
+        batched.tracer().set_level(Level::Counters);
+        batched.charge_batched(Category::Io, 35, 5);
+        assert_eq!(looped.category_ns(Category::Io), batched.category_ns(Category::Io));
+        assert_eq!(looped.tracer().charge_counts(), batched.tracer().charge_counts());
+    }
+
+    #[test]
+    fn charge_scope_flushes_once() {
+        let clock = SimClock::new();
+        clock.tracer().set_level(Level::Counters);
+        let mut scope = ChargeScope::new(Category::MajorGc);
+        scope.add(10);
+        scope.add_many(90, 9);
+        assert_eq!(clock.total_ns(), 0, "charges stay local until flush");
+        scope.flush(&clock);
+        assert_eq!(clock.category_ns(Category::MajorGc), 100);
+        assert_eq!(clock.tracer().charge_counts()[Category::MajorGc.index()], 10);
+        scope.flush(&clock); // idempotent when empty
+        assert_eq!(clock.category_ns(Category::MajorGc), 100);
+    }
+
+    #[test]
+    fn charge_scope_emit_stamps_fully_charged_instant() {
+        let clock = SimClock::new();
+        clock.tracer().set_level(Level::Full);
+        let mut scope = ChargeScope::new(Category::Io);
+        scope.add(42);
+        scope.emit(&clock, EventKind::PageFault { sequential: false });
+        let events = clock.tracer().events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].t_ns, 42, "pending ns must land before the event");
+        scope.flush(&clock);
+        assert_eq!(clock.total_ns(), 42);
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod device;
 pub mod mmap;
 pub mod stats;
 
-pub use clock::{Breakdown, Category, SimClock, TraceSpan};
+pub use clock::{Breakdown, Category, ChargeScope, SimClock, TraceSpan};
 pub use cost::CostModel;
 pub use device::{DeviceKind, DeviceSpec, SimDevice};
 pub use mmap::MmapSim;

@@ -16,13 +16,16 @@
 //! The mapping holds no data; callers own the backing bytes and use
 //! [`MmapSim`] purely for cost accounting and statistics.
 
-use crate::clock::{Category, SimClock};
+use crate::clock::{Category, ChargeScope, SimClock};
 use crate::device::DeviceSpec;
 use crate::stats::IoStats;
 use teraheap_obs::EventKind;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
+
+/// Word size the bulk access plane batches at.
+const WORD: usize = 8;
 
 #[derive(Debug, Clone, Copy)]
 struct PageEntry {
@@ -147,64 +150,141 @@ impl MmapSim {
         self.touch(offset, bytes, true, cat);
     }
 
-    fn touch(&mut self, offset: usize, bytes: usize, write: bool, cat: Category) {
-        if bytes == 0 {
-            return;
-        }
+    /// Asserts `[offset, offset + bytes)` lies inside the mapping, with
+    /// checked arithmetic so an adversarial `offset + bytes` cannot wrap
+    /// around and slip past the bound.
+    fn check_range(&self, offset: usize, bytes: usize) {
         debug_assert!(
-            offset + bytes <= self.len,
+            offset.checked_add(bytes).is_some_and(|end| end <= self.len),
             "touch past end of mapping: {}+{} > {}",
             offset,
             bytes,
             self.len
         );
+    }
+
+    /// DAX per-access cost for `bytes`, as charged by a single touch.
+    ///
+    /// Device latency amortizes over the CPU's prefetch window (a few cache
+    /// lines), as it does for real Optane load/store streams — charging the
+    /// full per-access latency per word would model a CPU with no caches at
+    /// all.
+    fn dax_cost_ns(&self, bytes: usize, write: bool) -> u64 {
+        const PREFETCH_AMORTIZATION: u64 = 32;
+        let cost = if write {
+            bytes as u64 * 1_000_000_000 / self.spec.write_bw
+                + self.spec.write_lat_ns / PREFETCH_AMORTIZATION
+        } else {
+            bytes as u64 * 1_000_000_000 / self.spec.read_bw
+                + self.spec.read_lat_ns / PREFETCH_AMORTIZATION
+        };
+        cost.max(1)
+    }
+
+    fn touch(&mut self, offset: usize, bytes: usize, write: bool, cat: Category) {
+        if bytes == 0 {
+            return;
+        }
+        self.check_range(offset, bytes);
         if self.is_dax() {
             // Direct access: pay the device for exactly the touched bytes.
-            // Device latency amortizes over the CPU's prefetch window (a few
-            // cache lines), as it does for real Optane load/store streams —
-            // charging the full per-access latency per word would model a
-            // CPU with no caches at all.
-            const PREFETCH_AMORTIZATION: u64 = 32;
-            let cost = if write {
+            let cost = self.dax_cost_ns(bytes, write);
+            if write {
                 self.stats.record_write(bytes as u64);
-                bytes as u64 * 1_000_000_000 / self.spec.write_bw
-                    + self.spec.write_lat_ns / PREFETCH_AMORTIZATION
             } else {
                 self.stats.record_read(bytes as u64);
-                bytes as u64 * 1_000_000_000 / self.spec.read_bw
-                    + self.spec.read_lat_ns / PREFETCH_AMORTIZATION
-            };
-            self.clock.charge(cat, cost.max(1));
+            }
+            self.clock.charge(cat, cost);
             return;
         }
         let first = (offset / self.page_size) as u64;
         let last = ((offset + bytes - 1) / self.page_size) as u64;
+        let mut scope = ChargeScope::new(cat);
         for page in first..=last {
-            self.touch_page(page, write, cat);
+            self.touch_page_run(page, 1, write, &mut scope);
         }
+        scope.flush(&self.clock);
     }
 
-    fn touch_page(&mut self, page: u64, write: bool, cat: Category) {
-        self.next_stamp += 1;
-        let stamp = self.next_stamp;
-        // Fast path: repeat touch of the TLB page — just advance its
+    /// Touches `[offset, offset + bytes)` — a word-aligned run — charging
+    /// exactly what the per-word loop
+    /// `for w in 0..bytes/8 { touch(offset + 8*w, 8, write, cat) }`
+    /// would charge, with closed-form arithmetic instead of per-word
+    /// bookkeeping: one resident/TLB decision per page run, one batched
+    /// clock charge per scope, one `IoStats` update per run.
+    ///
+    /// The equivalence (readahead-head evolution, LRU stamp order,
+    /// fault/eviction interleaving, emitted events — all bit-identical) is
+    /// argued in DESIGN.md §9 and pinned by the `bulk_equivalence` property
+    /// suite.
+    pub fn touch_run(&mut self, offset: usize, bytes: usize, write: bool, cat: Category) {
+        if bytes == 0 {
+            return;
+        }
+        debug_assert!(
+            offset.is_multiple_of(WORD) && bytes.is_multiple_of(WORD),
+            "touch_run requires a word-aligned run: offset {offset}, bytes {bytes}"
+        );
+        self.check_range(offset, bytes);
+        if self.is_dax() {
+            // Whole-run cost in a single expression: every word pays the
+            // same per-access cost, so the run total is words * cost — one
+            // clock update and one stats update, with the charge counter
+            // advanced by the per-word call count.
+            let words = (bytes / WORD) as u64;
+            let cost = self.dax_cost_ns(WORD, write);
+            if write {
+                self.stats.record_writes(bytes as u64, words);
+            } else {
+                self.stats.record_reads(bytes as u64, words);
+            }
+            self.clock.charge_batched(cat, words * cost, words);
+            return;
+        }
+        debug_assert!(self.page_size >= WORD, "words must not span pages");
+        let end = offset + bytes;
+        let first = (offset / self.page_size) as u64;
+        let last = ((end - 1) / self.page_size) as u64;
+        let mut scope = ChargeScope::new(cat);
+        for page in first..=last {
+            let lo = (page as usize * self.page_size).max(offset);
+            let hi = ((page as usize + 1) * self.page_size).min(end);
+            self.touch_page_run(page, ((hi - lo) / WORD) as u64, write, &mut scope);
+        }
+        scope.flush(&self.clock);
+    }
+
+    /// `touches` consecutive touches of one page, replayed in O(1): only the
+    /// first touch of a run can miss the TLB (and only that one can fault);
+    /// the rest are TLB hits whose sole effect is advancing the stamp. So
+    /// the batched form runs the miss logic once at the first touch's stamp
+    /// and then jumps the stamp to the run's final value — the exact state
+    /// the per-touch loop leaves behind.
+    fn touch_page_run(&mut self, page: u64, touches: u64, write: bool, scope: &mut ChargeScope) {
+        debug_assert!(touches > 0);
+        // Fast path: repeat touch of the TLB page — advance its
         // authoritative stamp; no hash lookup, no LRU traffic.
         if let Some((tlb_page, entry)) = &mut self.tlb {
             if *tlb_page == page {
-                entry.stamp = stamp;
+                self.next_stamp += touches;
+                entry.stamp = self.next_stamp;
                 entry.dirty |= write;
                 return;
             }
         }
+        self.next_stamp += 1;
+        let stamp = self.next_stamp;
         self.tlb_sync();
         if let Some(&entry) = self.resident.get(&page) {
             // The map entry is authoritative here (the TLB was just
             // synced), so it can seed the new TLB run directly. The LRU
-            // push is deferred to the next sync.
+            // push is deferred to the next sync; only the run's final stamp
+            // matters because intermediate stamps are never observable.
+            self.next_stamp += touches - 1;
             self.tlb = Some((
                 page,
                 PageEntry {
-                    stamp,
+                    stamp: self.next_stamp,
                     dirty: entry.dirty | write,
                 },
             ));
@@ -237,17 +317,18 @@ impl MmapSim {
         } else {
             self.spec.read_lat_ns
         };
-        self.clock.charge(cat, transfer_ns + latency_ns);
-        self.clock.emit(EventKind::PageFault { sequential });
+        scope.add(transfer_ns + latency_ns);
+        scope.emit(&self.clock, EventKind::PageFault { sequential });
         self.resident.insert(page, PageEntry { stamp, dirty: write });
         self.lru.push(Reverse((stamp, page)));
         while self.resident.len() > self.budget_pages {
-            self.evict_one(cat);
+            self.evict_one(scope);
         }
         self.maybe_compact_lru();
         // The just-faulted page (highest stamp, so never the eviction
-        // victim above) starts a new TLB run.
-        self.tlb = Some((page, PageEntry { stamp, dirty: write }));
+        // victim above) starts a new TLB run at the run's final stamp.
+        self.next_stamp += touches - 1;
+        self.tlb = Some((page, PageEntry { stamp: self.next_stamp, dirty: write }));
     }
 
     /// Re-attaches the TLB's authoritative entry to the resident map and
@@ -260,7 +341,7 @@ impl MmapSim {
         }
     }
 
-    fn evict_one(&mut self, cat: Category) {
+    fn evict_one(&mut self, scope: &mut ChargeScope) {
         while let Some(Reverse((stamp, page))) = self.lru.pop() {
             match self.resident.get(&page) {
                 Some(entry) if entry.stamp == stamp => {
@@ -269,10 +350,9 @@ impl MmapSim {
                     self.stats.record_eviction();
                     if dirty {
                         self.stats.record_write(self.page_size as u64);
-                        self.clock
-                            .charge(cat, self.spec.write_cost_ns(self.page_size));
+                        scope.add(self.spec.write_cost_ns(self.page_size));
                     }
-                    self.clock.emit(EventKind::PageEvict { writeback: dirty });
+                    scope.emit(&self.clock, EventKind::PageEvict { writeback: dirty });
                     return;
                 }
                 _ => continue, // stale heap entry
@@ -325,6 +405,15 @@ impl MmapSim {
         let last = ((offset + bytes - 1) / self.page_size) as u64;
         for page in first..=last {
             self.resident.remove(&page);
+        }
+        // A discarded page is gone from the device's perspective; a later
+        // touch of `head + 1` is a fresh fault, not a readahead
+        // continuation, so stale heads inside the range must not classify
+        // it as sequential.
+        for head in &mut self.readahead_heads {
+            if (first..=last).contains(head) {
+                *head = u64::MAX - 1;
+            }
         }
     }
 }
@@ -467,5 +556,77 @@ mod tests {
             map.touch_read((i % 3) * 4096, 1, Category::Mutator);
         }
         assert!(map.lru.len() <= 4 * map.resident.len() + 64);
+    }
+
+    #[test]
+    fn discard_invalidates_readahead_heads() {
+        let (mut map, _clock) = nvme_map(1 << 20, 1 << 20);
+        // Establish a sequential stream over pages 0..4.
+        for p in 0..4usize {
+            map.touch_read(p * 4096, 8, Category::Mutator);
+        }
+        assert_eq!(map.stats().seq_faults(), 3);
+        // Drop the stream's head page (3), then re-fault page 4. Without
+        // head invalidation the stale head 3 would misclassify page 4 as a
+        // readahead continuation.
+        map.discard(3 * 4096, 4096);
+        map.touch_read(4 * 4096, 8, Category::Mutator);
+        assert_eq!(
+            map.stats().seq_faults(),
+            3,
+            "fault after MADV_DONTNEED must not ride a discarded stream"
+        );
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "touch past end of mapping")]
+    fn overflowing_range_is_caught() {
+        let (mut map, _clock) = nvme_map(1 << 20, 1 << 20);
+        // offset + bytes wraps usize; the unchecked `offset + bytes <=
+        // len` comparison would have accepted it.
+        map.touch_read(usize::MAX - 8, 16, Category::Mutator);
+    }
+
+    #[test]
+    fn touch_run_matches_per_word_loop_paged() {
+        let len = 4096 * 8;
+        let (mut looped, clock_l) = nvme_map(len, 3 * 4096);
+        let (mut bulk, clock_b) = nvme_map(len, 3 * 4096);
+        // Straddle three pages, forcing faults and an eviction mid-run.
+        let (off, bytes) = (4096 - 16, 4096 * 2 + 32);
+        for w in 0..bytes / 8 {
+            looped.touch_write(off + 8 * w, 8, Category::MajorGc);
+        }
+        bulk.touch_run(off, bytes, true, Category::MajorGc);
+        assert_eq!(
+            clock_l.category_ns(Category::MajorGc),
+            clock_b.category_ns(Category::MajorGc)
+        );
+        assert_eq!(looped.stats().page_faults(), bulk.stats().page_faults());
+        assert_eq!(looped.stats().seq_faults(), bulk.stats().seq_faults());
+        assert_eq!(looped.stats().evictions(), bulk.stats().evictions());
+        assert_eq!(looped.stats().read_bytes(), bulk.stats().read_bytes());
+        assert_eq!(looped.next_stamp, bulk.next_stamp);
+    }
+
+    #[test]
+    fn touch_run_matches_per_word_loop_dax() {
+        let clock_l = Arc::new(SimClock::new());
+        let mut looped =
+            MmapSim::new(DeviceSpec::optane_nvm(), 1 << 20, 4096, 4096, clock_l.clone());
+        let clock_b = Arc::new(SimClock::new());
+        let mut bulk =
+            MmapSim::new(DeviceSpec::optane_nvm(), 1 << 20, 4096, 4096, clock_b.clone());
+        for w in 0..100 {
+            looped.touch_read(8 * w, 8, Category::SerDe);
+        }
+        bulk.touch_run(0, 800, false, Category::SerDe);
+        assert_eq!(
+            clock_l.category_ns(Category::SerDe),
+            clock_b.category_ns(Category::SerDe)
+        );
+        assert_eq!(looped.stats().read_ops(), bulk.stats().read_ops());
+        assert_eq!(looped.stats().read_bytes(), bulk.stats().read_bytes());
     }
 }

@@ -36,6 +36,21 @@ impl IoStats {
         self.write_ops.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records `ops` read operations totalling `bytes` in two counter
+    /// updates — the bulk access plane's equivalent of `ops` calls to
+    /// [`IoStats::record_read`].
+    pub fn record_reads(&self, bytes: u64, ops: u64) {
+        self.read_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.read_ops.fetch_add(ops, Ordering::Relaxed);
+    }
+
+    /// Records `ops` write operations totalling `bytes`, like
+    /// [`IoStats::record_reads`].
+    pub fn record_writes(&self, bytes: u64, ops: u64) {
+        self.write_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.write_ops.fetch_add(ops, Ordering::Relaxed);
+    }
+
     /// Records one page fault.
     pub fn record_fault(&self) {
         self.page_faults.fetch_add(1, Ordering::Relaxed);

@@ -8,6 +8,9 @@
 #   BENCH_SKIP_MICRO=1   skip the micro-benchmark pass
 #   TERAHEAP_BENCH_THREADS=N  thread count for the parallel fig drivers
 #
+# Named baselines: `scripts/bench.sh storage` records the bulk-access-plane
+# numbers as BENCH_storage_bulk.json (compare against BENCH_gc_hotpath.json).
+#
 # Special mode: scripts/bench.sh obs
 #   Measures the flight recorder's wall-clock overhead by running every
 #   figure binary with TERAHEAP_OBS=full vs TERAHEAP_OBS=off (best of
@@ -17,6 +20,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 name="${1:-baseline}"
+# The storage baseline's canonical file name predates the short CLI alias.
+[[ "$name" == "storage" ]] && name="storage_bulk"
 out="BENCH_${name}.json"
 
 fig_bins=(fig6_spark fig6_giraph fig7_timeline fig8_collectors fig9_hints

@@ -55,6 +55,13 @@ echo "== trace equivalence: tracing never perturbs simulated time =="
 cargo test -q --offline -p teraheap-runtime --test trace_equivalence
 echo "ok"
 
+# Bulk-access-plane invariant (DESIGN.md §9): touch_run must be bit-identical
+# to the word-at-a-time loop — same ns, same counters, same events. Run the
+# property suite explicitly for the same reason as above.
+echo "== bulk equivalence: batched touches match the per-word loop =="
+cargo test -q --offline -p teraheap-storage --test bulk_equivalence
+echo "ok"
+
 # Simulated-determinism guard: every committed figure CSV must regenerate
 # bit-identically. Simulated time is a pure function of the cost model and
 # the deterministic workloads, so any diff here means a change quietly
