@@ -13,8 +13,11 @@ use crate::card::H2CardTable;
 use crate::policy::{Label, TransferPolicy};
 use crate::promo::Promoter;
 use crate::region::{RegionError, RegionId, RegionManager};
+use teraheap_storage::fault;
 use teraheap_storage::obs::EventKind;
-use teraheap_storage::{Category, DeviceSpec, MmapSim, SimClock};
+use teraheap_storage::{
+    Category, DeviceSpec, DurableStore, FaultPlan, FaultPlane, MmapSim, SimClock, WriteBackOutcome,
+};
 use std::sync::Arc;
 
 /// Configuration of the second heap.
@@ -32,6 +35,11 @@ pub struct H2Config {
     pub page_size: usize,
     /// Promotion buffer size in bytes (2 MB in the paper).
     pub promo_buffer_bytes: usize,
+    /// Fault-injection plan. [`FaultPlan::none`] (the default) arms nothing
+    /// and keeps the fault plane entirely out of the hot paths; the
+    /// `TERAHEAP_FAULTS` environment variable overrides this field at
+    /// [`H2::new`] time.
+    pub faults: FaultPlan,
 }
 
 impl Default for H2Config {
@@ -45,6 +53,7 @@ impl Default for H2Config {
             resident_budget_bytes: 16 << 20,
             page_size: 4096,
             promo_buffer_bytes: 2 << 20,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -131,6 +140,12 @@ impl H2ConfigBuilder {
     /// Promotion buffer size in bytes.
     pub fn promo_buffer_bytes(mut self, bytes: usize) -> Self {
         self.config.promo_buffer_bytes = bytes;
+        self
+    }
+
+    /// Fault-injection plan (overridden by `TERAHEAP_FAULTS` when set).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.config.faults = plan;
         self
     }
 
@@ -221,6 +236,19 @@ impl std::fmt::Display for H2Error {
 
 impl std::error::Error for H2Error {}
 
+/// What [`H2::recover`] rebuilt from the durable image after a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Pages whose checksum failed (torn by the crash) — all were detected
+    /// and zeroed, never silently trusted.
+    pub torn_pages: u64,
+    /// Regions whose journaled prefix survived intact.
+    pub regions_recovered: u64,
+    /// Journaled regions dropped because a torn page fell inside their
+    /// durable prefix.
+    pub regions_quarantined: u64,
+}
+
 /// The second heap: word store + region allocator + card table + policy +
 /// promotion buffers + device cost model.
 #[derive(Debug)]
@@ -236,19 +264,40 @@ pub struct H2 {
     promoter: Promoter,
     objects_promoted: u64,
     words_promoted: u64,
+    /// Armed fault plane; `None` on the fault-free fast path.
+    plane: Option<Arc<FaultPlane>>,
+    /// Durable device image, allocated only when a plane is armed.
+    durable: Option<DurableStore>,
+    /// Set when H2 gave up (retry-exhausted flush or injected ENOSPC): the
+    /// collector stops promoting, matching the paper's no-H2 baseline.
+    degraded: bool,
 }
 
 impl H2 {
     /// Creates a second heap over a device described by `spec`.
+    ///
+    /// When `TERAHEAP_FAULTS` is set (or `config.faults` is enabled), a
+    /// fault plane and a durable device image are armed; otherwise every
+    /// fault-path branch stays `None` and the heap behaves bit-identically
+    /// to a build without the fault plane.
     pub fn new(config: H2Config, spec: DeviceSpec, clock: Arc<SimClock>) -> Self {
         let capacity_words = config.capacity_words();
-        let mmap = MmapSim::new(
+        let mut mmap = MmapSim::new(
             spec,
             capacity_words * WORD_BYTES,
             config.resident_budget_bytes,
             config.page_size,
             clock.clone(),
         );
+        let plan = FaultPlan::from_env().unwrap_or(config.faults);
+        let (plane, durable) = if plan.enabled {
+            let plane = FaultPlane::new(plan);
+            mmap.set_fault_plane(plane.clone());
+            let durable = DurableStore::new(capacity_words, config.page_size / WORD_BYTES);
+            (Some(plane), Some(durable))
+        } else {
+            (None, None)
+        };
         H2 {
             regions: RegionManager::new(config.region_words, config.n_regions),
             cards: H2CardTable::new(capacity_words, config.card_seg_words, config.region_words),
@@ -261,6 +310,9 @@ impl H2 {
             config,
             objects_promoted: 0,
             words_promoted: 0,
+            plane,
+            durable,
+            degraded: false,
         }
     }
 
@@ -314,6 +366,29 @@ impl H2 {
         &self.mmap
     }
 
+    /// The armed fault plane, if any.
+    pub fn fault_plane(&self) -> Option<&Arc<FaultPlane>> {
+        self.plane.as_ref()
+    }
+
+    /// The durable device image, if a fault plane is armed.
+    pub fn durable(&self) -> Option<&DurableStore> {
+        self.durable.as_ref()
+    }
+
+    /// Whether H2 has degraded (retry-exhausted flush or injected ENOSPC).
+    /// A degraded H2 accepts no more promotions: the runtime parks would-be
+    /// promotees in the old generation, i.e. the paper's no-H2 baseline.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Whether the fault plane's crash point has fired (the simulated
+    /// process is "dead"; only [`H2::recover`] makes progress again).
+    pub fn is_crashed(&self) -> bool {
+        self.plane.as_deref().is_some_and(|p| p.crashed())
+    }
+
     /// Objects moved to H2 so far.
     pub fn objects_promoted(&self) -> u64 {
         self.objects_promoted
@@ -336,12 +411,26 @@ impl H2 {
     ///
     /// [`H2Error::OutOfSpace`] or [`H2Error::ObjectTooLarge`].
     pub fn alloc(&mut self, label: Label, words: usize) -> Result<Addr, H2Error> {
+        if let Some(plane) = self.plane.as_deref() {
+            if self.regions.would_open(label, words)
+                && plane.deny_growth(self.regions.allocated_total())
+            {
+                // Injected ENOSPC: the backing file cannot grow. Degrade
+                // instead of erroring every caller forever.
+                if !self.degraded {
+                    self.degraded = true;
+                    self.clock.emit(EventKind::H2Degraded { enospc: true });
+                }
+                return Err(H2Error::OutOfSpace);
+            }
+        }
         Ok(self.regions.alloc(label, words)?)
     }
 
     /// Reads the word at `addr`, charging page-fault/DAX cost to `cat`.
     pub fn read_word(&mut self, addr: Addr, cat: Category) -> u64 {
         self.mmap.touch_read(addr.h2_byte_offset(), WORD_BYTES, cat);
+        self.sync_durable();
         self.data[addr.h2_offset() as usize]
     }
 
@@ -352,6 +441,8 @@ impl H2 {
     pub fn write_word(&mut self, addr: Addr, value: u64, cat: Category) {
         self.mmap.touch_write(addr.h2_byte_offset(), WORD_BYTES, cat);
         self.data[addr.h2_offset() as usize] = value;
+        self.mirror_dax(addr.h2_byte_offset(), WORD_BYTES);
+        self.sync_durable();
     }
 
     /// Reads `out.len()` consecutive words starting at `addr` through the
@@ -366,6 +457,7 @@ impl H2 {
         }
         self.mmap
             .touch_run(addr.h2_byte_offset(), out.len() * WORD_BYTES, false, cat);
+        self.sync_durable();
         let base = addr.h2_offset() as usize;
         out.copy_from_slice(&self.data[base..base + out.len()]);
     }
@@ -381,6 +473,8 @@ impl H2 {
             .touch_run(addr.h2_byte_offset(), vals.len() * WORD_BYTES, true, cat);
         let base = addr.h2_offset() as usize;
         self.data[base..base + vals.len()].copy_from_slice(vals);
+        self.mirror_dax(addr.h2_byte_offset(), vals.len() * WORD_BYTES);
+        self.sync_durable();
     }
 
     /// Words per page of the backing mapping — the chunk size at which a
@@ -435,12 +529,132 @@ impl H2 {
         self.charge_flush(flushed, cat);
         self.objects_promoted += 1;
         self.words_promoted += words.len() as u64;
+        if flushed > 0 && self.plane.is_some() {
+            self.faulty_flush(region, flushed, cat);
+        }
     }
 
     /// Flushes all partially-filled promotion buffers (end of compaction).
     pub fn finish_promotion(&mut self, cat: Category) {
+        let snapshot = if self.plane.is_some() {
+            self.promoter.pending_regions()
+        } else {
+            Vec::new()
+        };
         let flushed = self.promoter.flush_all();
         self.charge_flush(flushed, cat);
+        if flushed > 0 && self.plane.is_some() {
+            // One fault roll for the combined flush (it is one batched I/O
+            // submission), then one durable write-back boundary per region.
+            let plane = self.plane.clone().expect("checked above");
+            let out = fault::inject(&plane, &self.clock, cat, true);
+            if !out.ok {
+                for &(region, bytes) in &snapshot {
+                    self.promoter.unstage(region, bytes);
+                }
+                self.degrade();
+                return;
+            }
+            for &(region, bytes) in &snapshot {
+                if self.apply_durable_flush(region, bytes) == WriteBackOutcome::Crashed {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// A promotion batch flushed: roll the injected write fault and, if the
+    /// device accepted it, write the batch to the durable image (one
+    /// write-back boundary). On retry exhaustion the batch is un-staged —
+    /// its bytes are only in DRAM — and H2 degrades.
+    fn faulty_flush(&mut self, region: RegionId, flushed: usize, cat: Category) {
+        let plane = self.plane.clone().expect("caller checked the plane");
+        let out = fault::inject(&plane, &self.clock, cat, true);
+        if !out.ok {
+            self.promoter.unstage(region, flushed);
+            self.degrade();
+            return;
+        }
+        self.apply_durable_flush(region, flushed);
+    }
+
+    /// Durably writes `region`'s most recent `bytes` flushed bytes and, on
+    /// success, advances the region's watermark record in the metadata
+    /// journal (WAL order: data pages first, then the watermark, so a crash
+    /// in between leaves the old watermark and the batch is dropped at
+    /// recovery rather than half-trusted).
+    fn apply_durable_flush(&mut self, region: RegionId, bytes: usize) -> WriteBackOutcome {
+        let plane = self.plane.clone().expect("caller checked the plane");
+        let durable = self.durable.as_mut().expect("plane implies durable store");
+        let rid = region.0 as usize;
+        let (_, old_wm) = durable.meta(rid);
+        let new_wm = old_wm + bytes as u64;
+        let label_bits = self.regions.label_of(region).map_or(0, |l| l.id() + 1);
+        let base_byte = rid as u64 * (self.regions.region_words() * WORD_BYTES) as u64;
+        let page_bytes = (durable.page_words() * WORD_BYTES) as u64;
+        let lo = (base_byte + old_wm) / page_bytes;
+        let hi = (base_byte + new_wm - 1) / page_bytes;
+        let pages: Vec<u64> = (lo..=hi).collect();
+        let out = durable.write_back(&pages, &self.data, Some(&plane));
+        match out {
+            WriteBackOutcome::Applied => durable.set_meta(rid, label_bits, new_wm),
+            WriteBackOutcome::Crashed => self.clock.emit(EventKind::CrashPoint),
+            WriteBackOutcome::Ignored => {}
+        }
+        out
+    }
+
+    /// Flips to degraded mode once, with its Tracer event.
+    fn degrade(&mut self) {
+        if !self.degraded {
+            self.degraded = true;
+            self.clock.emit(EventKind::H2Degraded { enospc: false });
+        }
+    }
+
+    /// Applies pages the page cache wrote back (evictions of dirty pages,
+    /// explicit flushes) to the durable image. Fault-free runs have no
+    /// write-back log and return immediately.
+    fn sync_durable(&mut self) {
+        if self.plane.is_none() {
+            return;
+        }
+        let pages = self.mmap.take_writeback_pages();
+        if pages.is_empty() {
+            return;
+        }
+        let plane = self.plane.clone().expect("checked above");
+        let durable = self.durable.as_mut().expect("plane implies durable store");
+        if durable.write_back(&pages, &self.data, Some(&plane)) == WriteBackOutcome::Crashed {
+            self.clock.emit(EventKind::CrashPoint);
+        }
+    }
+
+    /// DAX (byte-addressable) devices persist stores directly: mirror the
+    /// written byte range into the durable image immediately, as one
+    /// write-back boundary. No-op for page-cached devices or without a
+    /// plane.
+    fn mirror_dax(&mut self, byte_off: usize, len: usize) {
+        if self.plane.is_none() || !self.mmap.is_dax() || len == 0 {
+            return;
+        }
+        let plane = self.plane.clone().expect("checked above");
+        let durable = self.durable.as_mut().expect("plane implies durable store");
+        let page_bytes = durable.page_words() * WORD_BYTES;
+        let lo = byte_off / page_bytes;
+        let hi = (byte_off + len - 1) / page_bytes;
+        let pages: Vec<u64> = (lo..=hi).map(|p| p as u64).collect();
+        if durable.write_back(&pages, &self.data, Some(&plane)) == WriteBackOutcome::Crashed {
+            self.clock.emit(EventKind::CrashPoint);
+        }
+    }
+
+    /// Writes every dirty page of the mapping back (the `msync(2)`
+    /// analogue), charging `cat`, and applies the write-back to the durable
+    /// image when a plane is armed.
+    pub fn msync(&mut self, cat: Category) {
+        self.mmap.flush(cat);
+        self.sync_durable();
     }
 
     fn charge_flush(&self, flushed_bytes: usize, cat: Category) {
@@ -475,8 +689,123 @@ impl H2 {
             // Zero the store so stale data can never be misread as objects.
             let base_w = self.regions.region_base(rid).h2_offset() as usize;
             self.data[base_w..base_w + self.regions.region_words()].fill(0);
+            // Retire the region's durable state too (the free is journaled:
+            // watermark 0, no label), so a crash after the sweep can never
+            // resurrect the dead region at recovery.
+            if let Some(durable) = self.durable.as_mut() {
+                if !durable.crashed() {
+                    durable.set_meta(rid.0 as usize, 0, 0);
+                    let pw = durable.page_words();
+                    let zeros = vec![0u64; pw];
+                    let lo = base / (pw * WORD_BYTES);
+                    let hi = (base + bytes - 1) / (pw * WORD_BYTES);
+                    for page in lo..=hi {
+                        durable.rewrite_page(page, &zeros);
+                    }
+                }
+            }
         }
         freed
+    }
+
+    /// Rebuilds H2 from the durable image after a simulated crash.
+    ///
+    /// Recovery trusts only what survived on the device: checksummed data
+    /// pages and the atomic per-region metadata journal. For each journaled
+    /// region the watermark names the durably-written prefix; a torn page
+    /// inside that prefix quarantines the whole region (its group is
+    /// incomplete — the safe interpretation, since objects from one group
+    /// reference each other). All volatile state — cards, promotion
+    /// buffers, the page cache, open-region map — restarts cold. The
+    /// runtime layer then rebuilds object maps and reference invariants on
+    /// top (see the runtime crate's `Heap::recover_from_crash`).
+    ///
+    /// Returns what was recovered. No-op (zero report) without a plane.
+    pub fn recover(&mut self) -> RecoveryReport {
+        let Some(plane) = self.plane.clone() else {
+            return RecoveryReport::default();
+        };
+        let Some(durable) = self.durable.as_mut() else {
+            return RecoveryReport::default();
+        };
+        let torn = durable.verify();
+        // The volatile image died with the process: reload it from the
+        // device, with torn pages read as zero (their checksum failed).
+        let pw = durable.page_words();
+        let data_len = self.data.len();
+        self.data.copy_from_slice(&durable.words()[..data_len]);
+        for &p in &torn {
+            let lo = p as usize * pw;
+            let hi = (lo + pw).min(self.data.len());
+            self.data[lo..hi].fill(0);
+        }
+        // Rebuild region state from the metadata journal, quarantining any
+        // region whose durable prefix contains a torn page.
+        let region_bytes = self.regions.region_words() * WORD_BYTES;
+        let mut entries: Vec<(Option<Label>, usize)> = Vec::with_capacity(self.config.n_regions);
+        let mut quarantined = 0u64;
+        let mut recovered = 0u64;
+        for rid in 0..self.config.n_regions {
+            let (label_bits, wm) = durable.meta(rid);
+            if label_bits == 0 || wm == 0 {
+                entries.push((None, 0));
+                continue;
+            }
+            let base_byte = rid * region_bytes;
+            let lo_page = (base_byte / (pw * WORD_BYTES)) as u64;
+            let hi_page = ((base_byte + wm as usize - 1) / (pw * WORD_BYTES)) as u64;
+            let is_torn = torn.iter().any(|&p| p >= lo_page && p <= hi_page);
+            if is_torn {
+                quarantined += 1;
+                entries.push((None, 0));
+                let base_w = rid * self.regions.region_words();
+                self.data[base_w..base_w + self.regions.region_words()].fill(0);
+            } else {
+                recovered += 1;
+                entries.push((Some(Label::new(label_bits - 1)), wm as usize / WORD_BYTES));
+            }
+        }
+        self.regions.restore_from(&entries);
+        // Repair the device image (zero quarantined/torn pages, fix their
+        // checksums, retire quarantined journal records) and unfreeze.
+        durable.clear_crash();
+        let zeros = vec![0u64; pw];
+        for &p in &torn {
+            durable.rewrite_page(p as usize, &zeros);
+        }
+        for (rid, entry) in entries.iter().enumerate() {
+            if entry.0.is_none() {
+                durable.set_meta(rid, 0, 0);
+                let lo = rid * region_bytes / (pw * WORD_BYTES);
+                let hi = (rid * region_bytes + region_bytes - 1) / (pw * WORD_BYTES);
+                for page in lo..=hi {
+                    if !durable.page_ok(page) {
+                        durable.rewrite_page(page, &zeros);
+                    }
+                }
+            }
+        }
+        // Volatile state restarts cold.
+        self.cards = H2CardTable::new(
+            self.config.capacity_words(),
+            self.config.card_seg_words,
+            self.config.region_words,
+        );
+        self.promoter.reset_pending();
+        self.mmap.discard(0, self.config.capacity_words() * WORD_BYTES);
+        let _ = self.mmap.take_writeback_pages();
+        plane.clear_crash();
+        self.degraded = false;
+        let report = RecoveryReport {
+            torn_pages: torn.len() as u64,
+            regions_recovered: recovered,
+            regions_quarantined: quarantined,
+        };
+        self.clock.emit(EventKind::Recovered {
+            torn_pages: report.torn_pages,
+            regions: report.regions_recovered,
+        });
+        report
     }
 }
 

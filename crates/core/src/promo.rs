@@ -69,6 +69,44 @@ impl Promoter {
         flushed
     }
 
+    /// Bytes currently pending (staged, unflushed) for `region`.
+    pub fn pending_of(&self, region: RegionId) -> usize {
+        self.pending.get(&region).copied().unwrap_or(0)
+    }
+
+    /// All regions with pending bytes, sorted by region id — the snapshot
+    /// [`Promoter::flush_all`] callers take first when a fault plane may
+    /// fail the flush and force [`Promoter::unstage`].
+    pub fn pending_regions(&self) -> Vec<(RegionId, usize)> {
+        let mut v: Vec<(RegionId, usize)> = self
+            .pending
+            .iter()
+            .filter(|&(_, &slot)| slot > 0)
+            .map(|(&r, &slot)| (r, slot))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Rolls back one reported flush of `bytes` for `region` after the
+    /// device write failed past its retry budget: the bytes go back to
+    /// pending (they are still only in DRAM) and the flush counters are
+    /// un-charged, so accounting reflects what actually reached the device.
+    pub fn unstage(&mut self, region: RegionId, bytes: usize) {
+        if bytes == 0 {
+            return;
+        }
+        *self.pending.entry(region).or_insert(0) += bytes;
+        self.bytes_flushed = self.bytes_flushed.saturating_sub(bytes as u64);
+        self.flushes = self.flushes.saturating_sub(1);
+    }
+
+    /// Drops all pending bytes without flushing (crash recovery: the staged
+    /// data died with DRAM).
+    pub fn reset_pending(&mut self) {
+        self.pending.clear();
+    }
+
     /// Flushes every partially-filled buffer (end of compaction), visiting
     /// regions in sorted order so any per-flush cost or event emission is
     /// deterministic across runs (a bare `HashMap` walk is not). Returns

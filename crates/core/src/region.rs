@@ -125,6 +125,16 @@ impl std::fmt::Display for RegionError {
 
 impl std::error::Error for RegionError {}
 
+/// Opaque copy of a [`RegionManager`]'s allocation state, captured by
+/// [`RegionManager::snapshot`] and consumed by [`RegionManager::restore`].
+#[derive(Debug, Clone)]
+pub struct RegionSnapshot {
+    regions: Vec<Region>,
+    free: Vec<RegionId>,
+    open: std::collections::HashMap<Label, RegionId>,
+    allocated_total: u64,
+}
+
 /// The H2 region allocator and liveness tracker.
 ///
 /// Objects with the same label are placed together (append-only) in the
@@ -248,6 +258,79 @@ impl RegionManager {
         r.top += words;
         r.total_objects += 1;
         Ok(addr)
+    }
+
+    /// Whether allocating `words` under `label` would have to open a fresh
+    /// region (no open region for the label, or not enough room left).
+    /// Oversized objects report `true`; the subsequent [`RegionManager::alloc`]
+    /// rejects them before touching the free list.
+    pub fn would_open(&self, label: Label, words: usize) -> bool {
+        match self.open.get(&label) {
+            Some(&rid) => self.regions[rid.0 as usize].top + words > self.region_words,
+            None => true,
+        }
+    }
+
+    /// Clamps `rid`'s allocation pointer down to `new_top` words (crash
+    /// recovery: a truncated object walk found the tail unparsable).
+    pub fn truncate(&mut self, rid: RegionId, new_top: usize) {
+        let r = &mut self.regions[rid.0 as usize];
+        r.top = r.top.min(new_top);
+    }
+
+    /// Captures the complete allocation state (regions, free list, open map,
+    /// cumulative open count) for the promotion transaction: the major GC
+    /// snapshots before assigning H2 destinations and restores on a failed
+    /// assignment, so a half-assigned promotion batch never leaks regions.
+    pub fn snapshot(&self) -> RegionSnapshot {
+        RegionSnapshot {
+            regions: self.regions.clone(),
+            free: self.free.clone(),
+            open: self.open.clone(),
+            allocated_total: self.allocated_total,
+        }
+    }
+
+    /// Restores state captured by [`RegionManager::snapshot`].
+    pub fn restore(&mut self, snap: RegionSnapshot) {
+        self.regions = snap.regions;
+        self.free = snap.free;
+        self.open = snap.open;
+        self.allocated_total = snap.allocated_total;
+    }
+
+    /// Rebuilds allocation state from recovered `(label, top_words)` entries,
+    /// one per region (crash recovery from the durable metadata journal).
+    /// Dependency lists and statistics restart empty — they are DRAM-only
+    /// state the runtime re-derives — and the open map restarts empty, so
+    /// the next allocation under any label opens a fresh region rather than
+    /// appending to a region whose tail state is uncertain. The cumulative
+    /// open count restarts at the number of in-use regions (history is lost
+    /// with DRAM).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries.len()` differs from the region count.
+    pub fn restore_from(&mut self, entries: &[(Option<Label>, usize)]) {
+        assert_eq!(entries.len(), self.regions.len(), "one entry per region");
+        self.open.clear();
+        self.free.clear();
+        let mut in_use = 0u64;
+        for (i, &(label, top)) in entries.iter().enumerate() {
+            let r = &mut self.regions[i];
+            *r = Region::empty();
+            r.label = label;
+            if label.is_some() {
+                r.top = top.min(self.region_words);
+                in_use += 1;
+            }
+        }
+        for i in (0..self.regions.len()).rev() {
+            if self.regions[i].is_free() {
+                self.free.push(RegionId(i as u32));
+            }
+        }
+        self.allocated_total = in_use;
     }
 
     /// Adds `to` to `from`'s dependency list if not already present.

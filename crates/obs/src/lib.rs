@@ -280,10 +280,27 @@ pub enum EventKind {
     DeviceWrite { bytes: u64 },
     /// The heap ran out of memory; the crash-dump hook fires alongside this.
     Oom,
+    /// The fault-injection plane injected a transient I/O error; `write` is
+    /// the direction of the faulted operation.
+    FaultInjected { write: bool },
+    /// One bounded-backoff retry of a faulted I/O operation (`attempt` is
+    /// 1-based); the backoff nanoseconds were charged before this event.
+    IoRetry { attempt: u64 },
+    /// H2 entered degraded (`H2Unavailable`) mode: promotions park in the
+    /// old generation from here on, matching the paper's no-H2 baseline.
+    /// `enospc` distinguishes backing-file exhaustion from write-retry
+    /// exhaustion.
+    H2Degraded { enospc: bool },
+    /// The injected crash point fired mid-write-back; the durable image may
+    /// hold torn pages from here on.
+    CrashPoint,
+    /// `H2::recover()` completed: `torn_pages` checksum mismatches were
+    /// detected and `regions` regions restored from the durable image.
+    Recovered { torn_pages: u64, regions: u64 },
 }
 
 /// Number of distinct event classes (counter array dimension).
-pub const CLASS_COUNT: usize = 14;
+pub const CLASS_COUNT: usize = 19;
 
 /// Number of span slots tracked by the duration histograms: minor/major GC,
 /// the four major phases, then the [`SpanKind`]s.
@@ -319,6 +336,11 @@ impl EventKind {
             EventKind::DeviceRead { .. } => "device_read",
             EventKind::DeviceWrite { .. } => "device_write",
             EventKind::Oom => "oom",
+            EventKind::FaultInjected { .. } => "fault_injected",
+            EventKind::IoRetry { .. } => "io_retry",
+            EventKind::H2Degraded { .. } => "h2_degraded",
+            EventKind::CrashPoint => "crash_point",
+            EventKind::Recovered { .. } => "recovered",
         }
     }
 
@@ -339,6 +361,11 @@ impl EventKind {
             EventKind::DeviceRead { .. } => 11,
             EventKind::DeviceWrite { .. } => 12,
             EventKind::Oom => 13,
+            EventKind::FaultInjected { .. } => 14,
+            EventKind::IoRetry { .. } => 15,
+            EventKind::H2Degraded { .. } => 16,
+            EventKind::CrashPoint => 17,
+            EventKind::Recovered { .. } => 18,
         }
     }
 
@@ -358,6 +385,11 @@ impl EventKind {
         "device_read",
         "device_write",
         "oom",
+        "fault_injected",
+        "io_retry",
+        "h2_degraded",
+        "crash_point",
+        "recovered",
     ];
 
     /// If this event opens or closes a span, returns `(slot, is_begin)`
@@ -388,6 +420,9 @@ impl EventKind {
                 | EventKind::CardScan { .. }
                 | EventKind::H2PromoFlush { .. }
                 | EventKind::Oom
+                | EventKind::H2Degraded { .. }
+                | EventKind::CrashPoint
+                | EventKind::Recovered { .. }
         )
     }
 }

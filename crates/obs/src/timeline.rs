@@ -61,7 +61,19 @@ fn json_fields(kind: &EventKind) -> String {
         EventKind::PageEvict { writeback } => {
             format!("\"kind\":\"{name}\",\"writeback\":{writeback}")
         }
-        EventKind::Oom => format!("\"kind\":\"{name}\""),
+        EventKind::Oom | EventKind::CrashPoint => format!("\"kind\":\"{name}\""),
+        EventKind::FaultInjected { write } => {
+            format!("\"kind\":\"{name}\",\"write\":{write}")
+        }
+        EventKind::IoRetry { attempt } => {
+            format!("\"kind\":\"{name}\",\"attempt\":{attempt}")
+        }
+        EventKind::H2Degraded { enospc } => {
+            format!("\"kind\":\"{name}\",\"enospc\":{enospc}")
+        }
+        EventKind::Recovered { torn_pages, regions } => {
+            format!("\"kind\":\"{name}\",\"torn_pages\":{torn_pages},\"regions\":{regions}")
+        }
     }
 }
 
@@ -118,7 +130,13 @@ pub fn to_csv_rows(events: &[Event]) -> Vec<String> {
                 | EventKind::DeviceWrite { bytes } => ("", bytes.to_string(), String::new()),
                 EventKind::PageFault { sequential } => ("", sequential.to_string(), String::new()),
                 EventKind::PageEvict { writeback } => ("", writeback.to_string(), String::new()),
-                EventKind::Oom => ("", String::new(), String::new()),
+                EventKind::Oom | EventKind::CrashPoint => ("", String::new(), String::new()),
+                EventKind::FaultInjected { write } => ("", write.to_string(), String::new()),
+                EventKind::IoRetry { attempt } => ("", attempt.to_string(), String::new()),
+                EventKind::H2Degraded { enospc } => ("", enospc.to_string(), String::new()),
+                EventKind::Recovered { torn_pages, regions } => {
+                    ("", torn_pages.to_string(), regions.to_string())
+                }
             };
             format!("{},{},{},{},{},{}", e.seq, e.t_ns, e.kind.name(), detail, a, b)
         })

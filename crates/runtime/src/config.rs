@@ -89,6 +89,10 @@ pub struct HeapConfig {
     /// Flight-recorder ring capacity override in events (0 keeps the
     /// default). Figure drivers that export a full GC timeline raise this.
     pub obs_events: usize,
+    /// Run the full-heap invariant checker ([`crate::check`]) at every GC
+    /// boundary, panicking on the first violation. Also enabled by
+    /// `TERAHEAP_HEAP_CHECK=1`. Off by default: the walk is O(heap).
+    pub heap_check: bool,
 }
 
 impl HeapConfig {
@@ -114,6 +118,7 @@ impl HeapConfig {
             cost: CostModel::default_model(),
             obs_level: None,
             obs_events: 0,
+            heap_check: false,
         }
     }
 
@@ -253,6 +258,12 @@ impl HeapConfigBuilder {
     /// Flight-recorder ring capacity in events.
     pub fn obs_events(mut self, events: usize) -> Self {
         self.config.obs_events = events;
+        self
+    }
+
+    /// Run the full-heap invariant checker at every GC boundary.
+    pub fn heap_check(mut self, on: bool) -> Self {
+        self.config.heap_check = on;
         self
     }
 

@@ -153,21 +153,64 @@ pub(crate) fn major_gc(heap: &mut Heap, cause: GcCause) -> Result<(), OomError> 
     // H2 address assignment in closure-discovery order: each root
     // key-object's transitive closure lands contiguously in its label's
     // regions, preserving the framework's access locality on the device.
-    for &src in &move_order {
-        let header = heap.mem[src as usize];
-        if !object::is_candidate(header) {
-            continue;
-        }
-        let size = object::size_of(header);
-        let label = Label::new(heap.mem[src as usize + 1]);
-        work.objects += 1;
-        match heap.h2.as_mut().expect("candidate without H2").alloc(label, size) {
-            Ok(dest) => {
-                forwarding.push(src, dest.raw());
+    let fault_txn = heap
+        .h2
+        .as_ref()
+        .is_some_and(|h| h.fault_plane().is_some() && !move_order.is_empty());
+    if fault_txn {
+        // With a fault plane armed, an alloc can fail mid-cycle (injected
+        // ENOSPC). Promotion is then a transaction: stage every assignment
+        // first, and on any failure restore the region allocator and keep
+        // the whole candidate set in H1 — a half-promoted closure would
+        // split a key-object group across heaps with its region accounting
+        // already advanced.
+        let snap = heap.h2.as_ref().unwrap().regions().snapshot();
+        let mut staged: Vec<(u64, u64)> = Vec::with_capacity(move_order.len());
+        let mut failed = false;
+        for &src in &move_order {
+            let header = heap.mem[src as usize];
+            if !object::is_candidate(header) {
+                continue;
             }
-            Err(_) => {
-                // H2 full: the object stays in H1 this cycle.
+            let size = object::size_of(header);
+            let label = Label::new(heap.mem[src as usize + 1]);
+            work.objects += 1;
+            match heap.h2.as_mut().unwrap().alloc(label, size) {
+                Ok(dest) => staged.push((src, dest.raw())),
+                Err(_) => {
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        if failed {
+            heap.h2.as_mut().unwrap().regions_mut().restore(snap);
+            for &src in &move_order {
+                let header = heap.mem[src as usize];
                 heap.mem[src as usize] = object::without_candidate(header);
+            }
+        } else {
+            for (src, dest) in staged {
+                forwarding.push(src, dest);
+            }
+        }
+    } else {
+        for &src in &move_order {
+            let header = heap.mem[src as usize];
+            if !object::is_candidate(header) {
+                continue;
+            }
+            let size = object::size_of(header);
+            let label = Label::new(heap.mem[src as usize + 1]);
+            work.objects += 1;
+            match heap.h2.as_mut().expect("candidate without H2").alloc(label, size) {
+                Ok(dest) => {
+                    forwarding.push(src, dest.raw());
+                }
+                Err(_) => {
+                    // H2 full: the object stays in H1 this cycle.
+                    heap.mem[src as usize] = object::without_candidate(header);
+                }
             }
         }
     }
@@ -398,6 +441,7 @@ pub(crate) fn major_gc(heap: &mut Heap, cause: GcCause) -> Result<(), OomError> 
         promoted_h2_words: h2_words_after - h2_words_before,
     });
     heap.in_gc = false;
+    heap.maybe_heap_check("after major GC");
     Ok(())
 }
 
@@ -582,6 +626,12 @@ fn select_candidates(
 ) -> Vec<u64> {
     let mut move_order: Vec<u64> = Vec::new();
     if heap.h2.is_none() {
+        return move_order;
+    }
+    // Degraded H2 (injected ENOSPC or a write-retry budget exhausted):
+    // promotions park in the old generation — the paper's no-H2 baseline —
+    // until the device recovers.
+    if heap.h2.as_ref().unwrap().is_degraded() {
         return move_order;
     }
     let policy = heap.h2.as_ref().unwrap().policy().clone();

@@ -70,6 +70,7 @@ pub(crate) fn minor_gc(heap: &mut Heap, cause: GcCause) {
         promoted_h2_words: 0,
     });
     heap.in_gc = false;
+    heap.maybe_heap_check("after minor GC");
 }
 
 /// Whether `addr` is in the collected young spaces (eden or from-space).

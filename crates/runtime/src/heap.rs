@@ -66,6 +66,9 @@ pub struct Heap {
     /// Recycled dense forwarding array for major GC (all-zero between
     /// collections); avoids an alloc+memset of the full H1 word range per GC.
     pub(crate) fwd_scratch: Vec<u64>,
+    /// Run [`Heap::heap_check`] at every GC boundary (config flag or
+    /// `TERAHEAP_HEAP_CHECK=1`), panicking on the first violated invariant.
+    pub(crate) check_enabled: bool,
 }
 
 impl Heap {
@@ -123,6 +126,8 @@ impl Heap {
             h2_starts: std::collections::HashMap::new(),
             in_gc: false,
             fwd_scratch: Vec::new(),
+            check_enabled: config.heap_check
+                || std::env::var("TERAHEAP_HEAP_CHECK").is_ok_and(|v| v == "1"),
         }
     }
 
@@ -763,6 +768,19 @@ impl Heap {
     /// clock, not the heap, so it can live across `&mut self` calls.
     pub fn span(&self, kind: SpanKind) -> TraceSpan {
         self.clock.span(kind)
+    }
+
+    /// Runs [`Heap::heap_check`] if checking is enabled, panicking with the
+    /// violated invariant. GC entry/exit points call this so a fault-injection
+    /// run trips loudly at the first corrupted boundary instead of producing
+    /// silently wrong results. Zero work when checking is off (the default).
+    pub(crate) fn maybe_heap_check(&self, when: &'static str) {
+        if !self.check_enabled {
+            return;
+        }
+        if let Err(e) = self.heap_check() {
+            panic!("heap_check failed {when}: {e}");
+        }
     }
 }
 

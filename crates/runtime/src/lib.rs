@@ -45,6 +45,7 @@
 //! assert_eq!(heap.read_prim(b2, 0), 42);
 //! ```
 
+pub mod check;
 pub mod class;
 pub mod config;
 pub mod gc;
@@ -53,6 +54,7 @@ pub mod object;
 pub mod space;
 pub mod stats;
 
+pub use check::{CheckError, CheckReport, CrashRecovery};
 pub use class::{ClassDesc, ClassId, ClassRegistry, OBJ_ARRAY_CLASS, PRIM_ARRAY_CLASS};
 pub use config::{ConfigError, GcVariant, HeapConfig, HeapConfigBuilder, MemoryMode, OomError};
 pub use heap::{Handle, Heap};

@@ -1,0 +1,162 @@
+//! Determinism gate for the fault plane: a run with no plane at all and a
+//! run with an **armed but zero-rate** plane (`FaultPlan::zero_rate`) must
+//! be bit-identical — same simulated nanoseconds in every breakdown
+//! category, same charge-call counts, same full (`Level::Full`) event
+//! stream, same GC statistics and same page-cache statistics.
+//!
+//! This is the contract that keeps every `results/*.csv` byte-diff in
+//! `scripts/verify.sh` green: arming the hooks costs nothing until a fault
+//! actually fires.
+
+use teraheap_core::{H2Config, Label};
+use teraheap_runtime::obs::{Event, Level};
+use teraheap_runtime::{Handle, Heap, HeapConfig};
+use teraheap_storage::{DeviceSpec, FaultPlan};
+
+fn h2_config(plan: FaultPlan) -> H2Config {
+    H2Config::builder()
+        .region_words(2048)
+        .n_regions(16)
+        .card_seg_words(256)
+        .resident_budget_bytes(64 << 10)
+        .page_size(4096)
+        .promo_buffer_bytes(8 << 10)
+        .faults(plan)
+        .build()
+        .expect("valid test H2 config")
+}
+
+/// Promotion-heavy churn touching every cost path: allocation, both GCs,
+/// H2 moves, post-move H2 reads (page faults + evictions) and an msync.
+fn churn(heap: &mut Heap) -> u64 {
+    let class = heap.register_class("Churn", 1, 4);
+    let mut keep: Vec<Handle> = Vec::new();
+    for i in 0..3_000u64 {
+        let h = heap.alloc(class).unwrap();
+        heap.write_prim(h, 0, i);
+        if i % 7 == 0 {
+            if let Some(&prev) = keep.last() {
+                heap.write_ref(h, 0, prev);
+            }
+            keep.push(h);
+        } else {
+            heap.release(h);
+        }
+        if i == 1_000 || i == 2_000 {
+            let root = keep[0];
+            heap.h2_tag_root(root, Label::new(i / 1_000));
+            heap.h2_move(Label::new(i / 1_000));
+            heap.gc_major().unwrap();
+        }
+    }
+    heap.gc_minor().unwrap();
+    heap.gc_major().unwrap();
+    // Post-promotion reads: page-cache traffic over H2.
+    let mut acc = 0u64;
+    for &h in keep.iter().take(32) {
+        acc = acc.wrapping_add(heap.read_prim(h, 0));
+    }
+    heap.h2_mut().unwrap().msync(teraheap_storage::Category::Io);
+    acc
+}
+
+fn run(plan: FaultPlan) -> (Heap, Vec<Event>, u64) {
+    let cfg = HeapConfig::builder(4 << 10, 32 << 10)
+        .obs_level(Level::Full)
+        .build()
+        .unwrap();
+    let mut heap = Heap::new(cfg);
+    heap.enable_teraheap(h2_config(plan), DeviceSpec::nvme_ssd());
+    let acc = churn(&mut heap);
+    let events = heap.clock().tracer().events();
+    (heap, events, acc)
+}
+
+#[test]
+fn zero_rate_plane_is_bit_identical_to_no_plane() {
+    let (off, off_events, off_acc) = run(FaultPlan::none());
+    let (on, on_events, on_acc) = run(FaultPlan::zero_rate(1234));
+
+    assert!(off.h2().unwrap().fault_plane().is_none(), "none() must not arm a plane");
+    assert!(on.h2().unwrap().fault_plane().is_some(), "zero_rate must arm the plane");
+
+    // Simulated time: total, per category, and the number of charge calls
+    // that produced it.
+    assert_eq!(off.clock().total_ns(), on.clock().total_ns(), "total ns diverged");
+    assert_eq!(off.clock().breakdown(), on.clock().breakdown(), "category ns diverged");
+    assert_eq!(
+        off.clock().tracer().charge_counts(),
+        on.clock().tracer().charge_counts(),
+        "charge-call counts diverged"
+    );
+
+    // Full event stream, including every timestamp.
+    assert!(!off_events.is_empty(), "churn must trace events");
+    assert_eq!(off_events, on_events, "TERAHEAP_OBS=full event streams diverged");
+    assert_eq!(off.clock().tracer().emitted(), on.clock().tracer().emitted());
+
+    // GC statistics and phase breakdowns.
+    let (a, b) = (off.stats(), on.stats());
+    assert_eq!(a.minor_count, b.minor_count);
+    assert_eq!(a.major_count, b.major_count);
+    assert_eq!(a.minor_ns, b.minor_ns);
+    assert_eq!(a.major_ns, b.major_ns);
+    assert_eq!(a.phases, b.phases, "major-GC phase ns diverged");
+
+    // H2 promotion accounting and page-cache statistics.
+    let (h2a, h2b) = (off.h2().unwrap(), on.h2().unwrap());
+    assert_eq!(h2a.objects_promoted(), h2b.objects_promoted());
+    assert_eq!(h2a.words_promoted(), h2b.words_promoted());
+    let (sa, sb) = (h2a.mmap().stats(), h2b.mmap().stats());
+    assert_eq!(sa.page_faults(), sb.page_faults());
+    assert_eq!(sa.seq_faults(), sb.seq_faults());
+    assert_eq!(sa.evictions(), sb.evictions());
+    assert_eq!(sa.read_bytes(), sb.read_bytes());
+    assert_eq!(sa.write_bytes(), sb.write_bytes());
+    assert_eq!(sb.io_retries(), 0, "a zero-rate plane must never retry");
+
+    // And the workload's answer, for completeness.
+    assert_eq!(off_acc, on_acc);
+
+    // The armed plane saw real write-back boundaries — the hooks were live,
+    // not bypassed, and still added nothing.
+    let plane = on.h2().unwrap().fault_plane().unwrap();
+    assert!(plane.writebacks() > 0, "the zero-rate plane must observe write-backs");
+    assert_eq!(plane.faults_injected(), 0);
+    assert_eq!(plane.retries(), 0);
+    assert!(!plane.crashed());
+}
+
+/// The degraded (no-H2) mode really is the paper's no-H2 baseline: a heap
+/// degraded from the very first promotion behaves like one whose candidate
+/// selection never runs — objects stay in the old generation.
+#[test]
+fn degraded_mode_parks_promotions_in_old_gen() {
+    // ENOSPC immediately: the first region-open is denied.
+    let plan = FaultPlan::zero_rate(7).with_enospc_after(0);
+    let cfg = HeapConfig::builder(4 << 10, 32 << 10).build().unwrap();
+    let mut heap = Heap::new(cfg);
+    heap.enable_teraheap(h2_config(plan), DeviceSpec::nvme_ssd());
+    let class = heap.register_class("Parked", 1, 1);
+    let root = heap.alloc_ref_array(16).unwrap();
+    for i in 0..16 {
+        let n = heap.alloc(class).unwrap();
+        heap.write_prim(n, 0, i as u64);
+        heap.write_ref(root, i, n);
+        heap.release(n);
+    }
+    heap.h2_tag_root(root, Label::new(1));
+    heap.h2_move(Label::new(1));
+    heap.gc_major().unwrap();
+    assert!(heap.h2().unwrap().is_degraded(), "ENOSPC at first open must degrade");
+    assert!(!heap.is_in_h2(root), "degraded promotion must park in H1");
+    assert_eq!(heap.h2().unwrap().objects_promoted(), 0);
+    // Parked objects stay fully usable and further GCs stay clean.
+    heap.gc_major().unwrap();
+    heap.heap_check().expect("degraded heap stays consistent");
+    for i in 0..16 {
+        let n = heap.read_ref(root, i).unwrap();
+        assert_eq!(heap.read_prim(n, 0), i as u64);
+        heap.release(n);
+    }
+}

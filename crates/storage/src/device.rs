@@ -13,6 +13,7 @@
 //!   saturating during ML workload streaming (§7.1).
 
 use crate::clock::{Category, SimClock};
+use crate::fault::{self, FaultPlane};
 use crate::stats::IoStats;
 use crate::PAGE_SIZE;
 use std::sync::Arc;
@@ -130,6 +131,7 @@ pub struct SimDevice {
     stats: Arc<IoStats>,
     clock: Arc<SimClock>,
     capacity: usize,
+    plane: Option<Arc<FaultPlane>>,
 }
 
 impl SimDevice {
@@ -141,7 +143,17 @@ impl SimDevice {
             stats: Arc::new(IoStats::default()),
             clock,
             capacity,
+            plane: None,
         }
+    }
+
+    /// Arms a fault plane over the device: reads and writes gain the
+    /// plane's latency-spike multiplier and may roll per-direction
+    /// transient errors, retried with backoff charged to the operation's
+    /// category. A write that exhausts its retry budget fails with
+    /// [`DeviceError::Io`] before any byte lands.
+    pub fn set_fault_plane(&mut self, plane: Arc<FaultPlane>) {
+        self.plane = Some(plane);
     }
 
     /// The device's latency/bandwidth model.
@@ -172,14 +184,26 @@ impl SimDevice {
         if end > self.capacity {
             return Err(DeviceError::OutOfSpace);
         }
+        if let Some(plane) = self.plane.as_deref() {
+            let mult = plane.spike_multiplier();
+            self.clock
+                .charge(cat, self.spec.write_cost_ns(buf.len()).saturating_mul(mult));
+            let out = fault::inject(plane, &self.clock, cat, true);
+            self.stats.record_retries(out.retries as u64);
+            if !out.ok {
+                // Retry budget exhausted: the write fails before any byte
+                // lands (the attempts' cost was already charged above).
+                return Err(DeviceError::Io);
+            }
+        } else {
+            self.clock.charge(cat, self.spec.write_cost_ns(buf.len()));
+        }
         let mut data = self.data.lock();
         if data.len() < end {
             data.resize(end, 0);
         }
         data[offset..end].copy_from_slice(buf);
         drop(data);
-        let cost = self.spec.write_cost_ns(buf.len());
-        self.clock.charge(cat, cost);
         let bytes = self.spec.access_bytes(buf.len()) as u64;
         self.stats.record_write(bytes);
         self.clock.emit(EventKind::DeviceWrite { bytes });
@@ -205,8 +229,15 @@ impl SimDevice {
             *b = data.get(offset + i).copied().unwrap_or(0);
         }
         drop(data);
-        let cost = self.spec.read_cost_ns(buf.len());
-        self.clock.charge(cat, cost);
+        if let Some(plane) = self.plane.as_deref() {
+            let mult = plane.spike_multiplier();
+            self.clock
+                .charge(cat, self.spec.read_cost_ns(buf.len()).saturating_mul(mult));
+            let out = fault::inject(plane, &self.clock, cat, false);
+            self.stats.record_retries(out.retries as u64);
+        } else {
+            self.clock.charge(cat, self.spec.read_cost_ns(buf.len()));
+        }
         let bytes = self.spec.access_bytes(buf.len()) as u64;
         self.stats.record_read(bytes);
         self.clock.emit(EventKind::DeviceRead { bytes });
@@ -219,12 +250,16 @@ impl SimDevice {
 pub enum DeviceError {
     /// The operation extends past the device capacity.
     OutOfSpace,
+    /// An injected transient write error survived the whole retry budget
+    /// (only reachable with an armed fault plane).
+    Io,
 }
 
 impl std::fmt::Display for DeviceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DeviceError::OutOfSpace => write!(f, "device out of space"),
+            DeviceError::Io => write!(f, "device i/o error (injected, retries exhausted)"),
         }
     }
 }

@@ -18,6 +18,7 @@
 
 use crate::clock::{Category, ChargeScope, SimClock};
 use crate::device::DeviceSpec;
+use crate::fault::{self, FaultPlane};
 use crate::stats::IoStats;
 use teraheap_obs::EventKind;
 use std::cmp::Reverse;
@@ -72,6 +73,14 @@ pub struct MmapSim {
     readahead_next: usize,
     stats: Arc<IoStats>,
     clock: Arc<SimClock>,
+    /// Armed fault plane, if any: spikes and transient errors hit the fault
+    /// and write-back paths. `None` (the default) keeps every path
+    /// bit-identical to the pre-fault code.
+    plane: Option<Arc<FaultPlane>>,
+    /// Page indices written back (dirty evictions and `flush`) since the
+    /// owner last drained; only kept while a fault plane is armed, feeding
+    /// the owner's durable mirroring.
+    writeback_log: Option<Vec<u64>>,
 }
 
 impl MmapSim {
@@ -105,6 +114,32 @@ impl MmapSim {
             readahead_next: 0,
             stats: Arc::new(IoStats::default()),
             clock,
+            plane: None,
+            writeback_log: None,
+        }
+    }
+
+    /// Arms a fault plane over the mapping: device costs gain the plane's
+    /// latency-spike multiplier, page-fault reads and write-backs roll
+    /// transient errors (retried with backoff charged to the touching
+    /// category), and written-back page indices are logged for the owner's
+    /// durable mirroring ([`MmapSim::take_writeback_pages`]).
+    pub fn set_fault_plane(&mut self, plane: Arc<FaultPlane>) {
+        self.plane = Some(plane);
+        self.writeback_log = Some(Vec::new());
+    }
+
+    /// The armed fault plane, if any.
+    pub fn fault_plane(&self) -> Option<&Arc<FaultPlane>> {
+        self.plane.as_ref()
+    }
+
+    /// Drains the logged write-back page indices (empty when no plane is
+    /// armed or nothing was written back).
+    pub fn take_writeback_pages(&mut self) -> Vec<u64> {
+        match &mut self.writeback_log {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
         }
     }
 
@@ -317,8 +352,24 @@ impl MmapSim {
         } else {
             self.spec.read_lat_ns
         };
-        scope.add(transfer_ns + latency_ns);
-        scope.emit(&self.clock, EventKind::PageFault { sequential });
+        match self.plane.as_deref() {
+            None => {
+                scope.add(transfer_ns + latency_ns);
+                scope.emit(&self.clock, EventKind::PageFault { sequential });
+            }
+            Some(plane) => {
+                // Armed plane: the page-in pays the spike multiplier and may
+                // roll a transient read error, retried with backoff charged
+                // to the touching category. Reads always eventually succeed
+                // (the kernel's own page-I/O retry loop), so the fault path
+                // stays total.
+                let mult = plane.spike_multiplier();
+                scope.add((transfer_ns + latency_ns).saturating_mul(mult));
+                scope.emit(&self.clock, EventKind::PageFault { sequential });
+                let out = fault::inject_scoped(plane, &self.clock, scope, false);
+                self.stats.record_retries(out.retries as u64);
+            }
+        }
         self.resident.insert(page, PageEntry { stamp, dirty: write });
         self.lru.push(Reverse((stamp, page)));
         while self.resident.len() > self.budget_pages {
@@ -350,7 +401,27 @@ impl MmapSim {
                     self.stats.record_eviction();
                     if dirty {
                         self.stats.record_write(self.page_size as u64);
-                        scope.add(self.spec.write_cost_ns(self.page_size));
+                        match self.plane.as_deref() {
+                            None => scope.add(self.spec.write_cost_ns(self.page_size)),
+                            Some(plane) => {
+                                let mult = plane.spike_multiplier();
+                                scope.add(
+                                    self.spec
+                                        .write_cost_ns(self.page_size)
+                                        .saturating_mul(mult),
+                                );
+                                // Transient write error on the eviction
+                                // write-back: the kernel keeps the page and
+                                // retries until it lands, so only the
+                                // backoff cost is observable here.
+                                let out =
+                                    fault::inject_scoped(plane, &self.clock, scope, true);
+                                self.stats.record_retries(out.retries as u64);
+                            }
+                        }
+                        if let Some(log) = &mut self.writeback_log {
+                            log.push(page);
+                        }
                     }
                     scope.emit(&self.clock, EventKind::PageEvict { writeback: dirty });
                     return;
@@ -374,18 +445,45 @@ impl MmapSim {
     pub fn flush(&mut self, cat: Category) {
         self.tlb_sync();
         let mut dirty_pages = 0u64;
-        for entry in self.resident.values_mut() {
+        let mut flushed: Vec<u64> = Vec::new();
+        for (&page, entry) in self.resident.iter_mut() {
             if entry.dirty {
                 entry.dirty = false;
                 dirty_pages += 1;
+                if self.writeback_log.is_some() {
+                    flushed.push(page);
+                }
             }
         }
         if dirty_pages > 0 {
             let bytes = dirty_pages * self.page_size as u64;
             self.stats.record_write(bytes);
-            self.clock
-                .charge(cat, self.spec.write_cost_ns(bytes as usize));
+            match self.plane.as_deref() {
+                None => self
+                    .clock
+                    .charge(cat, self.spec.write_cost_ns(bytes as usize)),
+                Some(plane) => {
+                    let mult = plane.spike_multiplier();
+                    self.clock.charge(
+                        cat,
+                        self.spec.write_cost_ns(bytes as usize).saturating_mul(mult),
+                    );
+                }
+            }
             self.clock.emit(EventKind::WriteBack { bytes });
+            if let Some(plane) = self.plane.as_deref() {
+                // An msync the kernel retries to completion: only the
+                // backoff cost is observable.
+                let out = fault::inject(plane, &self.clock, cat, true);
+                self.stats.record_retries(out.retries as u64);
+            }
+            if let Some(log) = &mut self.writeback_log {
+                // HashMap iteration order is not deterministic across runs;
+                // the durable mirror (and crash tearing) must be, so the
+                // logged set is sorted.
+                flushed.sort_unstable();
+                log.extend_from_slice(&flushed);
+            }
         }
     }
 

@@ -16,6 +16,7 @@ pub struct IoStats {
     page_faults: AtomicU64,
     seq_faults: AtomicU64,
     evictions: AtomicU64,
+    io_retries: AtomicU64,
 }
 
 impl IoStats {
@@ -71,6 +72,19 @@ impl IoStats {
         self.evictions.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records `n` fault-injected I/O retry attempts (no-op for `n == 0`,
+    /// the universal fault-free case).
+    pub fn record_retries(&self, n: u64) {
+        if n > 0 {
+            self.io_retries.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of fault-injected I/O retries performed.
+    pub fn io_retries(&self) -> u64 {
+        self.io_retries.load(Ordering::Relaxed)
+    }
+
     /// Total bytes read from the device.
     pub fn read_bytes(&self) -> u64 {
         self.read_bytes.load(Ordering::Relaxed)
@@ -111,6 +125,7 @@ impl IoStats {
             &self.page_faults,
             &self.seq_faults,
             &self.evictions,
+            &self.io_retries,
         ] {
             c.store(0, Ordering::Relaxed);
         }

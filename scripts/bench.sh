@@ -16,6 +16,13 @@
 #   figure binary with TERAHEAP_OBS=full vs TERAHEAP_OBS=off (best of
 #   BENCH_OBS_REPS runs each, default 3) and writes BENCH_obs.json with
 #   per-binary and aggregate overhead. Target: < 5% at the default level.
+#
+# Special mode: scripts/bench.sh faults
+#   Records the fault-plane-era wall-clock numbers (fault plane disabled, as
+#   the figure binaries run it) as BENCH_faults.json, best of
+#   BENCH_FAULT_REPS runs (default 3), and gates fig6_spark against the
+#   BENCH_storage_bulk.json baseline: the dormant fault hooks must cost
+#   < 2% wall-clock.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -77,6 +84,59 @@ if [[ "$name" == "obs" ]]; then
         echo "}"
     } > "$out"
     echo "wrote $out (total overhead ${pct}%)"
+    exit 0
+fi
+
+if [[ "$name" == "faults" ]]; then
+    reps="${BENCH_FAULT_REPS:-3}"
+    declare -A secs
+    for b in "${fig_bins[@]}"; do
+        best=""
+        for _ in $(seq "$reps"); do
+            t0=$(now_ms)
+            "target/release/$b" >/dev/null
+            t=$(awk "BEGIN{printf \"%.3f\", ($(now_ms)-$t0)/1000}")
+            if [[ -z "$best" ]] || awk "BEGIN{exit !($t < $best)}"; then
+                best=$t
+            fi
+        done
+        secs[$b]=$best
+        echo "$b: ${best}s (best of $reps)"
+    done
+    baseline=""
+    if [[ -f BENCH_storage_bulk.json ]]; then
+        baseline=$(sed -n 's/^[[:space:]]*"fig6_spark": \([0-9.]*\),*$/\1/p' \
+            BENCH_storage_bulk.json | head -1)
+    fi
+    {
+        echo "{"
+        echo "  \"name\": \"faults\","
+        echo "  \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+        echo "  \"reps\": ${reps},"
+        echo "  \"target_fig6_spark_regression_percent\": 2.0,"
+        if [[ -n "$baseline" ]]; then
+            pct=$(awk "BEGIN{printf \"%.2f\", (${secs[fig6_spark]}-$baseline)/$baseline*100}")
+            echo "  \"baseline_fig6_spark_secs\": ${baseline},"
+            echo "  \"fig6_spark_regression_percent\": ${pct},"
+        fi
+        echo "  \"wall_clock_secs\": {"
+        sep=""
+        for b in "${fig_bins[@]}"; do
+            printf '%s    "%s": %s' "$sep" "$b" "${secs[$b]}"
+            sep=$',\n'
+        done
+        printf '\n  }\n}\n'
+    } > "$out"
+    echo "wrote $out"
+    if [[ -n "$baseline" ]]; then
+        echo "fig6_spark: ${secs[fig6_spark]}s vs baseline ${baseline}s (${pct}%)"
+        if awk "BEGIN{exit !($pct >= 2.0)}"; then
+            echo "ERROR: fig6_spark regressed ${pct}% (>= 2% vs BENCH_storage_bulk.json)" >&2
+            exit 1
+        fi
+    else
+        echo "note: BENCH_storage_bulk.json not found; no regression gate applied"
+    fi
     exit 0
 fi
 

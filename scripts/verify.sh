@@ -62,6 +62,31 @@ echo "== bulk equivalence: batched touches match the per-word loop =="
 cargo test -q --offline -p teraheap-storage --test bulk_equivalence
 echo "ok"
 
+# Fault-plane invariants (DESIGN.md §10): the crash-consistency sweep must
+# pass at every write-back boundary with zero silent-corruption escapes, the
+# recovery property suite must hold, and a zero-rate plane must be
+# bit-identical to no plane at all. Run the three suites explicitly so a
+# filtered test run cannot hide a regression.
+echo "== faults: crash-consistency sweep, recovery properties, differential =="
+cargo test -q --offline -p teraheap-storage --test crash_consistency
+cargo test -q --offline -p teraheap-runtime --test fault_recovery
+cargo test -q --offline -p teraheap-runtime --test fault_equivalence
+echo "ok"
+
+# Faults smoke stage: one seeded chaos run per device profile (NVMe page
+# cache, Optane NVM, DRAM-DAX), injected through the production
+# TERAHEAP_FAULTS path with the full-heap checker armed at every GC
+# boundary. The fixed seed keeps the stage replayable bit-for-bit.
+echo "== faults smoke: seeded chaos per device profile =="
+chaos="seed=20260806,read_err_ppm=20000,write_err_ppm=20000,max_retries=4,backoff_ns=50000,spike_every=512,spike_len=32,spike_mult=8"
+for profile in nvme nvm dax; do
+    echo "  chaos profile: $profile"
+    TERAHEAP_FAULTS="$chaos" TERAHEAP_HEAP_CHECK=1 \
+        cargo test -q --offline -p teraheap-runtime --test fault_recovery \
+        "chaos_smoke_${profile}" >/dev/null
+done
+echo "ok"
+
 # Simulated-determinism guard: every committed figure CSV must regenerate
 # bit-identically. Simulated time is a pure function of the cost model and
 # the deterministic workloads, so any diff here means a change quietly

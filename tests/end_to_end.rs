@@ -17,6 +17,7 @@ fn h2() -> H2Config {
         resident_budget_bytes: 512 << 10,
         page_size: 4096,
         promo_buffer_bytes: 256 << 10,
+        faults: teraheap_storage::FaultPlan::none(),
     }
 }
 
