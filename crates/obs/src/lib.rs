@@ -237,6 +237,50 @@ impl CardTableKind {
     }
 }
 
+/// The kinds of schedulable GC work units the work-unit plane dispatches
+/// (DESIGN.md §11). Minor GC uses the scavenge kinds, major GC the
+/// mark/compact kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkUnitKind {
+    /// A strip of GC roots scanned during scavenge or marking.
+    RootStrip,
+    /// A stripe of dirty H1 old-gen cards scanned for old→young refs.
+    H1CardStripe,
+    /// A chunk of H2 cards scanned for H2→H1 refs (minor or major).
+    H2CardChunk,
+    /// A packet drained from the gray worklist (Cheney scan or mark stack).
+    GrayPacket,
+    /// The serial H2-candidate selection step at the end of marking.
+    CandidateSelect,
+    /// The serial H2 address-assignment step of precompaction.
+    H2Assign,
+    /// A chunk of live objects assigned forwarding addresses (precompact).
+    PlanChunk,
+    /// A chunk of live objects whose reference slots are rewritten (adjust).
+    AdjustChunk,
+    /// A chunk of recorded backward (H2→H1) slots re-pointed after adjust.
+    BackwardFix,
+    /// A chunk of live objects copied/promoted during compaction.
+    CompactChunk,
+}
+
+impl WorkUnitKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkUnitKind::RootStrip => "root_strip",
+            WorkUnitKind::H1CardStripe => "h1_card_stripe",
+            WorkUnitKind::H2CardChunk => "h2_card_chunk",
+            WorkUnitKind::GrayPacket => "gray_packet",
+            WorkUnitKind::CandidateSelect => "candidate_select",
+            WorkUnitKind::H2Assign => "h2_assign",
+            WorkUnitKind::PlanChunk => "plan_chunk",
+            WorkUnitKind::AdjustChunk => "adjust_chunk",
+            WorkUnitKind::BackwardFix => "backward_fix",
+            WorkUnitKind::CompactChunk => "compact_chunk",
+        }
+    }
+}
+
 /// The typed event taxonomy. Every variant is a coarse operation — there are
 /// deliberately no per-word or per-TLB-hit events, so a full trace of a
 /// figure run stays in the tens of thousands of entries.
@@ -297,10 +341,18 @@ pub enum EventKind {
     /// `H2::recover()` completed: `torn_pages` checksum mismatches were
     /// detected and `regions` regions restored from the durable image.
     Recovered { torn_pages: u64, regions: u64 },
+    /// A GC work unit was dispatched to lane `lane` (work-unit plane).
+    UnitBegin { lane: u32, kind: WorkUnitKind },
+    /// The dispatched unit finished; `cost_ns` is what it charged its lane.
+    UnitEnd { lane: u32, kind: WorkUnitKind, cost_ns: u64 },
+    /// A phase barrier: `lanes` lanes synchronised after `units` units, the
+    /// clock advanced by the critical path `advance_ns`, and non-critical
+    /// lanes idled for `stall_ns` total.
+    LaneBarrier { lanes: u32, units: u64, advance_ns: u64, stall_ns: u64 },
 }
 
 /// Number of distinct event classes (counter array dimension).
-pub const CLASS_COUNT: usize = 19;
+pub const CLASS_COUNT: usize = 22;
 
 /// Number of span slots tracked by the duration histograms: minor/major GC,
 /// the four major phases, then the [`SpanKind`]s.
@@ -341,6 +393,9 @@ impl EventKind {
             EventKind::H2Degraded { .. } => "h2_degraded",
             EventKind::CrashPoint => "crash_point",
             EventKind::Recovered { .. } => "recovered",
+            EventKind::UnitBegin { .. } => "unit_begin",
+            EventKind::UnitEnd { .. } => "unit_end",
+            EventKind::LaneBarrier { .. } => "lane_barrier",
         }
     }
 
@@ -366,6 +421,9 @@ impl EventKind {
             EventKind::H2Degraded { .. } => 16,
             EventKind::CrashPoint => 17,
             EventKind::Recovered { .. } => 18,
+            EventKind::UnitBegin { .. } => 19,
+            EventKind::UnitEnd { .. } => 20,
+            EventKind::LaneBarrier { .. } => 21,
         }
     }
 
@@ -390,6 +448,9 @@ impl EventKind {
         "h2_degraded",
         "crash_point",
         "recovered",
+        "unit_begin",
+        "unit_end",
+        "lane_barrier",
     ];
 
     /// If this event opens or closes a span, returns `(slot, is_begin)`
@@ -423,6 +484,7 @@ impl EventKind {
                 | EventKind::H2Degraded { .. }
                 | EventKind::CrashPoint
                 | EventKind::Recovered { .. }
+                | EventKind::LaneBarrier { .. }
         )
     }
 }

@@ -74,6 +74,17 @@ fn json_fields(kind: &EventKind) -> String {
         EventKind::Recovered { torn_pages, regions } => {
             format!("\"kind\":\"{name}\",\"torn_pages\":{torn_pages},\"regions\":{regions}")
         }
+        EventKind::UnitBegin { lane, kind } => {
+            format!("\"kind\":\"{name}\",\"unit\":\"{}\",\"lane\":{lane}", kind.name())
+        }
+        EventKind::UnitEnd { lane, kind, cost_ns } => format!(
+            "\"kind\":\"{name}\",\"unit\":\"{}\",\"lane\":{lane},\"cost_ns\":{cost_ns}",
+            kind.name()
+        ),
+        EventKind::LaneBarrier { lanes, units, advance_ns, stall_ns } => format!(
+            "\"kind\":\"{name}\",\"lanes\":{lanes},\"units\":{units},\
+             \"advance_ns\":{advance_ns},\"stall_ns\":{stall_ns}"
+        ),
     }
 }
 
@@ -136,6 +147,17 @@ pub fn to_csv_rows(events: &[Event]) -> Vec<String> {
                 EventKind::H2Degraded { enospc } => ("", enospc.to_string(), String::new()),
                 EventKind::Recovered { torn_pages, regions } => {
                     ("", torn_pages.to_string(), regions.to_string())
+                }
+                EventKind::UnitBegin { lane, kind } => {
+                    (kind.name(), lane.to_string(), String::new())
+                }
+                EventKind::UnitEnd { lane, kind, cost_ns } => {
+                    (kind.name(), lane.to_string(), cost_ns.to_string())
+                }
+                // The generic CSV has two payload slots; keep the unit count
+                // and the clock advance, the JSONL export carries the rest.
+                EventKind::LaneBarrier { units, advance_ns, .. } => {
+                    ("barrier", units.to_string(), advance_ns.to_string())
                 }
             };
             format!("{},{},{},{},{},{}", e.seq, e.t_ns, e.kind.name(), detail, a, b)

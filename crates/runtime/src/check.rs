@@ -62,6 +62,10 @@ pub enum CheckError {
     RegionAccounting { region: u32, walked: usize, recorded: usize },
     /// The inactive survivor space holds data outside a collection.
     SurvivorNotEmpty { words: usize },
+    /// A GC phase's work units under- or over-covered their domain: `key`
+    /// (a card index or object address, namespaced by the scheduler) was
+    /// claimed `claims` times instead of exactly once.
+    UnitCoverage { phase: &'static str, key: u64, claims: u64, expected: u64 },
 }
 
 impl std::fmt::Display for CheckError {
@@ -94,6 +98,10 @@ impl std::fmt::Display for CheckError {
             CheckError::SurvivorNotEmpty { words } => {
                 write!(f, "inactive survivor space holds {words} words outside GC")
             }
+            CheckError::UnitCoverage { phase, key, claims, expected } => write!(
+                f,
+                "phase {phase}: work-unit key {key:#x} claimed {claims} times, expected {expected}"
+            ),
         }
     }
 }
@@ -483,5 +491,102 @@ impl Heap {
             }
         }
         out
+    }
+}
+
+/// Validates the work-unit coverage of one GC phase (the scheduler calls
+/// this at every phase barrier when the heap checker is armed): every
+/// expected key — a card index or live-object address, namespaced by the
+/// scheduler — must be claimed by exactly one unit, and no unit may claim a
+/// key outside the domain. Both vectors are consumed (sorted in place).
+///
+/// # Errors
+///
+/// Returns the first under- or over-covered key as
+/// [`CheckError::UnitCoverage`].
+pub(crate) fn validate_unit_coverage(
+    phase: &'static str,
+    expected: &mut [u64],
+    claims: &mut [u64],
+) -> Result<(), CheckError> {
+    expected.sort_unstable();
+    claims.sort_unstable();
+    let (mut e, mut c) = (0usize, 0usize);
+    while e < expected.len() || c < claims.len() {
+        match (expected.get(e), claims.get(c)) {
+            (Some(&ek), Some(&ck)) if ek == ck => {
+                // Count duplicate claims of this key.
+                let mut n = 0u64;
+                while claims.get(c) == Some(&ek) {
+                    n += 1;
+                    c += 1;
+                }
+                if n != 1 {
+                    return Err(CheckError::UnitCoverage { phase, key: ek, claims: n, expected: 1 });
+                }
+                e += 1;
+            }
+            (Some(&ek), Some(&ck)) if ek < ck => {
+                return Err(CheckError::UnitCoverage { phase, key: ek, claims: 0, expected: 1 });
+            }
+            (Some(_), Some(&ck)) => {
+                return Err(CheckError::UnitCoverage { phase, key: ck, claims: 1, expected: 0 });
+            }
+            (Some(&ek), None) => {
+                return Err(CheckError::UnitCoverage { phase, key: ek, claims: 0, expected: 1 });
+            }
+            (None, Some(&ck)) => {
+                return Err(CheckError::UnitCoverage { phase, key: ck, claims: 1, expected: 0 });
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod coverage_tests {
+    use super::*;
+
+    #[test]
+    fn exact_coverage_passes() {
+        let mut exp = vec![3, 1, 2];
+        let mut got = vec![2, 3, 1];
+        assert!(validate_unit_coverage("t", &mut exp, &mut got).is_ok());
+    }
+
+    #[test]
+    fn missing_key_is_reported() {
+        let mut exp = vec![1, 2];
+        let mut got = vec![1];
+        assert_eq!(
+            validate_unit_coverage("t", &mut exp, &mut got),
+            Err(CheckError::UnitCoverage { phase: "t", key: 2, claims: 0, expected: 1 })
+        );
+    }
+
+    #[test]
+    fn duplicate_claim_is_reported() {
+        let mut exp = vec![1, 2];
+        let mut got = vec![1, 2, 2];
+        assert_eq!(
+            validate_unit_coverage("t", &mut exp, &mut got),
+            Err(CheckError::UnitCoverage { phase: "t", key: 2, claims: 2, expected: 1 })
+        );
+    }
+
+    #[test]
+    fn unexpected_claim_is_reported() {
+        let mut exp = vec![1];
+        let mut got = vec![1, 9];
+        assert_eq!(
+            validate_unit_coverage("t", &mut exp, &mut got),
+            Err(CheckError::UnitCoverage { phase: "t", key: 9, claims: 1, expected: 0 })
+        );
+    }
+
+    #[test]
+    fn empty_domains_pass() {
+        assert!(validate_unit_coverage("t", &mut Vec::new(), &mut Vec::new()).is_ok());
     }
 }

@@ -69,10 +69,13 @@ pub struct HeapConfig {
     pub card_seg_words: usize,
     /// Minor GCs an object survives before tenuring to the old generation.
     pub tenure_age: u8,
-    /// Parallel GC threads for minor GC (paper: 16).
-    pub gc_threads_minor: usize,
-    /// GC threads for major GC (paper: PS default single-threaded old gen).
-    pub gc_threads_major: usize,
+    /// Modeled parallel GC threads. Minor and major collections schedule
+    /// their work units across this many accounting lanes and charge the
+    /// critical path at each phase barrier (DESIGN.md §11). The default `1`
+    /// reproduces the calibrated serial collector the committed figures are
+    /// built on; thread-scaling scenarios (the paper's machine runs 16 GC
+    /// threads) set it explicitly, e.g. the `fig13_gc_threads` sweep.
+    pub gc_threads: usize,
     /// Mutator (executor) threads; frameworks divide their compute and S/D
     /// time by this (paper: 8, swept 4/8/16 in Figure 13a).
     pub mutator_threads: usize,
@@ -110,8 +113,7 @@ impl HeapConfig {
             old_words,
             card_seg_words: 64,
             tenure_age: 2,
-            gc_threads_minor: 16,
-            gc_threads_major: 1,
+            gc_threads: 1,
             mutator_threads: 8,
             variant: GcVariant::ParallelScavenge,
             memory_mode: None,
@@ -162,11 +164,8 @@ impl HeapConfig {
         if self.card_seg_words == 0 {
             return Err(ConfigError::ZeroCardSegment);
         }
-        if self.gc_threads_minor == 0 {
-            return Err(ConfigError::ZeroThreads { pool: "gc_threads_minor" });
-        }
-        if self.gc_threads_major == 0 {
-            return Err(ConfigError::ZeroThreads { pool: "gc_threads_major" });
+        if self.gc_threads == 0 {
+            return Err(ConfigError::ZeroThreads { pool: "gc_threads" });
         }
         if self.mutator_threads == 0 {
             return Err(ConfigError::ZeroThreads { pool: "mutator_threads" });
@@ -213,15 +212,10 @@ impl HeapConfigBuilder {
         self
     }
 
-    /// Parallel GC threads for minor GC.
-    pub fn gc_threads_minor(mut self, threads: usize) -> Self {
-        self.config.gc_threads_minor = threads;
-        self
-    }
-
-    /// GC threads for major GC.
-    pub fn gc_threads_major(mut self, threads: usize) -> Self {
-        self.config.gc_threads_major = threads;
+    /// Modeled parallel GC threads (accounting lanes for minor and major
+    /// work units).
+    pub fn gc_threads(mut self, threads: usize) -> Self {
+        self.config.gc_threads = threads;
         self
     }
 
@@ -384,6 +378,10 @@ mod tests {
             Err(ConfigError::ZeroThreads { pool: "mutator_threads" })
         );
         assert_eq!(
+            HeapConfig::builder(1 << 10, 1 << 10).gc_threads(0).build(),
+            Err(ConfigError::ZeroThreads { pool: "gc_threads" })
+        );
+        assert_eq!(
             HeapConfig::builder(1 << 10, 1 << 10)
                 .variant(GcVariant::G1 { region_words: 0 })
                 .build(),
@@ -410,19 +408,19 @@ mod tests {
     fn builder_accepts_and_applies_settings() {
         let cfg = HeapConfig::builder(64 << 10, 256 << 10)
             .tenure_age(1)
-            .gc_threads_minor(8)
+            .gc_threads(8)
             .obs_level(Level::Counters)
             .obs_events(1 << 12)
             .build()
             .unwrap();
         assert_eq!(cfg.tenure_age, 1);
-        assert_eq!(cfg.gc_threads_minor, 8);
+        assert_eq!(cfg.gc_threads, 8);
         assert_eq!(cfg.obs_level, Some(Level::Counters));
         assert_eq!(cfg.obs_events, 1 << 12);
         assert_eq!(cfg, { // builder with no overrides == with_words
             let mut c = HeapConfig::with_words(64 << 10, 256 << 10);
             c.tenure_age = 1;
-            c.gc_threads_minor = 8;
+            c.gc_threads = 8;
             c.obs_level = Some(Level::Counters);
             c.obs_events = 1 << 12;
             c

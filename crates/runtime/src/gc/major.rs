@@ -16,14 +16,26 @@
 //! The G1 variant runs the same semantics but charges a concurrent-marking
 //! discount and garbage-first mixed-collection costs; the Panthera variant
 //! charges NVM penalties for the NVM-resident part of the old generation.
+//!
+//! Each phase is decomposed into schedulable work units (DESIGN.md §11) —
+//! root strips, H2 card chunks, gray packets, per-object-chunk
+//! plan/adjust/compact units — dispatched across `gc_threads` accounting
+//! lanes with one barrier per phase. Execution order is the exact serial
+//! order of the monolithic phases; only the CPU accounting is laned. The
+//! G1 marking discount and mixed-collection fraction apply per lane at the
+//! barrier (`LaneSet` milli scaling), so `gc_threads = 1` reproduces the
+//! serial `floor(total * fraction)` charges bit-identically.
 
+use super::schedule::{
+    Scheduler, DOM_H2_CARD, DOM_OBJECT, GRAY_PACKET, H2_CARD_CHUNK, OBJECT_CHUNK, ROOT_STRIP,
+};
 use super::Work;
 use crate::config::{GcVariant, OomError};
 use crate::heap::Heap;
 use crate::object;
 use std::collections::HashMap;
 use teraheap_core::{Addr, CardState, Label};
-use teraheap_storage::obs::{CardTableKind, EventKind, GcCause, GcKind, GcPhase};
+use teraheap_storage::obs::{CardTableKind, EventKind, GcCause, GcKind, GcPhase, WorkUnitKind};
 use teraheap_storage::Category;
 
 /// Runs a full collection.
@@ -43,11 +55,22 @@ pub(crate) fn major_gc(heap: &mut Heap, cause: GcCause) -> Result<(), OomError> 
         cause,
         old_used_words: old_before as u64,
     });
+    let clock = heap.clock.clone();
+    let mut sched = Scheduler::new(
+        heap.config.gc_threads,
+        heap.config.cost.gc_barrier_sync_ns,
+        heap.check_enabled,
+    );
 
     // ---------------- Phase 1: marking ------------------------------------
     let phase_start = heap.clock.total_ns();
     heap.clock.emit(EventKind::PhaseBegin { phase: GcPhase::Mark });
-    let mut work = Work::default();
+    // G1 marks concurrently with the mutator; only a quarter of the traced
+    // CPU shows up as pause/GC time. Applied per lane at the barrier.
+    sched.set_milli(match heap.config.variant {
+        GcVariant::G1 { .. } => 250,
+        _ => 1000,
+    });
     if let Some(h2) = heap.h2.as_mut() {
         h2.begin_major_marking();
     }
@@ -58,36 +81,50 @@ pub(crate) fn major_gc(heap: &mut Heap, cause: GcCause) -> Result<(), OomError> 
     let mut backward_slots: Vec<Addr> = Vec::new();
     let mut scanned_cards: Vec<(usize, bool)> = Vec::new();
 
-    for i in 0..heap.roots.len() {
-        let a = heap.roots[i];
-        if a.is_h1() {
-            mark_push(heap, a, &mut stack, &mut live, &mut work);
-        } else if a.is_h2() {
-            // A handle (thread-stack root) referencing H2 directly keeps the
-            // region alive, exactly like an H1→H2 forward reference.
-            heap.h2.as_mut().expect("H2 root without H2").note_forward_ref(a);
+    for strip_base in (0..heap.roots.len()).step_by(ROOT_STRIP) {
+        let lane = sched.begin_unit(&clock, WorkUnitKind::RootStrip);
+        let mut uw = Work::default();
+        let strip_end = (strip_base + ROOT_STRIP).min(heap.roots.len());
+        for i in strip_base..strip_end {
+            let a = heap.roots[i];
+            if a.is_h1() {
+                mark_push(heap, a, &mut stack, &mut live, &mut uw);
+            } else if a.is_h2() {
+                // A handle (thread-stack root) referencing H2 directly keeps the
+                // region alive, exactly like an H1→H2 forward reference.
+                heap.h2.as_mut().expect("H2 root without H2").note_forward_ref(a);
+            }
         }
+        let cost = uw.cpu_ns(&heap.config.cost);
+        sched.end_unit(&clock, lane, WorkUnitKind::RootStrip, cost, uw.extra_ns);
     }
-    scan_h2_cards_major(heap, &mut stack, &mut live, &mut backward_slots, &mut scanned_cards, &mut work);
+    scan_h2_cards_major(heap, &mut sched, &mut stack, &mut live, &mut backward_slots, &mut scanned_cards);
     let mut live_words: u64 = 0;
-    while let Some(obj) = stack.pop() {
-        live_words += heap.object_size(obj) as u64;
-        let (first_slot, end_slot) = heap.ref_slot_range(obj);
-        for s in first_slot..end_slot {
-            work.refs += 1;
-            let val = heap.mem[s as usize];
-            if val == 0 {
-                continue;
+    while !stack.is_empty() {
+        let lane = sched.begin_unit(&clock, WorkUnitKind::GrayPacket);
+        let mut uw = Work::default();
+        for _ in 0..GRAY_PACKET {
+            let Some(obj) = stack.pop() else { break };
+            live_words += heap.object_size(obj) as u64;
+            let (first_slot, end_slot) = heap.ref_slot_range(obj);
+            for s in first_slot..end_slot {
+                uw.refs += 1;
+                let val = heap.mem[s as usize];
+                if val == 0 {
+                    continue;
+                }
+                let target = Addr::new(val);
+                if target.is_h2() {
+                    // Fence: set the region live bit instead of following (§4).
+                    heap.h2.as_mut().expect("H2 ref without H2").note_forward_ref(target);
+                    heap.stats.forward_refs_fenced += 1;
+                    continue;
+                }
+                mark_push(heap, target, &mut stack, &mut live, &mut uw);
             }
-            let target = Addr::new(val);
-            if target.is_h2() {
-                // Fence: set the region live bit instead of following (§4).
-                heap.h2.as_mut().expect("H2 ref without H2").note_forward_ref(target);
-                heap.stats.forward_refs_fenced += 1;
-                continue;
-            }
-            mark_push(heap, target, &mut stack, &mut live, &mut work);
         }
+        let cost = uw.cpu_ns(&heap.config.cost);
+        sched.end_unit(&clock, lane, WorkUnitKind::GrayPacket, cost, uw.extra_ns);
     }
 
     // Task 4: transitive closures of tagged roots become H2 candidates.
@@ -102,7 +139,16 @@ pub(crate) fn major_gc(heap: &mut Heap, cause: GcCause) -> Result<(), OomError> 
         let high = heap.h2.as_ref().map(|h| h.policy().high()).unwrap_or(1.0);
         live_words as f64 > high * heap.old.capacity_words() as f64
     };
-    let move_order = select_candidates(heap, &live, live_words, live_pressure, &mut work);
+    let move_order = if heap.h2.is_some() {
+        let lane = sched.begin_unit(&clock, WorkUnitKind::CandidateSelect);
+        let mut uw = Work::default();
+        let order = select_candidates(heap, &live, live_words, live_pressure, &mut uw);
+        let cost = uw.cpu_ns(&heap.config.cost);
+        sched.end_unit(&clock, lane, WorkUnitKind::CandidateSelect, cost, uw.extra_ns);
+        order
+    } else {
+        Vec::new()
+    };
 
     // Optional uncharged statistics pass for Figure 10 (live objects per
     // H2 region), before dead regions are swept.
@@ -119,28 +165,25 @@ pub(crate) fn major_gc(heap: &mut Heap, cause: GcCause) -> Result<(), OomError> 
         }
     }
 
-    let marking_cpu = work.cpu_ns(&heap.config.cost);
-    let marking_charged = match heap.config.variant {
-        // G1 marks concurrently with the mutator; only a fraction shows up
-        // as pause/GC time.
-        GcVariant::G1 { .. } => marking_cpu / 4,
-        _ => marking_cpu,
-    };
-    let threads = heap.config.gc_threads_major.max(1) as u64;
-    heap.clock
-        .charge(Category::MajorGc, marking_charged / threads + work.extra_ns);
+    heap.stats.lane_stall_ns += sched.barrier(&clock, Category::MajorGc, "major:mark");
     heap.stats.phases.marking_ns += heap.clock.total_ns() - phase_start;
     heap.clock.emit(EventKind::PhaseEnd { phase: GcPhase::Mark });
 
     // ---------------- Phase 2: pre-compaction -----------------------------
     let phase_start = heap.clock.total_ns();
     heap.clock.emit(EventKind::PhaseBegin { phase: GcPhase::Precompact });
-    let mut work = Work::default();
+    sched.set_milli(1000);
     let old_base = heap.old.base().raw();
     let mut old_live: Vec<u64> = live.iter().copied().filter(|&a| a >= old_base).collect();
     let mut young_live: Vec<u64> = live.iter().copied().filter(|&a| a < old_base).collect();
     old_live.sort_unstable();
     young_live.sort_unstable();
+    // Coverage domain for this phase and the two that follow: every live
+    // object is planned, adjusted, and compacted by exactly one unit. The
+    // barrier clears the audit state, so each phase re-declares it.
+    for &src in old_live.iter().chain(young_live.iter()) {
+        sched.expect(DOM_OBJECT | src);
+    }
 
     let mut forwarding =
         ForwardTable::recycled(std::mem::take(&mut heap.fwd_scratch), heap.mem.len(), live.len());
@@ -153,119 +196,146 @@ pub(crate) fn major_gc(heap: &mut Heap, cause: GcCause) -> Result<(), OomError> 
     // H2 address assignment in closure-discovery order: each root
     // key-object's transitive closure lands contiguously in its label's
     // regions, preserving the framework's access locality on the device.
+    // One serial unit: the assignment order is a cross-object dependency
+    // chain (region bump allocation), so it cannot be striped.
     let fault_txn = heap
         .h2
         .as_ref()
         .is_some_and(|h| h.fault_plane().is_some() && !move_order.is_empty());
-    if fault_txn {
-        // With a fault plane armed, an alloc can fail mid-cycle (injected
-        // ENOSPC). Promotion is then a transaction: stage every assignment
-        // first, and on any failure restore the region allocator and keep
-        // the whole candidate set in H1 — a half-promoted closure would
-        // split a key-object group across heaps with its region accounting
-        // already advanced.
-        let snap = heap.h2.as_ref().unwrap().regions().snapshot();
-        let mut staged: Vec<(u64, u64)> = Vec::with_capacity(move_order.len());
-        let mut failed = false;
-        for &src in &move_order {
-            let header = heap.mem[src as usize];
-            if !object::is_candidate(header) {
-                continue;
-            }
-            let size = object::size_of(header);
-            let label = Label::new(heap.mem[src as usize + 1]);
-            work.objects += 1;
-            match heap.h2.as_mut().unwrap().alloc(label, size) {
-                Ok(dest) => staged.push((src, dest.raw())),
-                Err(_) => {
-                    failed = true;
-                    break;
-                }
-            }
-        }
-        if failed {
-            heap.h2.as_mut().unwrap().regions_mut().restore(snap);
+    if !move_order.is_empty() {
+        let lane = sched.begin_unit(&clock, WorkUnitKind::H2Assign);
+        let mut uw = Work::default();
+        if fault_txn {
+            // With a fault plane armed, an alloc can fail mid-cycle (injected
+            // ENOSPC). Promotion is then a transaction: stage every assignment
+            // first, and on any failure restore the region allocator and keep
+            // the whole candidate set in H1 — a half-promoted closure would
+            // split a key-object group across heaps with its region accounting
+            // already advanced.
+            let snap = heap.h2.as_ref().unwrap().regions().snapshot();
+            let mut staged: Vec<(u64, u64)> = Vec::with_capacity(move_order.len());
+            let mut failed = false;
             for &src in &move_order {
                 let header = heap.mem[src as usize];
-                heap.mem[src as usize] = object::without_candidate(header);
-            }
-        } else {
-            for (src, dest) in staged {
-                forwarding.push(src, dest);
-            }
-        }
-    } else {
-        for &src in &move_order {
-            let header = heap.mem[src as usize];
-            if !object::is_candidate(header) {
-                continue;
-            }
-            let size = object::size_of(header);
-            let label = Label::new(heap.mem[src as usize + 1]);
-            work.objects += 1;
-            match heap.h2.as_mut().expect("candidate without H2").alloc(label, size) {
-                Ok(dest) => {
-                    forwarding.push(src, dest.raw());
+                if !object::is_candidate(header) {
+                    continue;
                 }
-                Err(_) => {
-                    // H2 full: the object stays in H1 this cycle.
+                let size = object::size_of(header);
+                let label = Label::new(heap.mem[src as usize + 1]);
+                uw.objects += 1;
+                match heap.h2.as_mut().unwrap().alloc(label, size) {
+                    Ok(dest) => staged.push((src, dest.raw())),
+                    Err(_) => {
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+            if failed {
+                heap.h2.as_mut().unwrap().regions_mut().restore(snap);
+                for &src in &move_order {
+                    let header = heap.mem[src as usize];
                     heap.mem[src as usize] = object::without_candidate(header);
                 }
+            } else {
+                for (src, dest) in staged {
+                    forwarding.push(src, dest);
+                }
+            }
+        } else {
+            for &src in &move_order {
+                let header = heap.mem[src as usize];
+                if !object::is_candidate(header) {
+                    continue;
+                }
+                let size = object::size_of(header);
+                let label = Label::new(heap.mem[src as usize + 1]);
+                uw.objects += 1;
+                match heap.h2.as_mut().expect("candidate without H2").alloc(label, size) {
+                    Ok(dest) => {
+                        forwarding.push(src, dest.raw());
+                    }
+                    Err(_) => {
+                        // H2 full: the object stays in H1 this cycle.
+                        heap.mem[src as usize] = object::without_candidate(header);
+                    }
+                }
             }
         }
+        // Pre-compaction historically charges CPU only (no extra_ns).
+        let cost = uw.cpu_ns(&heap.config.cost);
+        sched.end_unit(&clock, lane, WorkUnitKind::H2Assign, cost, 0);
     }
-    for &src in old_live.iter().chain(young_live.iter()) {
+    let total_live = old_live.len() + young_live.len();
+    let mut lane = 0;
+    let mut uw = Work::default();
+    for (idx, &src) in old_live.iter().chain(young_live.iter()).enumerate() {
+        if idx % OBJECT_CHUNK == 0 {
+            lane = sched.begin_unit(&clock, WorkUnitKind::PlanChunk);
+            uw = Work::default();
+        }
+        sched.claim(DOM_OBJECT | src);
         let addr = Addr::new(src);
         let header = heap.mem[src as usize];
-        if object::is_candidate(header) {
-            continue; // already assigned to H2 (an H2-alloc failure above
-                      // would have cleared the candidate bit)
-        }
-        let size = object::size_of(header);
-        work.objects += 1;
-        if let GcVariant::G1 { region_words } = heap.config.variant {
-            if addr.raw() >= old_base {
-                *g1_region_live
-                    .entry((src - old_base) / region_words as u64)
-                    .or_insert(0) += size as u64;
+        // Candidates were already assigned to H2 above (an H2-alloc failure
+        // would have cleared the candidate bit).
+        if !object::is_candidate(header) {
+            let size = object::size_of(header);
+            uw.objects += 1;
+            if let GcVariant::G1 { region_words } = heap.config.variant {
+                if addr.raw() >= old_base {
+                    *g1_region_live
+                        .entry((src - old_base) / region_words as u64)
+                        .or_insert(0) += size as u64;
+                }
             }
+            let footprint = heap.g1_footprint(size);
+            if new_top + footprint as u64 > heap.old.limit().raw() {
+                heap.in_gc = false;
+                let placed = new_top - old_base;
+                // The aborted phase charges nothing, exactly like the
+                // monolithic code which returned before its phase charge.
+                sched.abandon();
+                heap.clock.emit(EventKind::PhaseEnd { phase: GcPhase::Precompact });
+                return Err(heap.note_oom(OomError {
+                    requested_words: size,
+                    context: format!(
+                        "live data exceeds the old generation: {} live objects, \
+                         {placed} words placed of {} capacity (old live {}, young live {})",
+                        total_live,
+                        heap.old.capacity_words(),
+                        old_live.len(),
+                        young_live.len()
+                    ),
+                }));
+            }
+            if footprint > size {
+                heap.stats.g1_humongous_waste_words += (footprint - size) as u64;
+            }
+            forwarding.push(src, new_top);
+            new_old_starts.push(new_top);
+            new_top += footprint as u64;
         }
-        let footprint = heap.g1_footprint(size);
-        if new_top + footprint as u64 > heap.old.limit().raw() {
-            heap.in_gc = false;
-            let placed = new_top - old_base;
-            heap.clock.emit(EventKind::PhaseEnd { phase: GcPhase::Precompact });
-            return Err(heap.note_oom(OomError {
-                requested_words: size,
-                context: format!(
-                    "live data exceeds the old generation: {} live objects, \
-                     {placed} words placed of {} capacity (old live {}, young live {})",
-                    old_live.len() + young_live.len(),
-                    heap.old.capacity_words(),
-                    old_live.len(),
-                    young_live.len()
-                ),
-            }));
+        if idx % OBJECT_CHUNK == OBJECT_CHUNK - 1 || idx == total_live - 1 {
+            let cost = uw.cpu_ns(&heap.config.cost);
+            sched.end_unit(&clock, lane, WorkUnitKind::PlanChunk, cost, 0);
         }
-        if footprint > size {
-            heap.stats.g1_humongous_waste_words += (footprint - size) as u64;
-        }
-        forwarding.push(src, new_top);
-        new_old_starts.push(new_top);
-        new_top += footprint as u64;
     }
     // The G1 mixed-collection fraction: live data in the regions a
     // garbage-first policy would actually collect, over total live data.
     let g1_fraction_milli = g1_moved_fraction_milli(heap, &g1_region_live, new_top - old_base);
-    heap.clock
-        .charge(Category::MajorGc, work.cpu_ns(&heap.config.cost) / threads);
+    heap.stats.lane_stall_ns += sched.barrier(&clock, Category::MajorGc, "major:precompact");
     heap.stats.phases.precompact_ns += heap.clock.total_ns() - phase_start;
     heap.clock.emit(EventKind::PhaseEnd { phase: GcPhase::Precompact });
 
     // ---------------- Phase 3: pointer adjustment -------------------------
     let phase_start = heap.clock.total_ns();
     heap.clock.emit(EventKind::PhaseBegin { phase: GcPhase::Adjust });
-    let mut work = Work::default();
+    // Mixed-collection discount: G1 only adjusts the regions it moves.
+    sched.set_milli(g1_fraction_milli);
+    for &src in old_live.iter().chain(young_live.iter()) {
+        sched.expect(DOM_OBJECT | src);
+    }
 
     // Re-derive the states of the H2 cards scanned during marking: after
     // this GC every H1 object is in the old generation.
@@ -274,7 +344,14 @@ pub(crate) fn major_gc(heap: &mut Heap, cause: GcCause) -> Result<(), OomError> 
         heap.h2.as_mut().unwrap().cards_mut().set_state(card, state);
     }
 
-    for &src in old_live.iter().chain(young_live.iter()) {
+    let mut lane = 0;
+    let mut uw = Work::default();
+    for (idx, &src) in old_live.iter().chain(young_live.iter()).enumerate() {
+        if idx % OBJECT_CHUNK == 0 {
+            lane = sched.begin_unit(&clock, WorkUnitKind::AdjustChunk);
+            uw = Work::default();
+        }
+        sched.claim(DOM_OBJECT | src);
         let dest = forwarding.at(src);
         let dest_addr = Addr::new(dest);
         let dest_is_h2 = dest_addr.is_h2();
@@ -285,8 +362,8 @@ pub(crate) fn major_gc(heap: &mut Heap, cause: GcCause) -> Result<(), OomError> 
             if val == 0 {
                 continue;
             }
-            work.adjusted_refs += 1;
-            work.extra_ns += heap.h1_word_extra_ns(slot);
+            uw.adjusted_refs += 1;
+            uw.extra_ns += heap.h1_word_extra_ns(slot);
             let new_val = if Addr::new(val).is_h2() {
                 val // H2 objects never move
             } else {
@@ -313,8 +390,12 @@ pub(crate) fn major_gc(heap: &mut Heap, cause: GcCause) -> Result<(), OomError> 
                 }
             }
         }
+        if idx % OBJECT_CHUNK == OBJECT_CHUNK - 1 || idx == total_live - 1 {
+            let cost = uw.cpu_ns(&heap.config.cost);
+            sched.end_unit(&clock, lane, WorkUnitKind::AdjustChunk, cost, uw.extra_ns);
+        }
     }
-    // Roots.
+    // Roots (uncosted in the phase model: a handful of slot rewrites).
     for i in 0..heap.roots.len() {
         let a = heap.roots[i];
         if a.is_h1() {
@@ -325,40 +406,57 @@ pub(crate) fn major_gc(heap: &mut Heap, cause: GcCause) -> Result<(), OomError> 
     }
     // Backward references found during marking: point them at the new H1
     // locations (device writes, charged to major GC).
-    for slot in backward_slots {
-        let val = heap.h2.as_ref().unwrap().read_word_free(slot);
-        if val == 0 || Addr::new(val).is_h2() {
-            continue;
+    for chunk in backward_slots.chunks(GRAY_PACKET) {
+        let lane = sched.begin_unit(&clock, WorkUnitKind::BackwardFix);
+        let mut uw = Work::default();
+        for &slot in chunk {
+            let val = heap.h2.as_ref().unwrap().read_word_free(slot);
+            if val == 0 || Addr::new(val).is_h2() {
+                continue;
+            }
+            let new_val = forwarding.get(val).unwrap_or(val);
+            if new_val != val {
+                heap.h2.as_mut().unwrap().write_word(slot, new_val, Category::MajorGc);
+            }
+            uw.adjusted_refs += 1;
         }
-        let new_val = forwarding.get(val).unwrap_or(val);
-        if new_val != val {
-            heap.h2.as_mut().unwrap().write_word(slot, new_val, Category::MajorGc);
-        }
-        work.adjusted_refs += 1;
+        let cost = uw.cpu_ns(&heap.config.cost);
+        sched.end_unit(&clock, lane, WorkUnitKind::BackwardFix, cost, uw.extra_ns);
     }
-    let adjust_cpu = work.cpu_ns(&heap.config.cost) * g1_fraction_milli / 1000;
-    heap.clock
-        .charge(Category::MajorGc, adjust_cpu / threads + work.extra_ns);
+    heap.stats.lane_stall_ns += sched.barrier(&clock, Category::MajorGc, "major:adjust");
     heap.stats.phases.adjust_ns += heap.clock.total_ns() - phase_start;
     heap.clock.emit(EventKind::PhaseEnd { phase: GcPhase::Adjust });
 
     // ---------------- Phase 4: compaction ---------------------------------
     let phase_start = heap.clock.total_ns();
     heap.clock.emit(EventKind::PhaseBegin { phase: GcPhase::Compact });
-    let mut work = Work::default();
+    // H1 copies carry the mixed-collection discount (scaled); H2 promotion
+    // copies are always paid in full (flat).
+    sched.set_milli(g1_fraction_milli);
+    for &src in old_live.iter().chain(young_live.iter()) {
+        sched.expect(DOM_OBJECT | src);
+    }
     // Deferred-copy arena: one growable buffer instead of a `Vec<u64>`
     // allocation per stashed object.
     let mut stash_words: Vec<u64> = Vec::new();
     let mut stash_meta: Vec<(u64, usize, usize)> = Vec::new(); // (dest, offset, len)
-    let mut h1_copied_words: u64 = 0;
     let mut promoted_regions: Vec<u32> = Vec::new();
-    for &src in old_live.iter().chain(young_live.iter()) {
+    let mut lane = 0;
+    let mut uw = Work::default();
+    let mut unit_h1_words: u64 = 0;
+    for (idx, &src) in old_live.iter().chain(young_live.iter()).enumerate() {
+        if idx % OBJECT_CHUNK == 0 {
+            lane = sched.begin_unit(&clock, WorkUnitKind::CompactChunk);
+            uw = Work::default();
+            unit_h1_words = 0;
+        }
+        sched.claim(DOM_OBJECT | src);
         let dest = forwarding.at(src);
         let size = object::size_of(heap.mem[src as usize]);
         // Clear GC bits in the header before the object reaches its new home.
         heap.mem[src as usize] =
             object::without_candidate(object::without_mark(heap.mem[src as usize]));
-        work.copied_words += size as u64;
+        uw.copied_words += size as u64;
         let (src_i, src_end) = (src as usize, src as usize + size);
         if Addr::new(dest).is_h2() {
             // Split-field borrow: stream the object out of `mem` straight
@@ -376,15 +474,21 @@ pub(crate) fn major_gc(heap: &mut Heap, cause: GcCause) -> Result<(), OomError> 
             heap.stats.objects_promoted_h2 += 1;
         } else if dest <= src {
             heap.mem.copy_within(src_i..src_end, dest as usize);
-            h1_copied_words += size as u64;
-            work.extra_ns += heap.h1_word_extra_ns(Addr::new(dest)) * size as u64;
+            unit_h1_words += size as u64;
+            uw.extra_ns += heap.h1_word_extra_ns(Addr::new(dest)) * size as u64;
         } else {
             // G1 humongous rounding can push a destination past its source;
             // buffer such copies until every source has been read.
             let off = stash_words.len();
             stash_words.extend_from_slice(&heap.mem[src_i..src_end]);
             stash_meta.push((dest, off, size));
-            h1_copied_words += size as u64;
+            unit_h1_words += size as u64;
+        }
+        if idx % OBJECT_CHUNK == OBJECT_CHUNK - 1 || idx == total_live - 1 {
+            let copy_ns = heap.config.cost.gc_copy_word_ns;
+            let h1_cpu = unit_h1_words * copy_ns;
+            let h2_cpu = (uw.copied_words - unit_h1_words) * copy_ns;
+            sched.end_unit(&clock, lane, WorkUnitKind::CompactChunk, h1_cpu, h2_cpu + uw.extra_ns);
         }
     }
     for (dest, off, len) in stash_meta {
@@ -414,11 +518,7 @@ pub(crate) fn major_gc(heap: &mut Heap, cause: GcCause) -> Result<(), OomError> 
     heap.old_starts = new_old_starts;
     heap.h1_cards.clear_all();
 
-    let h2_copy_cpu = (work.copied_words - h1_copied_words) * heap.config.cost.gc_copy_word_ns;
-    let h1_copy_cpu = h1_copied_words * heap.config.cost.gc_copy_word_ns;
-    let compact_cpu = h2_copy_cpu + h1_copy_cpu * g1_fraction_milli / 1000;
-    heap.clock
-        .charge(Category::MajorGc, compact_cpu / threads + work.extra_ns);
+    heap.stats.lane_stall_ns += sched.barrier(&clock, Category::MajorGc, "major:compact");
     heap.stats.phases.compact_ns += heap.clock.total_ns() - phase_start;
     heap.clock.emit(EventKind::PhaseEnd { phase: GcPhase::Compact });
 
@@ -517,24 +617,28 @@ fn mark_push(heap: &mut Heap, addr: Addr, stack: &mut Vec<Addr>, live: &mut Vec<
 
 /// Scans every non-clean H2 card for backward references: their H1 targets
 /// are GC roots (must stay live), and the slots are collected for the
-/// adjustment phase.
+/// adjustment phase. Cards are processed in chunks of [`H2_CARD_CHUNK`],
+/// each chunk one schedulable unit.
 fn scan_h2_cards_major(
     heap: &mut Heap,
+    sched: &mut Scheduler,
     stack: &mut Vec<Addr>,
     live: &mut Vec<u64>,
     backward_slots: &mut Vec<Addr>,
     scanned_cards: &mut Vec<(usize, bool)>,
-    work: &mut Work,
 ) {
     if heap.h2.is_none() {
         return;
     }
+    let clock = heap.clock.clone();
     let cards = heap.h2.as_mut().unwrap().cards_mut().major_scan_cards();
-    work.cards += cards.len() as u64;
     heap.clock.emit(EventKind::CardScan {
         table: CardTableKind::H2Major,
         cards: cards.len() as u64,
     });
+    for &card in &cards {
+        sched.expect(DOM_H2_CARD | card as u64);
+    }
     let seg_words = heap.h2.as_ref().unwrap().cards().seg_words() as u64;
     let region_words = heap.h2.as_ref().unwrap().regions().region_words() as u64;
     // Take/put-back the region's start index instead of cloning it per card
@@ -544,70 +648,78 @@ fn scan_h2_cards_major(
     // only), so each object's slot range is one bulk read — touch_run's
     // internal page decomposition reproduces the per-word touch order.
     let mut slot_buf: Vec<u64> = Vec::new();
-    for card in cards {
-        let base = heap.h2.as_ref().unwrap().cards().card_base(card);
-        let region = (base.h2_offset() / region_words) as u32;
-        let lo = base.raw();
-        let hi = lo + seg_words;
-        if cached.as_ref().map(|&(r, _)| r) != Some(region) {
-            if let Some((r, v)) = cached.take() {
-                heap.h2_starts.insert(r, v);
-            }
-            cached = heap.h2_starts.remove(&region).map(|v| (region, v));
-        }
-        let starts = match &cached {
-            Some((_, s)) => s,
-            None => {
-                scanned_cards.push((card, false));
-                continue;
-            }
-        };
-        let mut has_backward = false;
-        if !starts.is_empty() {
-            let mut i = starts.partition_point(|&s| s <= lo).saturating_sub(1);
-            while i < starts.len() && starts[i] < hi {
-                let obj = Addr::new(starts[i]);
-                let header = heap.h2.as_mut().unwrap().read_word(obj, Category::MajorGc);
-                let size = object::size_of(header) as u64;
-                work.objects += 1;
-                if obj.raw() + size > lo {
-                    let (first_slot, end_slot) = heap.ref_slot_range_in(obj, lo, hi);
-                    // The clamped range can be empty (inverted) for objects
-                    // whose ref slots all fall outside the card.
-                    slot_buf.resize(end_slot.saturating_sub(first_slot) as usize, 0);
-                    heap.h2.as_mut().unwrap().read_words(
-                        Addr::new(first_slot),
-                        &mut slot_buf,
-                        Category::MajorGc,
-                    );
-                    for (j, &val) in slot_buf.iter().enumerate() {
-                        let slot = Addr::new(first_slot + j as u64);
-                        work.refs += 1;
-                        if val == 0 {
-                            continue;
-                        }
-                        if Addr::new(val).is_h2() {
-                            // A mutator update created an H2→H2 reference
-                            // after the move: record the cross-region
-                            // dependency the allocator could not have seen.
-                            let h2 = heap.h2.as_mut().unwrap();
-                            let from = h2.regions().region_of(obj);
-                            let to = h2.regions().region_of(Addr::new(val));
-                            if from != to {
-                                h2.regions_mut().add_dependency(from, to);
-                            }
-                            continue;
-                        }
-                        has_backward = true;
-                        heap.stats.backward_refs_seen += 1;
-                        backward_slots.push(slot);
-                        mark_push(heap, Addr::new(val), stack, live, work);
-                    }
+    for chunk in cards.chunks(H2_CARD_CHUNK) {
+        let lane = sched.begin_unit(&clock, WorkUnitKind::H2CardChunk);
+        let mut uw = Work::default();
+        for &card in chunk {
+            sched.claim(DOM_H2_CARD | card as u64);
+            uw.cards += 1;
+            let base = heap.h2.as_ref().unwrap().cards().card_base(card);
+            let region = (base.h2_offset() / region_words) as u32;
+            let lo = base.raw();
+            let hi = lo + seg_words;
+            if cached.as_ref().map(|&(r, _)| r) != Some(region) {
+                if let Some((r, v)) = cached.take() {
+                    heap.h2_starts.insert(r, v);
                 }
-                i += 1;
+                cached = heap.h2_starts.remove(&region).map(|v| (region, v));
             }
+            let starts = match &cached {
+                Some((_, s)) => s,
+                None => {
+                    scanned_cards.push((card, false));
+                    continue;
+                }
+            };
+            let mut has_backward = false;
+            if !starts.is_empty() {
+                let mut i = starts.partition_point(|&s| s <= lo).saturating_sub(1);
+                while i < starts.len() && starts[i] < hi {
+                    let obj = Addr::new(starts[i]);
+                    let header = heap.h2.as_mut().unwrap().read_word(obj, Category::MajorGc);
+                    let size = object::size_of(header) as u64;
+                    uw.objects += 1;
+                    if obj.raw() + size > lo {
+                        let (first_slot, end_slot) = heap.ref_slot_range_in(obj, lo, hi);
+                        // The clamped range can be empty (inverted) for objects
+                        // whose ref slots all fall outside the card.
+                        slot_buf.resize(end_slot.saturating_sub(first_slot) as usize, 0);
+                        heap.h2.as_mut().unwrap().read_words(
+                            Addr::new(first_slot),
+                            &mut slot_buf,
+                            Category::MajorGc,
+                        );
+                        for (j, &val) in slot_buf.iter().enumerate() {
+                            let slot = Addr::new(first_slot + j as u64);
+                            uw.refs += 1;
+                            if val == 0 {
+                                continue;
+                            }
+                            if Addr::new(val).is_h2() {
+                                // A mutator update created an H2→H2 reference
+                                // after the move: record the cross-region
+                                // dependency the allocator could not have seen.
+                                let h2 = heap.h2.as_mut().unwrap();
+                                let from = h2.regions().region_of(obj);
+                                let to = h2.regions().region_of(Addr::new(val));
+                                if from != to {
+                                    h2.regions_mut().add_dependency(from, to);
+                                }
+                                continue;
+                            }
+                            has_backward = true;
+                            heap.stats.backward_refs_seen += 1;
+                            backward_slots.push(slot);
+                            mark_push(heap, Addr::new(val), stack, live, &mut uw);
+                        }
+                    }
+                    i += 1;
+                }
+            }
+            scanned_cards.push((card, has_backward));
         }
-        scanned_cards.push((card, has_backward));
+        let cost = uw.cpu_ns(&heap.config.cost);
+        sched.end_unit(&clock, lane, WorkUnitKind::H2CardChunk, cost, uw.extra_ns);
     }
     if let Some((r, v)) = cached.take() {
         heap.h2_starts.insert(r, v);

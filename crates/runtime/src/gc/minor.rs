@@ -3,12 +3,23 @@
 //! fences the collector from following references into H2 and (2) an H2
 //! card-table scan that finds backward (H2→H1) references, treats their
 //! young targets as roots and rewrites the slots to the new locations.
+//!
+//! The scavenge is decomposed into schedulable work units (DESIGN.md §11)
+//! across three phase barriers: root strips + dirty H1 card stripes, the H2
+//! backward-reference scan (its own barrier so Figure 11a's
+//! `h2_minor_scan_ns` window captures exactly that phase), and the
+//! transitive-copy packet drain. Units run in the exact serial order the
+//! monolithic scavenge used; only the CPU accounting is laned.
 
+use super::schedule::{
+    Scheduler, DOM_H1_CARD, DOM_H2_CARD, GRAY_PACKET, H1_CARD_STRIPE, H2_CARD_CHUNK,
+    H2_WALK_CHUNK, ROOT_STRIP,
+};
 use super::Work;
 use crate::heap::Heap;
 use crate::object;
 use teraheap_core::{Addr, CardState};
-use teraheap_storage::obs::{CardTableKind, EventKind, GcCause, GcKind};
+use teraheap_storage::obs::{CardTableKind, EventKind, GcCause, GcKind, WorkUnitKind};
 use teraheap_storage::Category;
 
 /// Runs a minor collection. The caller must have ensured the promotion
@@ -23,42 +34,60 @@ pub(crate) fn minor_gc(heap: &mut Heap, cause: GcCause) {
         cause,
         old_used_words: old_before as u64,
     });
-    let mut work = Work::default();
+    let mut sched = Scheduler::new(
+        heap.config.gc_threads,
+        heap.config.cost.gc_barrier_sync_ns,
+        heap.check_enabled,
+    );
     let mut worklist: Vec<Addr> = Vec::new();
 
-    // Roots: the handle table.
-    for i in 0..heap.roots.len() {
-        let a = heap.roots[i];
-        if !a.is_null() && in_collected(heap, a) {
-            heap.roots[i] = copy_young(heap, a, &mut work, &mut worklist);
+    // ---- Phase 1: scavenge roots (handle strips + dirty H1 cards) --------
+    let clock = heap.clock.clone();
+    for strip_base in (0..heap.roots.len()).step_by(ROOT_STRIP) {
+        let lane = sched.begin_unit(&clock, WorkUnitKind::RootStrip);
+        let mut uw = Work::default();
+        let strip_end = (strip_base + ROOT_STRIP).min(heap.roots.len());
+        for i in strip_base..strip_end {
+            let a = heap.roots[i];
+            if !a.is_null() && in_collected(heap, a) {
+                heap.roots[i] = copy_young(heap, a, &mut uw, &mut worklist);
+            }
         }
+        let cost = uw.cpu_ns(&heap.config.cost);
+        sched.end_unit(&clock, lane, WorkUnitKind::RootStrip, cost, uw.extra_ns);
     }
+    scan_h1_cards(heap, &mut sched, &mut worklist);
+    heap.stats.lane_stall_ns += sched.barrier(&clock, Category::MinorGc, "minor:scavenge");
 
-    // Roots: old objects with young references (dirty H1 cards).
-    scan_h1_cards(heap, &mut work, &mut worklist);
-
-    // Roots: H2 objects with backward references (H2 card table). This is
-    // charged separately so Figure 11a can report it.
+    // ---- Phase 2: H2 backward-reference scan -----------------------------
+    // Charged between its own barriers so Figure 11a can report it: the
+    // category delta below covers the in-phase device traffic plus this
+    // phase's barrier advance and nothing else.
     let h2_scan_start = heap.clock.category_ns(Category::MinorGc);
-    scan_h2_cards(heap, &mut worklist);
+    scan_h2_cards(heap, &mut sched, &mut worklist);
+    heap.stats.lane_stall_ns += sched.barrier(&clock, Category::MinorGc, "minor:h2-scan");
     let h2_scan_ns = heap.clock.category_ns(Category::MinorGc) - h2_scan_start;
     heap.stats.h2_minor_scan_ns += h2_scan_ns;
 
-    // Transitive copy (Cheney-style worklist).
-    while let Some(obj) = worklist.pop() {
-        scan_copied(heap, obj, &mut work, &mut worklist);
+    // ---- Phase 3: transitive copy (Cheney-style packet drain) ------------
+    while !worklist.is_empty() {
+        let lane = sched.begin_unit(&clock, WorkUnitKind::GrayPacket);
+        let mut uw = Work::default();
+        for _ in 0..GRAY_PACKET {
+            match worklist.pop() {
+                Some(obj) => scan_copied(heap, obj, &mut uw, &mut worklist),
+                None => break,
+            }
+        }
+        let cost = uw.cpu_ns(&heap.config.cost);
+        sched.end_unit(&clock, lane, WorkUnitKind::GrayPacket, cost, uw.extra_ns);
     }
 
     // Flip spaces: eden and from are now garbage; to holds the survivors.
     heap.eden.reset();
     heap.from.reset();
     std::mem::swap(&mut heap.from, &mut heap.to);
-
-    // Charge the parallelizable CPU work across the minor-GC threads.
-    let cpu = work.cpu_ns(&heap.config.cost);
-    let threads = heap.config.gc_threads_minor.max(1) as u64;
-    heap.clock
-        .charge(Category::MinorGc, cpu / threads + work.extra_ns);
+    heap.stats.lane_stall_ns += sched.barrier(&clock, Category::MinorGc, "minor:drain");
 
     let duration = heap.clock.total_ns() - start_ns;
     heap.stats.minor_count += 1;
@@ -145,59 +174,72 @@ fn first_overlapping(starts: &[u64], base: u64) -> usize {
     idx.saturating_sub(1)
 }
 
-fn scan_h1_cards(heap: &mut Heap, work: &mut Work, worklist: &mut Vec<Addr>) {
+/// Scans the dirty H1 cards for old→young references in stripes of
+/// [`H1_CARD_STRIPE`] cards, each stripe one schedulable unit.
+fn scan_h1_cards(heap: &mut Heap, sched: &mut Scheduler, worklist: &mut Vec<Addr>) {
+    let clock = heap.clock.clone();
     let dirty = heap.h1_cards.dirty_cards();
-    work.cards += dirty.len() as u64;
     heap.clock.emit(EventKind::CardScan {
         table: CardTableKind::H1,
         cards: dirty.len() as u64,
     });
+    for &card in &dirty {
+        sched.expect(DOM_H1_CARD | card as u64);
+    }
     let seg = heap.h1_cards.seg_words() as u64;
     // Snapshot the start index by moving it out: objects tenured *during*
     // this scan (`copy_young` → `alloc_old`) append to the now-empty heap
     // vector and are re-attached below — same snapshot semantics as a
     // clone, without copying the index every minor GC.
     let mut starts = std::mem::take(&mut heap.old_starts);
-    for card in dirty {
-        let base = heap.h1_cards.card_base(card).raw();
-        let end = (base + seg).min(heap.old.top().raw());
-        let mut any_young = false;
-        if !starts.is_empty() {
-            let mut i = first_overlapping(&starts, base);
-            while i < starts.len() && starts[i] < end {
-                let obj = Addr::new(starts[i]);
-                let size = heap.object_size(obj) as u64;
-                if obj.raw() + size > base {
-                    let (first_slot, end_slot) = heap.ref_slot_range_in(obj, base, end);
-                    for s in first_slot..end_slot {
-                        let slot = Addr::new(s);
-                        work.refs += 1;
-                        let val = heap.mem[slot.raw() as usize];
-                        if val == 0 {
-                            continue;
-                        }
-                        let target = Addr::new(val);
-                        if target.is_h2() {
-                            continue;
-                        }
-                        let new_target = if in_collected(heap, target) {
-                            let t = copy_young(heap, target, work, worklist);
-                            heap.mem[slot.raw() as usize] = t.raw();
-                            t
-                        } else {
-                            target
-                        };
-                        if heap.in_young(new_target) {
-                            any_young = true;
+    for stripe in dirty.chunks(H1_CARD_STRIPE) {
+        let lane = sched.begin_unit(&clock, WorkUnitKind::H1CardStripe);
+        let mut uw = Work::default();
+        for &card in stripe {
+            sched.claim(DOM_H1_CARD | card as u64);
+            uw.cards += 1;
+            let base = heap.h1_cards.card_base(card).raw();
+            let end = (base + seg).min(heap.old.top().raw());
+            let mut any_young = false;
+            if !starts.is_empty() {
+                let mut i = first_overlapping(&starts, base);
+                while i < starts.len() && starts[i] < end {
+                    let obj = Addr::new(starts[i]);
+                    let size = heap.object_size(obj) as u64;
+                    if obj.raw() + size > base {
+                        let (first_slot, end_slot) = heap.ref_slot_range_in(obj, base, end);
+                        for s in first_slot..end_slot {
+                            let slot = Addr::new(s);
+                            uw.refs += 1;
+                            let val = heap.mem[slot.raw() as usize];
+                            if val == 0 {
+                                continue;
+                            }
+                            let target = Addr::new(val);
+                            if target.is_h2() {
+                                continue;
+                            }
+                            let new_target = if in_collected(heap, target) {
+                                let t = copy_young(heap, target, &mut uw, worklist);
+                                heap.mem[slot.raw() as usize] = t.raw();
+                                t
+                            } else {
+                                target
+                            };
+                            if heap.in_young(new_target) {
+                                any_young = true;
+                            }
                         }
                     }
+                    i += 1;
                 }
-                i += 1;
+            }
+            if !any_young {
+                heap.h1_cards.clear(card);
             }
         }
-        if !any_young {
-            heap.h1_cards.clear(card);
-        }
+        let cost = uw.cpu_ns(&heap.config.cost);
+        sched.end_unit(&clock, lane, WorkUnitKind::H1CardStripe, cost, uw.extra_ns);
     }
     // Mid-scan tenured objects all sit above the snapshot (old is a bump
     // allocator), so appending keeps the index sorted.
@@ -208,11 +250,16 @@ fn scan_h1_cards(heap: &mut Heap, work: &mut Work, worklist: &mut Vec<Addr>) {
 /// Scans the H2 card table for backward references (§3.4): minor GC visits
 /// `Dirty` and `YoungGen` cards, copies referenced young objects, rewrites
 /// the H2 slots and re-derives each card's state.
-fn scan_h2_cards(heap: &mut Heap, worklist: &mut Vec<Addr>) {
+///
+/// Two unit populations: the full card-table walk (every entry examined,
+/// the Figure 11a trade-off) striped arithmetically in [`H2_WALK_CHUNK`]
+/// entries, and the non-clean cards found by it in chunks of
+/// [`H2_CARD_CHUNK`].
+fn scan_h2_cards(heap: &mut Heap, sched: &mut Scheduler, worklist: &mut Vec<Addr>) {
     if heap.h2.is_none() {
         return;
     }
-    let mut work = Work::default();
+    let clock = heap.clock.clone();
     let cards = heap.h2.as_mut().unwrap().cards_mut().minor_scan_cards();
     heap.stats.h2_cards_scanned_minor += cards.len() as u64;
     heap.clock.emit(EventKind::CardScan {
@@ -220,8 +267,20 @@ fn scan_h2_cards(heap: &mut Heap, worklist: &mut Vec<Addr>) {
         cards: cards.len() as u64,
     });
     // The card-table walk examines every entry; smaller segments mean a
-    // larger table and a longer walk (the Figure 11a trade-off).
-    work.cards += heap.h2.as_ref().unwrap().cards().card_count() as u64;
+    // larger table and a longer walk. The walk has no side effects, so its
+    // units are striped arithmetically.
+    let card_count = heap.h2.as_ref().unwrap().cards().card_count() as u64;
+    let mut walked = 0;
+    while walked < card_count {
+        let run = H2_WALK_CHUNK.min(card_count - walked);
+        let lane = sched.begin_unit(&clock, WorkUnitKind::H2CardChunk);
+        let cost = run * heap.config.cost.gc_card_check_ns;
+        sched.end_unit(&clock, lane, WorkUnitKind::H2CardChunk, cost, 0);
+        walked += run;
+    }
+    for &card in &cards {
+        sched.expect(DOM_H2_CARD | card as u64);
+    }
     let seg_words = heap.h2.as_ref().unwrap().cards().seg_words() as u64;
     let region_words = heap.h2.as_ref().unwrap().regions().region_words() as u64;
     // Consecutive cards usually share a region; hold the region's start
@@ -233,98 +292,101 @@ fn scan_h2_cards(heap: &mut Heap, worklist: &mut Vec<Addr>) {
     // is reused across cards.
     let page_words = heap.h2.as_ref().unwrap().page_run_words() as u64;
     let mut slot_buf: Vec<u64> = Vec::new();
-    for card in cards {
-        let base = heap.h2.as_ref().unwrap().cards().card_base(card);
-        let region = (base.h2_offset() / region_words) as u32;
-        let lo = base.raw();
-        let hi = lo + seg_words;
-        if cached.as_ref().map(|&(r, _)| r) != Some(region) {
-            if let Some((r, v)) = cached.take() {
-                heap.h2_starts.insert(r, v);
-            }
-            cached = heap.h2_starts.remove(&region).map(|v| (region, v));
-        }
-        let starts = match &cached {
-            Some((_, s)) => s,
-            None => {
-                // Region freed since the card was dirtied.
-                heap.h2.as_mut().unwrap().cards_mut().set_state(card, CardState::Clean);
-                continue;
-            }
-        };
-        let mut has_young = false;
-        let mut has_old = false;
-        if !starts.is_empty() {
-            let mut i = first_overlapping(starts, lo);
-            while i < starts.len() && starts[i] < hi {
-                let obj = Addr::new(starts[i]);
-                // Reading the header from the device-backed heap.
-                let header = heap.h2.as_mut().unwrap().read_word(obj, Category::MinorGc);
-                let size = object::size_of(header) as u64;
-                work.objects += 1;
-                if obj.raw() + size > lo {
-                    let (first_slot, end_slot) = heap.ref_slot_range_in(obj, lo, hi);
-                    let mut s = first_slot;
-                    while s < end_slot {
-                        // One bulk read per page chunk; slot write-backs land
-                        // as TLB hits on the same page, so the per-page touch
-                        // multiset matches the word-at-a-time loop.
-                        let off = Addr::new(s).h2_offset();
-                        let run = (page_words - off % page_words).min(end_slot - s) as usize;
-                        slot_buf.resize(run, 0);
-                        heap.h2.as_mut().unwrap().read_words(
-                            Addr::new(s),
-                            &mut slot_buf,
-                            Category::MinorGc,
-                        );
-                        for (j, &val) in slot_buf.iter().enumerate() {
-                            let slot = Addr::new(s + j as u64);
-                            work.refs += 1;
-                            if val == 0 {
-                                continue;
-                            }
-                            let target = Addr::new(val);
-                            if target.is_h2() {
-                                continue;
-                            }
-                            heap.stats.backward_refs_seen += 1;
-                            let new_target = if in_collected(heap, target) {
-                                let t = copy_young(heap, target, &mut work, worklist);
-                                heap.h2.as_mut().unwrap().write_word(
-                                    slot,
-                                    t.raw(),
-                                    Category::MinorGc,
-                                );
-                                t
-                            } else {
-                                target
-                            };
-                            if heap.in_young(new_target) {
-                                has_young = true;
-                            } else {
-                                has_old = true;
-                            }
-                        }
-                        s += run as u64;
-                    }
+    for chunk in cards.chunks(H2_CARD_CHUNK) {
+        let lane = sched.begin_unit(&clock, WorkUnitKind::H2CardChunk);
+        let mut uw = Work::default();
+        for &card in chunk {
+            sched.claim(DOM_H2_CARD | card as u64);
+            let base = heap.h2.as_ref().unwrap().cards().card_base(card);
+            let region = (base.h2_offset() / region_words) as u32;
+            let lo = base.raw();
+            let hi = lo + seg_words;
+            if cached.as_ref().map(|&(r, _)| r) != Some(region) {
+                if let Some((r, v)) = cached.take() {
+                    heap.h2_starts.insert(r, v);
                 }
-                i += 1;
+                cached = heap.h2_starts.remove(&region).map(|v| (region, v));
             }
+            let starts = match &cached {
+                Some((_, s)) => s,
+                None => {
+                    // Region freed since the card was dirtied.
+                    heap.h2.as_mut().unwrap().cards_mut().set_state(card, CardState::Clean);
+                    continue;
+                }
+            };
+            let mut has_young = false;
+            let mut has_old = false;
+            if !starts.is_empty() {
+                let mut i = first_overlapping(starts, lo);
+                while i < starts.len() && starts[i] < hi {
+                    let obj = Addr::new(starts[i]);
+                    // Reading the header from the device-backed heap.
+                    let header = heap.h2.as_mut().unwrap().read_word(obj, Category::MinorGc);
+                    let size = object::size_of(header) as u64;
+                    uw.objects += 1;
+                    if obj.raw() + size > lo {
+                        let (first_slot, end_slot) = heap.ref_slot_range_in(obj, lo, hi);
+                        let mut s = first_slot;
+                        while s < end_slot {
+                            // One bulk read per page chunk; slot write-backs land
+                            // as TLB hits on the same page, so the per-page touch
+                            // multiset matches the word-at-a-time loop.
+                            let off = Addr::new(s).h2_offset();
+                            let run = (page_words - off % page_words).min(end_slot - s) as usize;
+                            slot_buf.resize(run, 0);
+                            heap.h2.as_mut().unwrap().read_words(
+                                Addr::new(s),
+                                &mut slot_buf,
+                                Category::MinorGc,
+                            );
+                            for (j, &val) in slot_buf.iter().enumerate() {
+                                let slot = Addr::new(s + j as u64);
+                                uw.refs += 1;
+                                if val == 0 {
+                                    continue;
+                                }
+                                let target = Addr::new(val);
+                                if target.is_h2() {
+                                    continue;
+                                }
+                                heap.stats.backward_refs_seen += 1;
+                                let new_target = if in_collected(heap, target) {
+                                    let t = copy_young(heap, target, &mut uw, worklist);
+                                    heap.h2.as_mut().unwrap().write_word(
+                                        slot,
+                                        t.raw(),
+                                        Category::MinorGc,
+                                    );
+                                    t
+                                } else {
+                                    target
+                                };
+                                if heap.in_young(new_target) {
+                                    has_young = true;
+                                } else {
+                                    has_old = true;
+                                }
+                            }
+                            s += run as u64;
+                        }
+                    }
+                    i += 1;
+                }
+            }
+            let state = if has_young {
+                CardState::YoungGen
+            } else if has_old {
+                CardState::OldGen
+            } else {
+                CardState::Clean
+            };
+            heap.h2.as_mut().unwrap().cards_mut().set_state(card, state);
         }
-        let state = if has_young {
-            CardState::YoungGen
-        } else if has_old {
-            CardState::OldGen
-        } else {
-            CardState::Clean
-        };
-        heap.h2.as_mut().unwrap().cards_mut().set_state(card, state);
+        let cost = uw.cpu_ns(&heap.config.cost);
+        sched.end_unit(&clock, lane, WorkUnitKind::H2CardChunk, cost, uw.extra_ns);
     }
     if let Some((r, v)) = cached.take() {
         heap.h2_starts.insert(r, v);
     }
-    let cpu = work.cpu_ns(&heap.config.cost);
-    let threads = heap.config.gc_threads_minor.max(1) as u64;
-    heap.clock
-        .charge(Category::MinorGc, cpu / threads + work.extra_ns);
 }

@@ -3,6 +3,7 @@
 
 pub mod major;
 pub mod minor;
+pub mod schedule;
 
 /// CPU-work counters accumulated during a GC and charged in bulk at phase
 /// boundaries, modelling parallel GC threads by dividing parallelizable work

@@ -50,6 +50,10 @@ pub struct GcStats {
     pub h2_minor_scan_ns: u64,
     /// Objects moved from H1 to H2 over the run.
     pub objects_promoted_h2: u64,
+    /// Total lane idle time at phase barriers (work-unit plane): across all
+    /// GCs, the ns non-critical lanes spent waiting for the critical-path
+    /// lane. 0 at `gc_threads = 1`.
+    pub lane_stall_ns: u64,
     /// G1 only: words wasted by humongous-object region rounding.
     pub g1_humongous_waste_words: u64,
 }

@@ -94,7 +94,11 @@ fn graph_checksum(heap: &mut Heap, roots: &[Handle]) -> u64 {
 /// promotion, mutator H2 updates (backward references), region death, and
 /// enough pressure for several minor and major collections.
 fn run_mixed_workload() -> (Heap, Vec<Handle>) {
-    let mut heap = Heap::new(HeapConfig::with_words(24 << 10, 96 << 10));
+    run_mixed_workload_with(HeapConfig::with_words(24 << 10, 96 << 10))
+}
+
+fn run_mixed_workload_with(config: HeapConfig) -> (Heap, Vec<Handle>) {
+    let mut heap = Heap::new(config);
     heap.enable_teraheap(
         H2Config::builder()
             .region_words(8 << 10)
@@ -216,7 +220,20 @@ struct Snapshot {
 }
 
 fn capture() -> Snapshot {
-    let (mut heap, keep) = run_mixed_workload();
+    capture_with(HeapConfig::with_words(24 << 10, 96 << 10))
+}
+
+/// The workload at one modeled GC thread: the serial baseline whose numbers
+/// predate the work-unit scheduler and must survive it bit-identically.
+fn serial_config() -> HeapConfig {
+    HeapConfig::builder(24 << 10, 96 << 10)
+        .gc_threads(1)
+        .build()
+        .expect("serial config is valid")
+}
+
+fn capture_with(config: HeapConfig) -> Snapshot {
+    let (mut heap, keep) = run_mixed_workload_with(config);
     // Clock and stats first: the checksum traversal itself charges time.
     let total_ns = heap.clock().total_ns();
     let mutator_ns = heap.clock().category_ns(Category::Mutator);
@@ -251,14 +268,18 @@ fn capture() -> Snapshot {
     }
 }
 
-/// Golden values captured from the pre-optimization implementation
-/// (PR 1 tree). See the module docs for the re-capture procedure.
+/// Golden values for the default configuration. Since the work-unit
+/// scheduler unified the GC thread knobs at a serial default
+/// (`gc_threads = 1`), these coincide with [`serial_golden`] — the same
+/// numbers pinned through two different guarantees: this one says the
+/// *default* is stable, the serial one says lane accounting at one lane is
+/// exact. See the module docs for the re-capture procedure.
 fn golden() -> Snapshot {
     Snapshot {
         checksum: 17052372585936982735,
-        total_ns: 275453,
+        total_ns: 351855,
         mutator_ns: 197628,
-        minor_gc_ns: 5091,
+        minor_gc_ns: 81493,
         major_gc_ns: 72734,
         minor_count: 9,
         major_count: 2,
@@ -266,7 +287,7 @@ fn golden() -> Snapshot {
         precompact_ns: 7200,
         adjust_ns: 4180,
         compact_ns: 38830,
-        h2_minor_scan_ns: 3027,
+        h2_minor_scan_ns: 48432,
         backward_refs_seen: 50,
         forward_refs_fenced: 0,
         objects_promoted_h2: 258,
@@ -275,6 +296,42 @@ fn golden() -> Snapshot {
         h2_write_bytes: 0,
         h2_evictions: 0,
     }
+}
+
+/// Golden values for the workload at `gc_threads = 1`, captured from the
+/// pre-work-unit-scheduler serial implementation (PR 5 tree). The scheduled
+/// single-lane path must reproduce these bit-identically, forever.
+fn serial_golden() -> Snapshot {
+    Snapshot {
+        checksum: 17052372585936982735,
+        total_ns: 351855,
+        mutator_ns: 197628,
+        minor_gc_ns: 81493,
+        major_gc_ns: 72734,
+        minor_count: 9,
+        major_count: 2,
+        marking_ns: 22524,
+        precompact_ns: 7200,
+        adjust_ns: 4180,
+        compact_ns: 38830,
+        h2_minor_scan_ns: 48432,
+        backward_refs_seen: 50,
+        forward_refs_fenced: 0,
+        objects_promoted_h2: 258,
+        h2_page_faults: 2,
+        h2_read_bytes: 8192,
+        h2_write_bytes: 0,
+        h2_evictions: 0,
+    }
+}
+
+#[test]
+fn single_lane_matches_pre_refactor_serial_golden() {
+    let got = capture_with(serial_config());
+    if std::env::var("TERAHEAP_GOLDEN_PRINT").is_ok() {
+        println!("serial_golden() -> Snapshot {got:#?}");
+    }
+    assert_eq!(got, serial_golden());
 }
 
 #[test]

@@ -38,6 +38,10 @@ pub struct CostModel {
     /// Mutator compute charged per workload "element operation"; workloads
     /// multiply this by their per-element work factor.
     pub mutator_op_ns: u64,
+    /// Synchronisation cost paid per *extra* GC lane at a phase barrier
+    /// (handshake + cache-line ping-pong when N threads rendezvous). A
+    /// single-lane barrier is free.
+    pub gc_barrier_sync_ns: u64,
 }
 
 impl CostModel {
@@ -56,6 +60,7 @@ impl CostModel {
             write_barrier_ns: 2,
             h2_range_check_ns: 1,
             mutator_op_ns: 10,
+            gc_barrier_sync_ns: 25,
         }
     }
 }

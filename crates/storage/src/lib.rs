@@ -45,7 +45,7 @@ pub mod fault;
 pub mod mmap;
 pub mod stats;
 
-pub use clock::{Breakdown, Category, ChargeScope, SimClock, TraceSpan};
+pub use clock::{Breakdown, Category, ChargeScope, LaneSet, SimClock, TraceSpan};
 pub use cost::CostModel;
 pub use device::{DeviceKind, DeviceSpec, SimDevice};
 pub use durable::{DurableStore, WriteBackOutcome};

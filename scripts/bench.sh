@@ -23,6 +23,14 @@
 #   BENCH_FAULT_REPS runs (default 3), and gates fig6_spark against the
 #   BENCH_storage_bulk.json baseline: the dormant fault hooks must cost
 #   < 2% wall-clock.
+#
+# Special mode: scripts/bench.sh gc_par
+#   Measures the work-unit scheduler's host overhead: runs the
+#   fig13_gc_threads sweep pinned to gc_threads=1 vs gc_threads=4
+#   (TERAHEAP_GC_THREADS — identical simulation work, only the lane count
+#   differs), best of BENCH_GCPAR_REPS runs each (default 5), and writes
+#   BENCH_gc_parallel.json. Gate: the single-lane (serial-equivalent) run
+#   must cost < 2% wall-clock over the 4-lane run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,7 +41,7 @@ out="BENCH_${name}.json"
 
 fig_bins=(fig6_spark fig6_giraph fig7_timeline fig8_collectors fig9_hints
           fig10_regions fig11_gc_overhead fig12_nvm fig13_scaling
-          table5_metadata ablations)
+          fig13_gc_threads table5_metadata ablations)
 
 echo "== release build =="
 cargo build --release --offline --workspace
@@ -136,6 +144,42 @@ if [[ "$name" == "faults" ]]; then
         fi
     else
         echo "note: BENCH_storage_bulk.json not found; no regression gate applied"
+    fi
+    exit 0
+fi
+
+if [[ "$name" == "gc_par" ]]; then
+    reps="${BENCH_GCPAR_REPS:-5}"
+    declare -A lane_secs
+    for lanes in 1 4; do
+        best=""
+        for _ in $(seq "$reps"); do
+            t0=$(now_ms)
+            TERAHEAP_GC_THREADS=$lanes target/release/fig13_gc_threads >/dev/null
+            t=$(awk "BEGIN{printf \"%.3f\", ($(now_ms)-$t0)/1000}")
+            if [[ -z "$best" ]] || awk "BEGIN{exit !($t < $best)}"; then
+                best=$t
+            fi
+        done
+        lane_secs[$lanes]=$best
+        echo "fig13_gc_threads (gc_threads=$lanes): ${best}s (best of $reps)"
+    done
+    pct=$(awk "BEGIN{printf \"%.2f\", (${lane_secs[1]}-${lane_secs[4]})/${lane_secs[4]}*100}")
+    {
+        echo "{"
+        echo "  \"name\": \"gc_parallel\","
+        echo "  \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+        echo "  \"reps\": ${reps},"
+        echo "  \"target_serial_overhead_percent\": 2.0,"
+        echo "  \"gc_threads_1_secs\": ${lane_secs[1]},"
+        echo "  \"gc_threads_4_secs\": ${lane_secs[4]},"
+        echo "  \"serial_overhead_percent\": ${pct}"
+        echo "}"
+    } > "BENCH_gc_parallel.json"
+    echo "wrote BENCH_gc_parallel.json (gc_threads=1 overhead ${pct}% vs gc_threads=4)"
+    if awk "BEGIN{exit !($pct >= 2.0)}"; then
+        echo "ERROR: single-lane scheduling costs ${pct}% (>= 2%) over 4 lanes" >&2
+        exit 1
     fi
     exit 0
 fi

@@ -55,6 +55,15 @@ echo "== trace equivalence: tracing never perturbs simulated time =="
 cargo test -q --offline -p teraheap-runtime --test trace_equivalence
 echo "ok"
 
+# Work-unit scheduler invariants (DESIGN.md §11): gc_threads=1 must
+# reproduce the pre-refactor serial collector bit-identically, and lane
+# accounting must be deterministic across runs, thread counts, and host
+# parallelism. Run both suites explicitly.
+echo "== lane equivalence: serial golden + lane determinism =="
+cargo test -q --offline -p teraheap-runtime --test gc_equivalence
+cargo test -q --offline -p teraheap-runtime --test lane_determinism
+echo "ok"
+
 # Bulk-access-plane invariant (DESIGN.md §9): touch_run must be bit-identical
 # to the word-at-a-time loop — same ns, same counters, same events. Run the
 # property suite explicitly for the same reason as above.
@@ -99,7 +108,7 @@ if [[ "${VERIFY_SKIP_RESULTS:-0}" != "1" ]]; then
     cp -r results "$tmp/committed"
     for bin in fig6_spark fig6_giraph fig7_timeline fig8_collectors \
                fig9_hints fig10_regions fig11_gc_overhead fig12_nvm \
-               fig13_scaling table5_metadata ablations; do
+               fig13_scaling fig13_gc_threads table5_metadata ablations; do
         echo "  regenerating: $bin"
         cargo run -q --release --offline -p teraheap-bench --bin "$bin" >/dev/null
     done
