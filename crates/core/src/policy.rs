@@ -168,11 +168,36 @@ impl TransferPolicy {
         Some(live_words.saturating_sub(target))
     }
 
+    /// The labels currently requested by `h2_move`, for callers that decide
+    /// candidate selection at a different time than they retire the GC (the
+    /// incremental collector snapshots these at selection and passes them
+    /// back through [`TransferPolicy::note_major_gc_end_satisfying`]).
+    pub fn requested_labels(&self) -> Vec<Label> {
+        self.requested.iter().copied().collect()
+    }
+
     /// Updates the pressure flag from end-of-major-GC occupancy and clears
     /// satisfied `h2_move` requests (they applied to the GC that just ran).
     pub fn note_major_gc_end(&mut self, live_words: u64, capacity_words: u64) {
-        self.pressure = (live_words as f64) > self.high * capacity_words as f64;
         self.requested.clear();
+        self.note_major_gc_end_satisfying(live_words, capacity_words, &[]);
+    }
+
+    /// Like [`TransferPolicy::note_major_gc_end`], but clears only the
+    /// `satisfied` requests — the ones the finishing collection actually
+    /// considered. An incremental cycle snapshots its requests when candidate
+    /// selection begins; a hint arriving after that point applied to a
+    /// *later* GC and must survive the cycle's retirement.
+    pub fn note_major_gc_end_satisfying(
+        &mut self,
+        live_words: u64,
+        capacity_words: u64,
+        satisfied: &[Label],
+    ) {
+        self.pressure = (live_words as f64) > self.high * capacity_words as f64;
+        for label in satisfied {
+            self.requested.remove(label);
+        }
         if self.adaptive {
             if self.pressure {
                 self.consecutive_pressure += 1;

@@ -148,6 +148,10 @@ pub enum GcCause {
     EdenFullAfterGc,
     /// An explicit `gc_minor`/`gc_major` request (tests, benchmarks).
     Explicit,
+    /// The incremental collector started a cycle early, on old-gen occupancy,
+    /// so marking can finish before the promotion guarantee would force a
+    /// stop-world collection.
+    Incremental,
 }
 
 impl GcCause {
@@ -158,6 +162,7 @@ impl GcCause {
             GcCause::PromotionGuarantee => "promotion_guarantee",
             GcCause::EdenFullAfterGc => "eden_full_after_gc",
             GcCause::Explicit => "explicit",
+            GcCause::Incremental => "incremental",
         }
     }
 }
@@ -349,14 +354,25 @@ pub enum EventKind {
     /// clock advanced by the critical path `advance_ns`, and non-critical
     /// lanes idled for `stall_ns` total.
     LaneBarrier { lanes: u32, units: u64, advance_ns: u64, stall_ns: u64 },
+    /// An incremental major-GC slice starts; `phase` is the phase the slice
+    /// resumes. The mutator is stopped between `SliceBegin` and `SliceEnd`,
+    /// so the pair's duration is one observable pause.
+    SliceBegin { phase: GcPhase },
+    /// The incremental slice yielded back to the mutator after dispatching
+    /// `units` work units.
+    SliceEnd { phase: GcPhase, units: u64 },
+    /// The mutator write barrier remembered a reference overwritten between
+    /// marking slices (snapshot-at-the-beginning deletion barrier); `root`
+    /// distinguishes a released GC root from an object-field overwrite.
+    WriteBarrierRemember { root: bool },
 }
 
 /// Number of distinct event classes (counter array dimension).
-pub const CLASS_COUNT: usize = 22;
+pub const CLASS_COUNT: usize = 25;
 
 /// Number of span slots tracked by the duration histograms: minor/major GC,
-/// the four major phases, then the [`SpanKind`]s.
-pub const SPAN_COUNT: usize = 8;
+/// the four major phases, the [`SpanKind`]s, then incremental GC slices.
+pub const SPAN_COUNT: usize = 9;
 
 /// Display names for the span slots, indexed like the histograms.
 pub const SPAN_NAMES: [&str; SPAN_COUNT] = [
@@ -368,6 +384,7 @@ pub const SPAN_NAMES: [&str; SPAN_COUNT] = [
     "major_compact",
     "stage",
     "shuffle",
+    "major_slice",
 ];
 
 impl EventKind {
@@ -396,6 +413,9 @@ impl EventKind {
             EventKind::UnitBegin { .. } => "unit_begin",
             EventKind::UnitEnd { .. } => "unit_end",
             EventKind::LaneBarrier { .. } => "lane_barrier",
+            EventKind::SliceBegin { .. } => "slice_begin",
+            EventKind::SliceEnd { .. } => "slice_end",
+            EventKind::WriteBarrierRemember { .. } => "write_barrier_remember",
         }
     }
 
@@ -424,6 +444,9 @@ impl EventKind {
             EventKind::UnitBegin { .. } => 19,
             EventKind::UnitEnd { .. } => 20,
             EventKind::LaneBarrier { .. } => 21,
+            EventKind::SliceBegin { .. } => 22,
+            EventKind::SliceEnd { .. } => 23,
+            EventKind::WriteBarrierRemember { .. } => 24,
         }
     }
 
@@ -451,6 +474,9 @@ impl EventKind {
         "unit_begin",
         "unit_end",
         "lane_barrier",
+        "slice_begin",
+        "slice_end",
+        "write_barrier_remember",
     ];
 
     /// If this event opens or closes a span, returns `(slot, is_begin)`
@@ -465,6 +491,8 @@ impl EventKind {
             EventKind::PhaseEnd { phase } => Some((2 + phase.index(), false)),
             EventKind::SpanBegin { kind } => Some((6 + kind.index(), true)),
             EventKind::SpanEnd { kind } => Some((6 + kind.index(), false)),
+            EventKind::SliceBegin { .. } => Some((8, true)),
+            EventKind::SliceEnd { .. } => Some((8, false)),
             _ => None,
         }
     }
@@ -485,6 +513,8 @@ impl EventKind {
                 | EventKind::CrashPoint
                 | EventKind::Recovered { .. }
                 | EventKind::LaneBarrier { .. }
+                | EventKind::SliceBegin { .. }
+                | EventKind::SliceEnd { .. }
         )
     }
 }
@@ -513,6 +543,7 @@ pub struct SpanStats {
     pub mean_ns: f64,
     pub p50_ns: f64,
     pub p99_ns: f64,
+    pub p999_ns: f64,
     pub max_ns: u64,
 }
 
@@ -714,8 +745,8 @@ impl Tracer {
         std::array::from_fn(|i| self.charges[i].load(Ordering::Relaxed))
     }
 
-    /// Duration statistics (p50/p99 via `teraheap-util`'s percentile) for
-    /// every span slot that saw at least one begin.
+    /// Duration statistics (p50/p99/p99.9 via `teraheap-util`'s percentile)
+    /// for every span slot that saw at least one begin.
     pub fn span_stats(&self) -> Vec<SpanStats> {
         let inner = self.inner.lock();
         let mut out = Vec::new();
@@ -727,13 +758,14 @@ impl Tracer {
             }
             let mut sorted: Vec<f64> = d.iter().map(|&n| n as f64).collect();
             sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-            let (mean, p50, p99) = if sorted.is_empty() {
-                (0.0, 0.0, 0.0)
+            let (mean, p50, p99, p999) = if sorted.is_empty() {
+                (0.0, 0.0, 0.0, 0.0)
             } else {
                 (
                     sorted.iter().sum::<f64>() / sorted.len() as f64,
                     teraheap_util::microbench::percentile(&sorted, 0.50),
                     teraheap_util::microbench::percentile(&sorted, 0.99),
+                    teraheap_util::microbench::percentile(&sorted, 0.999),
                 )
             };
             out.push(SpanStats {
@@ -743,6 +775,7 @@ impl Tracer {
                 mean_ns: mean,
                 p50_ns: p50,
                 p99_ns: p99,
+                p999_ns: p999,
                 max_ns: d.iter().copied().max().unwrap_or(0),
             });
         }

@@ -85,6 +85,15 @@ fn json_fields(kind: &EventKind) -> String {
             "\"kind\":\"{name}\",\"lanes\":{lanes},\"units\":{units},\
              \"advance_ns\":{advance_ns},\"stall_ns\":{stall_ns}"
         ),
+        EventKind::SliceBegin { phase } => {
+            format!("\"kind\":\"{name}\",\"phase\":\"{}\"", phase.name())
+        }
+        EventKind::SliceEnd { phase, units } => {
+            format!("\"kind\":\"{name}\",\"phase\":\"{}\",\"units\":{units}", phase.name())
+        }
+        EventKind::WriteBarrierRemember { root } => {
+            format!("\"kind\":\"{name}\",\"root\":{root}")
+        }
     }
 }
 
@@ -159,6 +168,11 @@ pub fn to_csv_rows(events: &[Event]) -> Vec<String> {
                 EventKind::LaneBarrier { units, advance_ns, .. } => {
                     ("barrier", units.to_string(), advance_ns.to_string())
                 }
+                EventKind::SliceBegin { phase } => (phase.name(), String::new(), String::new()),
+                EventKind::SliceEnd { phase, units } => {
+                    (phase.name(), units.to_string(), String::new())
+                }
+                EventKind::WriteBarrierRemember { root } => ("", root.to_string(), String::new()),
             };
             format!("{},{},{},{},{},{}", e.seq, e.t_ns, e.kind.name(), detail, a, b)
         })

@@ -128,13 +128,52 @@ impl Heap {
     ///
     /// Intended for quiescent points (GC boundaries, end of a workload);
     /// must not be called from inside a collection, where mark / forwarding
-    /// bits are legitimately set.
+    /// bits are legitimately set. Between the slices of an incremental
+    /// major cycle the check adapts: before the flip the full walk runs
+    /// with mark/candidate bits allowed (SATB marking legitimately leaves
+    /// them set between slices); during relocation only root resolution is
+    /// checked (objects are mid-motion and H2 promotion is mid-flight).
     ///
     /// # Errors
     ///
     /// Returns the first violated invariant as a [`CheckError`].
     pub fn heap_check(&self) -> Result<CheckReport, CheckError> {
         debug_assert!(!self.in_gc, "heap_check inside a collection");
+        match self.incr.as_deref() {
+            Some(cyc) if !cyc.pre_flip() => return self.heap_check_relocating(),
+            Some(_) => return self.heap_check_walk(true),
+            None => {}
+        }
+        self.heap_check_walk(false)
+    }
+
+    /// The relocation-window check: every live root must resolve — through
+    /// the cycle's destination index — to a well-formed object header.
+    fn heap_check_relocating(&self) -> Result<CheckReport, CheckError> {
+        let cyc = self.incr.as_deref().expect("relocating check without a cycle");
+        let mut report = CheckReport::default();
+        for (i, &a) in self.roots.iter().enumerate() {
+            if a.is_null() {
+                continue;
+            }
+            let (phys, _) = cyc.view(a);
+            let header = self.word(phys);
+            let bad = object::is_forwarded(header)
+                || object::size_of(header) < object::HEADER_WORDS
+                || object::class_of(header).0 as usize >= self.classes.len();
+            if bad {
+                return Err(CheckError::DanglingRoot { slot: i, to: a.raw() });
+            }
+            if phys.is_h2() {
+                report.h2_objects += 1;
+            } else {
+                report.h1_objects += 1;
+            }
+        }
+        Ok(report)
+    }
+
+    fn heap_check_walk(&self, allow_gc_bits: bool) -> Result<CheckReport, CheckError> {
         let mut report = CheckReport::default();
         if self.to.used_words() != 0 {
             return Err(CheckError::SurvivorNotEmpty { words: self.to.used_words() });
@@ -142,8 +181,8 @@ impl Heap {
 
         // ---- valid object-start sets -----------------------------------
         let mut h1: HashSet<u64> = HashSet::new();
-        self.collect_linear(self.eden.base().raw(), self.eden.top().raw(), &mut h1, &mut report)?;
-        self.collect_linear(self.from.base().raw(), self.from.top().raw(), &mut h1, &mut report)?;
+        self.collect_linear(self.eden.base().raw(), self.eden.top().raw(), &mut h1, &mut report, allow_gc_bits)?;
+        self.collect_linear(self.from.base().raw(), self.from.top().raw(), &mut h1, &mut report, allow_gc_bits)?;
         // The old generation is indexed by `old_starts` (a linear walk
         // cannot cross G1 humongous footprint gaps).
         let old_top = self.old.top().raw();
@@ -158,7 +197,7 @@ impl Heap {
                 });
             }
             let header = self.mem[s as usize];
-            self.check_header(s, header, (old_top - s) as usize)?;
+            self.check_header(s, header, (old_top - s) as usize, allow_gc_bits)?;
             let end = s + object::size_of(header) as u64;
             if let Some(&next) = self.old_starts.get(i + 1) {
                 if end > next {
@@ -189,7 +228,7 @@ impl Heap {
                         return Err(CheckError::UnsortedStarts { space: "h2", index: i });
                     }
                     let header = h2.read_word_free(Addr::new(s));
-                    self.check_header(s, header, used - (s - base) as usize)?;
+                    self.check_header(s, header, used - (s - base) as usize, allow_gc_bits)?;
                     h2set.insert(s);
                     report.h2_objects += 1;
                     expect = s + object::size_of(header) as u64;
@@ -310,11 +349,12 @@ impl Heap {
         hi: u64,
         set: &mut HashSet<u64>,
         report: &mut CheckReport,
+        allow_gc_bits: bool,
     ) -> Result<(), CheckError> {
         let mut a = lo;
         while a < hi {
             let header = self.mem[a as usize];
-            self.check_header(a, header, (hi - a) as usize)?;
+            self.check_header(a, header, (hi - a) as usize, allow_gc_bits)?;
             set.insert(a);
             report.h1_objects += 1;
             a += object::size_of(header) as u64;
@@ -322,21 +362,32 @@ impl Heap {
         Ok(())
     }
 
-    fn check_header(&self, addr: u64, header: u64, max_words: usize) -> Result<(), CheckError> {
+    fn check_header(
+        &self,
+        addr: u64,
+        header: u64,
+        max_words: usize,
+        allow_gc_bits: bool,
+    ) -> Result<(), CheckError> {
         if object::is_forwarded(header) {
             return Err(CheckError::StaleGcBits {
                 addr,
                 detail: "forwarding header outside a collection",
             });
         }
-        if object::is_marked(header) {
-            return Err(CheckError::StaleGcBits { addr, detail: "mark bit outside a collection" });
-        }
-        if object::is_candidate(header) {
-            return Err(CheckError::StaleGcBits {
-                addr,
-                detail: "candidate bit outside a collection",
-            });
+        if !allow_gc_bits {
+            if object::is_marked(header) {
+                return Err(CheckError::StaleGcBits {
+                    addr,
+                    detail: "mark bit outside a collection",
+                });
+            }
+            if object::is_candidate(header) {
+                return Err(CheckError::StaleGcBits {
+                    addr,
+                    detail: "candidate bit outside a collection",
+                });
+            }
         }
         let size = object::size_of(header);
         if size < object::HEADER_WORDS || size > max_words {
@@ -419,9 +470,9 @@ impl Heap {
         // H1 survived the (simulated) crash untouched: the walk must succeed.
         let mut h1: HashSet<u64> = HashSet::new();
         let mut scratch = CheckReport::default();
-        self.collect_linear(self.eden.base().raw(), self.eden.top().raw(), &mut h1, &mut scratch)
+        self.collect_linear(self.eden.base().raw(), self.eden.top().raw(), &mut h1, &mut scratch, false)
             .expect("H1 eden damaged outside the fault plane");
-        self.collect_linear(self.from.base().raw(), self.from.top().raw(), &mut h1, &mut scratch)
+        self.collect_linear(self.from.base().raw(), self.from.top().raw(), &mut h1, &mut scratch, false)
             .expect("H1 survivor space damaged outside the fault plane");
         for &s in &self.old_starts {
             h1.insert(s);

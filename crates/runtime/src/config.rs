@@ -38,6 +38,13 @@ pub enum GcVariant {
     },
 }
 
+/// Default per-slice pause budget in simulated nanoseconds for incremental
+/// major collection (`HeapConfig::pause_budget_ns`). 50 µs sits an order of
+/// magnitude under the stop-world major pauses of the figure workloads
+/// (hundreds of µs, see `results/fig13_gc_threads.csv`), which is what the
+/// fig14 pause-CDF sweep demonstrates.
+pub const DEFAULT_PAUSE_BUDGET_NS: u64 = 50_000;
+
 /// NVM "Memory mode" model (the paper's Spark-MO baseline, Figure 12b):
 /// the entire heap lives in NVM with DRAM acting as a hardware-managed
 /// cache. Every heap word access pays an amortized NVM penalty determined
@@ -76,6 +83,17 @@ pub struct HeapConfig {
     /// built on; thread-scaling scenarios (the paper's machine runs 16 GC
     /// threads) set it explicitly, e.g. the `fig13_gc_threads` sweep.
     pub gc_threads: usize,
+    /// Per-slice pause budget for incremental major collection, in simulated
+    /// nanoseconds (DESIGN.md §12). `0` (the default) disables incremental
+    /// collection: major GCs run stop-world, reproducing the committed
+    /// figures bit-identically. A finite non-zero budget makes major
+    /// collections run as bounded work-unit slices interleaved with the
+    /// mutator; it requires the ParallelScavenge variant. `u64::MAX` arms
+    /// the incremental machinery (write barrier, slice plumbing) but lets
+    /// every cycle complete in a single unbounded slice — by construction
+    /// equivalent to the stop-world collector, which `gc_equivalence.rs`
+    /// pins bit-for-bit.
+    pub pause_budget_ns: u64,
     /// Mutator (executor) threads; frameworks divide their compute and S/D
     /// time by this (paper: 8, swept 4/8/16 in Figure 13a).
     pub mutator_threads: usize,
@@ -114,6 +132,7 @@ impl HeapConfig {
             card_seg_words: 64,
             tenure_age: 2,
             gc_threads: 1,
+            pause_budget_ns: 0,
             mutator_threads: 8,
             variant: GcVariant::ParallelScavenge,
             memory_mode: None,
@@ -187,6 +206,14 @@ impl HeapConfig {
                 return Err(ConfigError::MissPercent { miss_percent: mm.miss_percent });
             }
         }
+        // A finite slice budget needs the incremental engine, which is only
+        // implemented for the ParallelScavenge cost model (G1 already models
+        // concurrent marking through its discount; Panthera's split old gen
+        // is out of scope). `u64::MAX` runs single-slice cycles and is
+        // likewise PS-only. `0` (stop-world) is valid for every variant.
+        if self.pause_budget_ns != 0 && self.variant != GcVariant::ParallelScavenge {
+            return Err(ConfigError::IncrementalNeedsPs { pause_budget_ns: self.pause_budget_ns });
+        }
         Ok(())
     }
 }
@@ -216,6 +243,13 @@ impl HeapConfigBuilder {
     /// work units).
     pub fn gc_threads(mut self, threads: usize) -> Self {
         self.config.gc_threads = threads;
+        self
+    }
+
+    /// Per-slice pause budget for incremental major collection in simulated
+    /// ns (`0` = stop-world, the default; see `HeapConfig::pause_budget_ns`).
+    pub fn pause_budget_ns(mut self, ns: u64) -> Self {
+        self.config.pause_budget_ns = ns;
         self
     }
 
@@ -289,6 +323,9 @@ pub enum ConfigError {
     PantheraSplit { old_dram_words: usize, old_words: usize },
     /// A memory-mode miss ratio above 100%.
     MissPercent { miss_percent: u8 },
+    /// A non-zero incremental pause budget on a non-ParallelScavenge
+    /// collector variant.
+    IncrementalNeedsPs { pause_budget_ns: u64 },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -311,6 +348,11 @@ impl std::fmt::Display for ConfigError {
             ConfigError::MissPercent { miss_percent } => {
                 write!(f, "memory-mode miss ratio {miss_percent}% exceeds 100%")
             }
+            ConfigError::IncrementalNeedsPs { pause_budget_ns } => write!(
+                f,
+                "pause_budget_ns = {pause_budget_ns} requires the ParallelScavenge \
+                 variant (incremental major collection is PS-only)"
+            ),
         }
     }
 }
@@ -402,6 +444,13 @@ mod tests {
                 .build(),
             Err(ConfigError::MissPercent { miss_percent: 101 })
         );
+        assert_eq!(
+            HeapConfig::builder(1 << 10, 1 << 10)
+                .variant(GcVariant::G1 { region_words: 256 })
+                .pause_budget_ns(50_000)
+                .build(),
+            Err(ConfigError::IncrementalNeedsPs { pause_budget_ns: 50_000 })
+        );
     }
 
     #[test]
@@ -409,18 +458,21 @@ mod tests {
         let cfg = HeapConfig::builder(64 << 10, 256 << 10)
             .tenure_age(1)
             .gc_threads(8)
+            .pause_budget_ns(25_000)
             .obs_level(Level::Counters)
             .obs_events(1 << 12)
             .build()
             .unwrap();
         assert_eq!(cfg.tenure_age, 1);
         assert_eq!(cfg.gc_threads, 8);
+        assert_eq!(cfg.pause_budget_ns, 25_000);
         assert_eq!(cfg.obs_level, Some(Level::Counters));
         assert_eq!(cfg.obs_events, 1 << 12);
         assert_eq!(cfg, { // builder with no overrides == with_words
             let mut c = HeapConfig::with_words(64 << 10, 256 << 10);
             c.tenure_age = 1;
             c.gc_threads = 8;
+            c.pause_budget_ns = 25_000;
             c.obs_level = Some(Level::Counters);
             c.obs_events = 1 << 12;
             c

@@ -1,0 +1,1225 @@
+//! Incremental major collection: pause-budgeted slices over the work-unit
+//! scheduler (DESIGN.md §12).
+//!
+//! When `HeapConfig::pause_budget_ns` is a finite non-zero value, major
+//! collections stop arriving as one stop-world mark–compact: a cycle is
+//! started proactively (after a minor GC, once the old generation's free
+//! space drops below twice the young generation) and then driven forward in
+//! **slices**. Each slice pauses the mutator, drains work units — the same
+//! root strips, H2 card chunks, gray packets, plan chunks and compact chunks
+//! the stop-world collector enumerates (`gc::major`) — until the projected
+//! pause would exceed the budget, fires one scheduler barrier, and returns
+//! control to the mutator. Simulated nanoseconds stay bit-identical and
+//! deterministic at any `gc_threads`, because every unit carries the same
+//! deterministic cost accounting as the stop-world phases and lane picks
+//! depend only on previously accumulated unit costs.
+//!
+//! The phase structure mirrors PS mark–compact, split at unit granularity:
+//!
+//! 1. **MarkRoots / MarkCards / MarkDrain** — snapshot-at-the-beginning
+//!    (SATB) marking. The write barrier ([`Heap::write_ref_at`]) remembers
+//!    overwritten H1 values and [`Heap::release`] remembers released roots;
+//!    each drain unit re-grays them, so objects reachable at cycle start
+//!    cannot be hidden by mutation between slices (deletion barrier).
+//!    Objects allocated during marking are allocated black. H1→H2 stores
+//!    fence the target region live, and H2→H2 stores record the cross-region
+//!    dependency the (possibly already passed) incremental card scan could
+//!    not have seen.
+//! 2. **Plan** — H2 address assignment plus per-chunk forwarding-address
+//!    assignment, against the live set frozen at mark termination. Objects
+//!    allocated in this window (`plan_late`) stay where they are; the flip
+//!    adjusts their slots.
+//! 3. **Flip** — one atomic step between Plan and Relocate: H2 card states
+//!    are re-derived (then every mutator-dirtied slot re-marked), backward
+//!    slots rewritten, roots forwarded, H1 cards cleared. From here the
+//!    mutator holds *logical* (post-compaction) addresses; accessors
+//!    translate through the destination index while objects physically move.
+//! 4. **Relocate** — fused adjust+copy chunks in enumeration order
+//!    (old-then-young, address-sorted): slots are rewritten in place at the
+//!    source, cards re-derived at the destination, then the object is copied
+//!    (H1 slide or promotion-buffered H2 write). PS destinations never
+//!    overtake their sources, so no stash is needed. A finish step restores
+//!    the start indexes, nulls the reference slots of the dead eden prefix
+//!    (surviving headers keep the linear eden walk parsable — "deadwood"),
+//!    and retires the cycle.
+//!
+//! Minor GCs never run mid-cycle: any demand collection (eden full, explicit
+//! GC, large allocation) first **force-finishes** the cycle by running one
+//! unbounded slice. The proactive trigger keeps `old.free >= young` after
+//! every minor while no cycle is active, so the promotion guarantee cannot
+//! demand a stop-world major between slices.
+//!
+//! Coverage auditing is off for incremental cycles: SATB re-graying means a
+//! gray packet may legitimately re-claim an already-visited object, which
+//! the exactly-once audit would flag. The equivalence tests pin soundness
+//! instead (no live object freed; final logical heap equals stop-world).
+
+use super::major::{self, ForwardTable};
+use super::schedule::{Scheduler, GRAY_PACKET, H2_CARD_CHUNK, OBJECT_CHUNK, ROOT_STRIP};
+use super::Work;
+use crate::config::OomError;
+use crate::heap::Heap;
+use crate::object;
+use teraheap_core::{Addr, CardState, Label};
+use teraheap_storage::obs::{CardTableKind, EventKind, GcCause, GcKind, GcPhase, WorkUnitKind};
+use teraheap_storage::Category;
+
+/// Mutator nanoseconds between slices = `pause_budget_ns / PACE_DIVISOR`.
+/// At 8, a cycle of total GC work `W` completes after about `W / 8` mutator
+/// ns — well inside one eden refill window at the default budget — so the
+/// force-finish path (which would blow the pause target) stays a safety net.
+pub(crate) const PACE_DIVISOR: u64 = 8;
+
+/// Relocation chunk: smaller than the stop-world [`OBJECT_CHUNK`] because a
+/// fused adjust+copy unit is the costliest unit kind and a single unit must
+/// fit comfortably inside the default pause budget.
+const RELOC_CHUNK: usize = 64;
+
+/// Candidate-selection chunk (tagged objects per unit): the closure walk is
+/// a serial chain, resumed across slices on lane 0, and one chunk must fit
+/// well inside the default pause budget.
+const SELECT_CHUNK: usize = 64;
+
+/// H2 address-assignment chunk: the region bump allocation is a serial
+/// cross-object dependency chain, resumed in order on lane 0.
+const ASSIGN_CHUNK: usize = 64;
+
+/// Which engine phase the cycle is in between slices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IncrPhase {
+    MarkRoots,
+    MarkCards,
+    MarkDrain,
+    /// Chunked candidate selection between mark termination and planning.
+    Select,
+    Plan,
+    Relocate,
+}
+
+/// All state an incremental major cycle carries across slices.
+pub(crate) struct IncrCycle {
+    sched: Scheduler,
+    phase: IncrPhase,
+    cur_gc_phase: GcPhase,
+    h2_words_before: u64,
+    /// Sum of slice durations so far (becomes `stats.major_ns`).
+    gc_ns: u64,
+    /// Clock ns at the start of the current phase segment (slice-local).
+    seg_start_ns: u64,
+    /// Clock ns when the last slice ended; paces the next slice.
+    pub(crate) last_slice_end_ns: u64,
+    // ---- marking ----------------------------------------------------------
+    /// Root-table length snapshot at cycle start; roots created later hold
+    /// values already covered by SATB and need no strip.
+    roots_len: usize,
+    roots_cursor: usize,
+    cards: Vec<usize>,
+    cards_cursor: usize,
+    cards_snapped: bool,
+    stack: Vec<Addr>,
+    live: Vec<u64>,
+    live_words: u64,
+    /// SATB remembered set: H1 addresses overwritten or released between
+    /// slices, re-grayed at the next drain unit.
+    pub(crate) remembered: Vec<u64>,
+    backward_slots: Vec<Addr>,
+    /// H2 slots that received an H1 value from the mutator mid-cycle; the
+    /// flip's backward fix covers them in addition to the scanned set.
+    pub(crate) extra_backward: Vec<Addr>,
+    /// Every H2 slot the mutator ref-wrote pre-flip: re-marked dirty after
+    /// the flip re-derives scanned card states, so mutation between slices
+    /// cannot be erased by the re-derivation.
+    pub(crate) mutator_h2_dirty: Vec<Addr>,
+    scanned_cards: Vec<(usize, bool)>,
+    slot_buf: Vec<u64>,
+    // ---- plan -------------------------------------------------------------
+    old_base: u64,
+    old_live: Vec<u64>,
+    young_live: Vec<u64>,
+    move_order: Vec<u64>,
+    /// Resumable candidate-selection state (`None` once selection drained).
+    sel: Option<SelState>,
+    /// `h2_move` requests visible when selection began: the only ones this
+    /// cycle may clear at retirement (later hints target the next GC).
+    req_snapshot: Vec<Label>,
+    h2_assigned: bool,
+    /// Cursor into `move_order` for the chunked H2 address assignment.
+    assign_idx: usize,
+    plan_idx: usize,
+    forwarding: ForwardTable,
+    new_top: u64,
+    new_old_starts: Vec<u64>,
+    /// Eden top at mark termination: everything below relocates, everything
+    /// at or above stays (allocated during Plan/Relocate).
+    flip_top: u64,
+    /// Objects allocated during Plan (in eden, >= flip_top): their slots may
+    /// hold pre-compaction addresses and are adjusted at the flip.
+    pub(crate) plan_late: Vec<u64>,
+    // ---- relocate ---------------------------------------------------------
+    /// `(dest, src)` sorted by dest — the logical→physical index mutator
+    /// accessors search while objects move.
+    dest_index: Vec<(u64, u64)>,
+    reloc_idx: usize,
+    promoted_regions: Vec<u32>,
+    /// Words staged in the promotion buffer since the last flush; bounds the
+    /// end-of-slice flush cost in the pause projection.
+    staged_words: u64,
+    done: bool,
+    aborted: bool,
+}
+
+/// Resumable candidate-selection state: the stop-world
+/// [`major::select_candidates`] group loop, unrolled so it can yield
+/// between [`SELECT_CHUNK`]-object units. All policy decisions are
+/// snapshotted at mark termination, exactly like the stop-world selector's
+/// policy clone.
+struct SelState {
+    /// `(label, root, requested)`, oldest label first.
+    groups: Vec<(u64, u64, bool)>,
+    gi: usize,
+    /// In-progress closure traversal of the current group.
+    stack: Vec<Addr>,
+    cur_label: u64,
+    /// The current group draws down the pressure budget (not requested).
+    cur_counts: bool,
+    cur_words: u64,
+    in_group: bool,
+    pressure: bool,
+    hints: bool,
+    newest_label: u64,
+    pressure_budget: Option<u64>,
+    moved_words: u64,
+    /// `live_words` frozen at selection start (the stop-world value).
+    live_words: u64,
+    deferred: Vec<(u64, u64)>,
+    deferred_mode: bool,
+}
+
+impl std::fmt::Debug for IncrCycle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IncrCycle")
+            .field("phase", &self.phase)
+            .field("live", &self.live.len())
+            .field("reloc_idx", &self.reloc_idx)
+            .finish_non_exhaustive()
+    }
+}
+
+impl IncrCycle {
+    /// Whether marking is still running (SATB barrier armed).
+    pub(crate) fn marking(&self) -> bool {
+        matches!(self.phase, IncrPhase::MarkRoots | IncrPhase::MarkCards | IncrPhase::MarkDrain)
+    }
+
+    /// Whether the flip has not happened yet (mutator addresses are still
+    /// physical; H2 card re-derivation is still pending).
+    pub(crate) fn pre_flip(&self) -> bool {
+        !matches!(self.phase, IncrPhase::Relocate)
+    }
+
+    /// Whether chunked candidate selection is running (allocations must
+    /// still join the live enumeration, but SATB no longer remembers).
+    fn selecting(&self) -> bool {
+        matches!(self.phase, IncrPhase::Select)
+    }
+
+    /// Whether the Plan phase is recording late allocations.
+    pub(crate) fn planning(&self) -> bool {
+        matches!(self.phase, IncrPhase::Plan)
+    }
+
+    /// The object's enumeration rank in the relocation order (old-then-young,
+    /// each address-sorted). Objects with rank `< reloc_idx` have moved.
+    fn enum_rank(&self, src: u64) -> usize {
+        if src >= self.old_base {
+            self.old_live.partition_point(|&s| s < src)
+        } else {
+            self.old_live.len() + self.young_live.partition_point(|&s| s < src)
+        }
+    }
+
+    fn enum_at(&self, idx: usize) -> u64 {
+        if idx < self.old_live.len() {
+            self.old_live[idx]
+        } else {
+            self.young_live[idx - self.old_live.len()]
+        }
+    }
+
+    /// Resolves a mutator-held (logical) object address to `(physical,
+    /// raw_slots)`. `raw_slots` is true when the object has not been
+    /// relocated yet, so its reference slots still hold pre-adjustment
+    /// (physical) values: reads must canonicalize through the forwarding
+    /// table and writes must de-canonicalize through the destination index.
+    pub(crate) fn view(&self, a: Addr) -> (Addr, bool) {
+        if self.pre_flip() {
+            return (a, false);
+        }
+        match self.dest_index.binary_search_by_key(&a.raw(), |&(d, _)| d) {
+            Ok(i) => {
+                let src = self.dest_index[i].1;
+                if self.enum_rank(src) < self.reloc_idx {
+                    (a, false)
+                } else {
+                    (Addr::new(src), true)
+                }
+            }
+            Err(_) => (a, false),
+        }
+    }
+
+    /// Raw slot value → logical address (reads from un-moved objects).
+    pub(crate) fn canon(&self, v: u64) -> u64 {
+        self.forwarding.get(v).unwrap_or(v)
+    }
+
+    /// Logical address → raw slot value (writes into un-moved objects,
+    /// whose slots must keep holding physical values until the fused adjust
+    /// rewrites them).
+    pub(crate) fn decanon(&self, v: u64) -> u64 {
+        match self.dest_index.binary_search_by_key(&v, |&(d, _)| d) {
+            Ok(i) => self.dest_index[i].1,
+            Err(_) => v,
+        }
+    }
+
+    /// Allocation hook: allocate-black during marking (fields are null at
+    /// birth; SATB covers later stores), record Plan-window allocations for
+    /// the flip's slot adjustment. `live_words` undercounts nothing here —
+    /// black allocations are counted so the pressure heuristic sees them.
+    pub(crate) fn note_alloc(&mut self, addr: Addr, words: usize, mem: &mut [u64]) {
+        if self.marking() || self.selecting() {
+            let i = addr.raw() as usize;
+            mem[i] = object::with_mark(mem[i]);
+            self.live.push(addr.raw());
+            self.live_words += words as u64;
+        } else if self.planning() {
+            self.plan_late.push(addr.raw());
+        }
+    }
+
+    /// The cost of flushing the currently staged promotion-buffer bytes —
+    /// added to the pause projection so the end-of-slice flush cannot push a
+    /// slice past its budget.
+    fn flush_estimate_ns(&self, heap: &Heap) -> u64 {
+        if self.staged_words == 0 {
+            return 0;
+        }
+        match heap.h2.as_ref() {
+            Some(h2) => h2.device_spec().write_cost_ns(self.staged_words as usize * 8),
+            None => 0,
+        }
+    }
+}
+
+/// Starts a cycle after a minor GC if the incremental mode is armed and old
+/// free space has dropped below twice the young generation. The margin
+/// guarantees a `PromotionGuarantee` stop-world major can never fire while a
+/// cycle is active: with no cycle running free >= 2·young, and one minor
+/// promotes at most `young` words.
+pub(crate) fn maybe_start(heap: &mut Heap) {
+    let budget = heap.config.pause_budget_ns;
+    if budget == 0 || budget == u64::MAX || heap.incr.is_some() || heap.pending_oom.is_some() {
+        return;
+    }
+    if heap.old.free_words() >= 2 * heap.config.young_words {
+        return;
+    }
+    debug_assert!(!heap.in_gc);
+    let h2_words_before = heap.h2.as_ref().map(|h| h.words_promoted()).unwrap_or(0);
+    heap.clock.emit(EventKind::GcBegin {
+        gc: GcKind::Major,
+        cause: GcCause::Incremental,
+        old_used_words: heap.old.used_words() as u64,
+    });
+    heap.clock.emit(EventKind::PhaseBegin { phase: GcPhase::Mark });
+    if let Some(h2) = heap.h2.as_mut() {
+        h2.begin_major_marking();
+    }
+    heap.incr = Some(Box::new(IncrCycle {
+        // No coverage audit (module docs): SATB re-graying re-claims keys.
+        sched: Scheduler::new(heap.config.gc_threads, heap.config.cost.gc_barrier_sync_ns, false),
+        phase: IncrPhase::MarkRoots,
+        cur_gc_phase: GcPhase::Mark,
+        h2_words_before,
+        gc_ns: 0,
+        seg_start_ns: 0,
+        last_slice_end_ns: heap.clock.total_ns(),
+        roots_len: heap.roots.len(),
+        roots_cursor: 0,
+        cards: Vec::new(),
+        cards_cursor: 0,
+        cards_snapped: false,
+        stack: Vec::new(),
+        live: Vec::new(),
+        live_words: 0,
+        remembered: Vec::new(),
+        backward_slots: Vec::new(),
+        extra_backward: Vec::new(),
+        mutator_h2_dirty: Vec::new(),
+        scanned_cards: Vec::new(),
+        slot_buf: Vec::new(),
+        old_base: heap.old.base().raw(),
+        old_live: Vec::new(),
+        young_live: Vec::new(),
+        move_order: Vec::new(),
+        sel: None,
+        req_snapshot: Vec::new(),
+        h2_assigned: false,
+        assign_idx: 0,
+        plan_idx: 0,
+        forwarding: ForwardTable::recycled(Vec::new(), 0, 0),
+        new_top: 0,
+        new_old_starts: Vec::new(),
+        flip_top: 0,
+        plan_late: Vec::new(),
+        dest_index: Vec::new(),
+        reloc_idx: 0,
+        promoted_regions: Vec::new(),
+        staged_words: 0,
+        done: false,
+        aborted: false,
+    }));
+    run_slice(heap, heap.config.pause_budget_ns);
+}
+
+/// Runs the in-flight cycle to completion in one unbounded slice (demand
+/// collections and large allocations cannot proceed mid-cycle), then
+/// surfaces any OOM the cycle hit.
+///
+/// # Errors
+///
+/// Returns the pending [`OomError`] if the cycle (now or earlier) aborted at
+/// a planning overflow.
+pub(crate) fn force_finish(heap: &mut Heap) -> Result<(), OomError> {
+    if heap.incr.is_some() {
+        run_slice(heap, u64::MAX);
+        debug_assert!(heap.incr.is_none(), "unbounded slice did not retire the cycle");
+    }
+    match heap.pending_oom.take() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Runs one pause slice: drains work units while the projected pause —
+/// elapsed + unsettled lane charges + the costliest unit seen this slice +
+/// the pending promotion flush — stays within `budget_ns`, then flushes,
+/// fires the slice barrier and returns control to the mutator.
+pub(crate) fn run_slice(heap: &mut Heap, budget_ns: u64) {
+    let Some(mut cyc) = heap.incr.take() else { return };
+    debug_assert!(!heap.in_gc, "GC slice inside a collection");
+    heap.in_gc = true;
+    let clock = heap.clock.clone();
+    let slice_start = heap.clock.total_ns();
+    clock.emit(EventKind::SliceBegin { phase: cyc.cur_gc_phase });
+    cyc.seg_start_ns = slice_start;
+    // Aim slightly inside the budget: a phase-transition step can chain a
+    // second unit and the flush estimate is a lower bound, so slices stop at
+    // 7/8 of the budget to keep the overshoot tail within it.
+    let target_ns = budget_ns - budget_ns / 8;
+    let mut units: u64 = 0;
+    let mut max_unit_ns: u64 = 0;
+    while !cyc.done && !cyc.aborted {
+        if units > 0 {
+            let elapsed = heap.clock.total_ns() - slice_start;
+            let projected = elapsed
+                .saturating_add(cyc.sched.pending_ns())
+                .saturating_add(max_unit_ns)
+                .saturating_add(cyc.flush_estimate_ns(heap));
+            if projected > target_ns {
+                break;
+            }
+        }
+        let before = heap.clock.total_ns() + cyc.sched.pending_ns();
+        step(heap, &mut cyc);
+        units += 1;
+        let after = heap.clock.total_ns() + cyc.sched.pending_ns();
+        max_unit_ns = max_unit_ns.max(after.saturating_sub(before));
+    }
+    if !cyc.aborted {
+        if cyc.staged_words > 0 {
+            heap.h2.as_mut().unwrap().finish_promotion(Category::MajorGc);
+            cyc.staged_words = 0;
+        }
+        heap.stats.lane_stall_ns += cyc.sched.barrier(&clock, Category::MajorGc, "incr:slice");
+        let now = heap.clock.total_ns();
+        add_phase_ns(heap, cyc.cur_gc_phase, now - cyc.seg_start_ns);
+    }
+    let now = heap.clock.total_ns();
+    cyc.gc_ns += now - slice_start;
+    heap.stats.incr_slices += 1;
+    if cyc.done {
+        clock.emit(EventKind::PhaseEnd { phase: GcPhase::Compact });
+        heap.stats.major_count += 1;
+        heap.stats.major_ns += cyc.gc_ns;
+        let h2_words_after = heap.h2.as_ref().map(|h| h.words_promoted()).unwrap_or(0);
+        clock.emit(EventKind::GcEnd {
+            gc: GcKind::Major,
+            old_used_words: heap.old.used_words() as u64,
+            old_capacity_words: heap.old.capacity_words() as u64,
+            promoted_h2_words: h2_words_after - cyc.h2_words_before,
+        });
+    }
+    clock.emit(EventKind::SliceEnd { phase: cyc.cur_gc_phase, units });
+    heap.in_gc = false;
+    if !cyc.done && !cyc.aborted {
+        cyc.last_slice_end_ns = heap.clock.total_ns();
+        heap.incr = Some(cyc);
+    }
+    heap.maybe_heap_check("after incremental slice");
+}
+
+/// Executes one work unit (or a zero-cost phase transition followed by its
+/// first unit) of the cycle.
+fn step(heap: &mut Heap, cyc: &mut IncrCycle) {
+    match cyc.phase {
+        IncrPhase::MarkRoots => step_mark_roots(heap, cyc),
+        IncrPhase::MarkCards => step_mark_cards(heap, cyc),
+        IncrPhase::MarkDrain => step_mark_drain(heap, cyc),
+        IncrPhase::Select => step_select(heap, cyc),
+        IncrPhase::Plan => step_plan(heap, cyc),
+        IncrPhase::Relocate => step_relocate(heap, cyc),
+    }
+}
+
+/// Closes the current phase segment: settles the phase ns, emits the
+/// `PhaseEnd`/`PhaseBegin` pair and restarts segment accounting. Callers
+/// fire the scheduler barrier first so pending lane charges land in the
+/// outgoing phase.
+fn roll_to(heap: &mut Heap, cyc: &mut IncrCycle, next: GcPhase) {
+    let now = heap.clock.total_ns();
+    add_phase_ns(heap, cyc.cur_gc_phase, now - cyc.seg_start_ns);
+    heap.clock.emit(EventKind::PhaseEnd { phase: cyc.cur_gc_phase });
+    heap.clock.emit(EventKind::PhaseBegin { phase: next });
+    cyc.cur_gc_phase = next;
+    cyc.seg_start_ns = now;
+}
+
+fn add_phase_ns(heap: &mut Heap, phase: GcPhase, ns: u64) {
+    match phase {
+        GcPhase::Mark => heap.stats.phases.marking_ns += ns,
+        GcPhase::Precompact => heap.stats.phases.precompact_ns += ns,
+        GcPhase::Adjust => heap.stats.phases.adjust_ns += ns,
+        GcPhase::Compact => heap.stats.phases.compact_ns += ns,
+    }
+}
+
+fn step_mark_roots(heap: &mut Heap, cyc: &mut IncrCycle) {
+    if cyc.roots_cursor >= cyc.roots_len {
+        cyc.phase = IncrPhase::MarkCards;
+        return step_mark_cards(heap, cyc);
+    }
+    let clock = heap.clock.clone();
+    let lane = cyc.sched.begin_unit(&clock, WorkUnitKind::RootStrip);
+    let mut uw = Work::default();
+    let end = (cyc.roots_cursor + ROOT_STRIP).min(cyc.roots_len);
+    for i in cyc.roots_cursor..end {
+        let a = heap.roots[i];
+        if a.is_h1() {
+            major::mark_push(heap, a, &mut cyc.stack, &mut cyc.live, &mut uw);
+        } else if a.is_h2() {
+            heap.h2.as_mut().expect("H2 root without H2").note_forward_ref(a);
+        }
+    }
+    cyc.roots_cursor = end;
+    let cost = uw.cpu_ns(&heap.config.cost);
+    cyc.sched.end_unit(&clock, lane, WorkUnitKind::RootStrip, cost, uw.extra_ns);
+    if cyc.roots_cursor >= cyc.roots_len {
+        cyc.phase = IncrPhase::MarkCards;
+    }
+}
+
+fn step_mark_cards(heap: &mut Heap, cyc: &mut IncrCycle) {
+    if !cyc.cards_snapped {
+        cyc.cards_snapped = true;
+        if let Some(h2) = heap.h2.as_mut() {
+            cyc.cards = h2.cards_mut().major_scan_cards();
+            heap.clock.emit(EventKind::CardScan {
+                table: CardTableKind::H2Major,
+                cards: cyc.cards.len() as u64,
+            });
+        }
+    }
+    if cyc.cards_cursor >= cyc.cards.len() {
+        cyc.phase = IncrPhase::MarkDrain;
+        return step_mark_drain(heap, cyc);
+    }
+    let clock = heap.clock.clone();
+    let lane = cyc.sched.begin_unit(&clock, WorkUnitKind::H2CardChunk);
+    let mut uw = Work::default();
+    let seg_words = heap.h2.as_ref().unwrap().cards().seg_words() as u64;
+    let region_words = heap.h2.as_ref().unwrap().regions().region_words() as u64;
+    let end = (cyc.cards_cursor + H2_CARD_CHUNK).min(cyc.cards.len());
+    for ci in cyc.cards_cursor..end {
+        let card = cyc.cards[ci];
+        uw.cards += 1;
+        let base = heap.h2.as_ref().unwrap().cards().card_base(card);
+        let region = (base.h2_offset() / region_words) as u32;
+        let lo = base.raw();
+        let hi = lo + seg_words;
+        // Take the region's start index out of the map for the card walk
+        // (same discipline as the stop-world scan's region cache).
+        let Some(starts) = heap.h2_starts.remove(&region) else {
+            cyc.scanned_cards.push((card, false));
+            continue;
+        };
+        let mut has_backward = false;
+        if !starts.is_empty() {
+            let mut i = starts.partition_point(|&s| s <= lo).saturating_sub(1);
+            while i < starts.len() && starts[i] < hi {
+                let obj = Addr::new(starts[i]);
+                let header = heap.h2.as_mut().unwrap().read_word(obj, Category::MajorGc);
+                let size = object::size_of(header) as u64;
+                uw.objects += 1;
+                if obj.raw() + size > lo {
+                    let (first_slot, end_slot) = heap.ref_slot_range_in(obj, lo, hi);
+                    cyc.slot_buf.resize(end_slot.saturating_sub(first_slot) as usize, 0);
+                    heap.h2.as_mut().unwrap().read_words(
+                        Addr::new(first_slot),
+                        &mut cyc.slot_buf,
+                        Category::MajorGc,
+                    );
+                    for j in 0..cyc.slot_buf.len() {
+                        let val = cyc.slot_buf[j];
+                        let slot = Addr::new(first_slot + j as u64);
+                        uw.refs += 1;
+                        if val == 0 {
+                            continue;
+                        }
+                        if Addr::new(val).is_h2() {
+                            let h2 = heap.h2.as_mut().unwrap();
+                            let from = h2.regions().region_of(obj);
+                            let to = h2.regions().region_of(Addr::new(val));
+                            if from != to {
+                                h2.regions_mut().add_dependency(from, to);
+                            }
+                            continue;
+                        }
+                        has_backward = true;
+                        heap.stats.backward_refs_seen += 1;
+                        cyc.backward_slots.push(slot);
+                        major::mark_push(
+                            heap,
+                            Addr::new(val),
+                            &mut cyc.stack,
+                            &mut cyc.live,
+                            &mut uw,
+                        );
+                    }
+                }
+                i += 1;
+            }
+        }
+        heap.h2_starts.insert(region, starts);
+        cyc.scanned_cards.push((card, has_backward));
+    }
+    cyc.cards_cursor = end;
+    let cost = uw.cpu_ns(&heap.config.cost);
+    cyc.sched.end_unit(&clock, lane, WorkUnitKind::H2CardChunk, cost, uw.extra_ns);
+    if cyc.cards_cursor >= cyc.cards.len() {
+        cyc.phase = IncrPhase::MarkDrain;
+    }
+}
+
+fn step_mark_drain(heap: &mut Heap, cyc: &mut IncrCycle) {
+    if cyc.stack.is_empty() && cyc.remembered.is_empty() {
+        return mark_terminate(heap, cyc);
+    }
+    let clock = heap.clock.clone();
+    let lane = cyc.sched.begin_unit(&clock, WorkUnitKind::GrayPacket);
+    let mut uw = Work::default();
+    // Re-gray what the SATB barrier remembered since the last unit.
+    while let Some(a) = cyc.remembered.pop() {
+        major::mark_push(heap, Addr::new(a), &mut cyc.stack, &mut cyc.live, &mut uw);
+    }
+    for _ in 0..GRAY_PACKET {
+        let Some(obj) = cyc.stack.pop() else { break };
+        cyc.live_words += heap.object_size(obj) as u64;
+        let (first_slot, end_slot) = heap.ref_slot_range(obj);
+        for s in first_slot..end_slot {
+            uw.refs += 1;
+            let val = heap.mem[s as usize];
+            if val == 0 {
+                continue;
+            }
+            let target = Addr::new(val);
+            if target.is_h2() {
+                heap.h2.as_mut().expect("H2 ref without H2").note_forward_ref(target);
+                heap.stats.forward_refs_fenced += 1;
+                continue;
+            }
+            major::mark_push(heap, target, &mut cyc.stack, &mut cyc.live, &mut uw);
+        }
+    }
+    let cost = uw.cpu_ns(&heap.config.cost);
+    cyc.sched.end_unit(&clock, lane, WorkUnitKind::GrayPacket, cost, uw.extra_ns);
+}
+
+/// Mark termination: the SATB closure is complete (gray stack and
+/// remembered set both empty with no mutator in between), so selection can
+/// begin. Selection itself is chunked — [`step_select`] resumes the group
+/// loop across slices — and [`finish_select`] runs the sweep, the mark
+/// barrier, and the live-set freeze once it drains.
+fn mark_terminate(heap: &mut Heap, cyc: &mut IncrCycle) {
+    cyc.phase = IncrPhase::Select;
+    // Snapshot the hint requests this cycle will consider: a request landing
+    // after this point applies to a later GC, so retirement must not clear
+    // it (the stop-world selector runs atomically and can clear wholesale).
+    cyc.req_snapshot =
+        heap.h2.as_ref().map(|h| h.policy().requested_labels()).unwrap_or_default();
+    cyc.sel = begin_select(heap, cyc.live_words, &cyc.live);
+    step_select(heap, cyc)
+}
+
+/// Snapshots the policy decisions of the stop-world
+/// [`major::select_candidates`] group loop: tagged groups oldest label
+/// first, the pressure flag, the deferred newest group, the pressure
+/// budget, and each group's requested bit. Returns `None` when there is
+/// nothing to select.
+fn begin_select(heap: &Heap, live_words: u64, live: &[u64]) -> Option<SelState> {
+    let h2 = heap.h2.as_ref()?;
+    if h2.is_degraded() {
+        return None;
+    }
+    let mut tagged: Vec<(u64, u64)> = live
+        .iter()
+        .filter(|&&a| heap.mem[a as usize + 1] != 0)
+        .map(|&a| (heap.mem[a as usize + 1], a))
+        .collect();
+    if tagged.is_empty() {
+        return None;
+    }
+    tagged.sort_unstable();
+    let policy = h2.policy();
+    let live_pressure = live_words as f64 > policy.high() * heap.old.capacity_words() as f64;
+    let pressure = policy.under_pressure() || live_pressure;
+    let newest_label = tagged.last().map(|&(l, _)| l).unwrap_or(0);
+    let pressure_budget = if pressure {
+        policy.pressure_budget_words(live_words, heap.old.capacity_words() as u64)
+    } else {
+        None
+    };
+    let groups = tagged
+        .into_iter()
+        .map(|(l, r)| (l, r, policy.is_requested(Label::new(l))))
+        .collect();
+    Some(SelState {
+        groups,
+        gi: 0,
+        stack: Vec::new(),
+        cur_label: 0,
+        cur_counts: false,
+        cur_words: 0,
+        in_group: false,
+        pressure,
+        hints: policy.hints_enabled(),
+        newest_label,
+        pressure_budget,
+        moved_words: 0,
+        live_words,
+        deferred: Vec::new(),
+        deferred_mode: false,
+    })
+}
+
+/// One chunked `CandidateSelect` unit: resumes the in-progress closure (or
+/// advances the group loop) until [`SELECT_CHUNK`] objects were tagged. The
+/// chain runs on lane 0 — closure discovery order is the H2 placement
+/// order, so it cannot be striped. Mutator writes between chunks can only
+/// unlink marked objects (they move anyway — floating garbage) or link
+/// unmarked late allocations (clamped out by the mark check in
+/// [`major::tag_closure_step`]).
+fn step_select(heap: &mut Heap, cyc: &mut IncrCycle) {
+    let Some(mut sel) = cyc.sel.take() else {
+        return finish_select(heap, cyc);
+    };
+    let clock = heap.clock.clone();
+    let lane = cyc.sched.begin_serial_unit(&clock, WorkUnitKind::CandidateSelect);
+    let mut uw = Work::default();
+    let mut budget = SELECT_CHUNK;
+    let mut exhausted = false;
+    while budget > 0 {
+        if sel.stack.is_empty() {
+            if sel.in_group {
+                sel.in_group = false;
+                sel.moved_words += sel.cur_words;
+                if sel.cur_counts {
+                    if let Some(b) = &mut sel.pressure_budget {
+                        *b = b.saturating_sub(sel.cur_words);
+                    }
+                }
+                sel.cur_words = 0;
+            }
+            // Group gating — the uncharged policy scan of the stop-world
+            // selector.
+            let started = loop {
+                if sel.gi >= sel.groups.len() {
+                    if !sel.deferred_mode {
+                        // Take the deferred (mutable) group only when
+                        // survival demands it, against the live words
+                        // frozen at selection start.
+                        sel.deferred_mode = true;
+                        sel.gi = 0;
+                        let remaining = sel.live_words.saturating_sub(sel.moved_words);
+                        sel.groups =
+                            if remaining as f64 > 0.95 * heap.old.capacity_words() as f64 {
+                                std::mem::take(&mut sel.deferred)
+                                    .into_iter()
+                                    .map(|(l, r)| (l, r, true))
+                                    .collect()
+                            } else {
+                                Vec::new()
+                            };
+                        continue;
+                    }
+                    break false;
+                }
+                let (label_id, root, requested) = sel.groups[sel.gi];
+                sel.gi += 1;
+                if !sel.deferred_mode {
+                    if !requested && !sel.pressure {
+                        continue;
+                    }
+                    if !requested && sel.hints && label_id == sel.newest_label {
+                        sel.deferred.push((label_id, root));
+                        continue;
+                    }
+                    if !requested {
+                        if let Some(0) = sel.pressure_budget {
+                            continue;
+                        }
+                    }
+                }
+                sel.stack.push(Addr::new(root));
+                sel.cur_label = label_id;
+                sel.cur_counts = !requested;
+                sel.in_group = true;
+                break true;
+            };
+            if !started {
+                exhausted = true;
+                break;
+            }
+        }
+        let before = cyc.move_order.len();
+        sel.cur_words += major::tag_closure_step(
+            heap,
+            &mut sel.stack,
+            Label::new(sel.cur_label),
+            &mut uw,
+            &mut cyc.move_order,
+            budget,
+        );
+        budget -= cyc.move_order.len() - before;
+    }
+    let cost = uw.cpu_ns(&heap.config.cost);
+    cyc.sched.end_unit(&clock, lane, WorkUnitKind::CandidateSelect, cost, uw.extra_ns);
+    if !exhausted {
+        cyc.sel = Some(sel);
+    }
+    // Selection drained: the next step runs finish_select.
+}
+
+/// The tail of mark termination, after selection has drained: H2 liveness
+/// stats, the dead-region sweep, the mark barrier, and freezing the live
+/// set into the relocation enumeration.
+fn finish_select(heap: &mut Heap, cyc: &mut IncrCycle) {
+    let clock = heap.clock.clone();
+    if heap.track_h2_liveness && heap.h2.is_some() {
+        major::record_h2_liveness(heap);
+    }
+    if heap.h2.is_some() {
+        let freed = heap.h2.as_mut().unwrap().propagate_and_sweep();
+        for rid in &freed {
+            heap.h2_starts.remove(&rid.0);
+            major::clear_region_cards(heap, rid.0);
+        }
+    }
+    heap.stats.lane_stall_ns += cyc.sched.barrier(&clock, Category::MajorGc, "incr:mark");
+    roll_to(heap, cyc, GcPhase::Precompact);
+    // Freeze the live set: the enumeration order (old-then-young, sorted) is
+    // both the planning and the relocation order, and the flip point pins
+    // which eden allocations stay put.
+    cyc.old_base = heap.old.base().raw();
+    cyc.old_live = cyc.live.iter().copied().filter(|&a| a >= cyc.old_base).collect();
+    cyc.young_live = cyc.live.iter().copied().filter(|&a| a < cyc.old_base).collect();
+    cyc.old_live.sort_unstable();
+    cyc.young_live.sort_unstable();
+    cyc.flip_top = heap.eden.top().raw();
+    cyc.forwarding = ForwardTable::recycled(
+        std::mem::take(&mut heap.fwd_scratch),
+        heap.mem.len(),
+        cyc.live.len(),
+    );
+    cyc.new_top = cyc.old_base;
+    cyc.phase = IncrPhase::Plan;
+}
+
+fn step_plan(heap: &mut Heap, cyc: &mut IncrCycle) {
+    let clock = heap.clock.clone();
+    if !cyc.h2_assigned {
+        let fault_txn = heap.h2.as_ref().is_some_and(|h| h.fault_plane().is_some());
+        if fault_txn {
+            // The promotion transaction (snapshot, stage, restore-on-
+            // failure) is atomic and stays one serial unit under fault
+            // injection.
+            cyc.h2_assigned = true;
+            if !cyc.move_order.is_empty() {
+                h2_assign_txn(heap, cyc);
+                return;
+            }
+        } else if cyc.assign_idx < cyc.move_order.len() {
+            h2_assign_chunk(heap, cyc);
+            return;
+        } else {
+            cyc.h2_assigned = true;
+        }
+    }
+    let total = cyc.old_live.len() + cyc.young_live.len();
+    if cyc.plan_idx >= total {
+        return flip(heap, cyc);
+    }
+    let lane = cyc.sched.begin_unit(&clock, WorkUnitKind::PlanChunk);
+    let mut uw = Work::default();
+    let end = (cyc.plan_idx + OBJECT_CHUNK).min(total);
+    for idx in cyc.plan_idx..end {
+        let src = cyc.enum_at(idx);
+        let header = heap.mem[src as usize];
+        if object::is_candidate(header) {
+            continue;
+        }
+        let size = object::size_of(header);
+        uw.objects += 1;
+        // PS only (config validation rejects other variants with a budget):
+        // the footprint is the plain size, no humongous rounding.
+        if cyc.new_top + size as u64 > heap.old.limit().raw() {
+            cyc.sched.abandon();
+            heap.clock.emit(EventKind::PhaseEnd { phase: GcPhase::Precompact });
+            let placed = cyc.new_top - cyc.old_base;
+            let e = heap.note_oom(OomError {
+                requested_words: size,
+                context: format!(
+                    "live data exceeds the old generation (incremental plan): \
+                     {total} live objects, {placed} words placed of {} capacity",
+                    heap.old.capacity_words()
+                ),
+            });
+            heap.pending_oom = Some(e);
+            cyc.aborted = true;
+            return;
+        }
+        cyc.forwarding.push(src, cyc.new_top);
+        cyc.new_old_starts.push(cyc.new_top);
+        cyc.new_top += size as u64;
+    }
+    cyc.plan_idx = end;
+    let cost = uw.cpu_ns(&heap.config.cost);
+    cyc.sched.end_unit(&clock, lane, WorkUnitKind::PlanChunk, cost, 0);
+}
+
+/// One [`ASSIGN_CHUNK`]-candidate unit of the serial H2 address assignment
+/// (region bump allocation is a cross-object dependency chain: chunks
+/// resume in `move_order` on lane 0, never striped). Mutators between
+/// chunks never touch the H2 allocator or the candidate bits, so the
+/// assignment is identical to the stop-world pass.
+fn h2_assign_chunk(heap: &mut Heap, cyc: &mut IncrCycle) {
+    let clock = heap.clock.clone();
+    let lane = cyc.sched.begin_serial_unit(&clock, WorkUnitKind::H2Assign);
+    let mut uw = Work::default();
+    let end = (cyc.assign_idx + ASSIGN_CHUNK).min(cyc.move_order.len());
+    for i in cyc.assign_idx..end {
+        let src = cyc.move_order[i];
+        let header = heap.mem[src as usize];
+        if !object::is_candidate(header) {
+            continue;
+        }
+        let size = object::size_of(header);
+        let label = Label::new(heap.mem[src as usize + 1]);
+        uw.objects += 1;
+        match heap.h2.as_mut().expect("candidate without H2").alloc(label, size) {
+            Ok(dest) => cyc.forwarding.push(src, dest.raw()),
+            Err(_) => {
+                heap.mem[src as usize] = object::without_candidate(header);
+            }
+        }
+    }
+    cyc.assign_idx = end;
+    if cyc.assign_idx >= cyc.move_order.len() {
+        cyc.h2_assigned = true;
+    }
+    let cost = uw.cpu_ns(&heap.config.cost);
+    cyc.sched.end_unit(&clock, lane, WorkUnitKind::H2Assign, cost, 0);
+}
+
+/// The whole-transaction H2 address assignment used under fault injection:
+/// stage every allocation against a region snapshot, then commit or restore
+/// — atomic, so it stays one serial unit.
+fn h2_assign_txn(heap: &mut Heap, cyc: &mut IncrCycle) {
+    let clock = heap.clock.clone();
+    let lane = cyc.sched.begin_serial_unit(&clock, WorkUnitKind::H2Assign);
+    let mut uw = Work::default();
+    {
+        let snap = heap.h2.as_ref().unwrap().regions().snapshot();
+        let mut staged: Vec<(u64, u64)> = Vec::with_capacity(cyc.move_order.len());
+        let mut failed = false;
+        for &src in &cyc.move_order {
+            let header = heap.mem[src as usize];
+            if !object::is_candidate(header) {
+                continue;
+            }
+            let size = object::size_of(header);
+            let label = Label::new(heap.mem[src as usize + 1]);
+            uw.objects += 1;
+            match heap.h2.as_mut().unwrap().alloc(label, size) {
+                Ok(dest) => staged.push((src, dest.raw())),
+                Err(_) => {
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        if failed {
+            heap.h2.as_mut().unwrap().regions_mut().restore(snap);
+            for &src in &cyc.move_order {
+                let header = heap.mem[src as usize];
+                heap.mem[src as usize] = object::without_candidate(header);
+            }
+        } else {
+            for (src, dest) in staged {
+                cyc.forwarding.push(src, dest);
+            }
+        }
+    }
+    let cost = uw.cpu_ns(&heap.config.cost);
+    cyc.sched.end_unit(&clock, lane, WorkUnitKind::H2Assign, cost, 0);
+}
+
+/// The flip: one atomic step between Plan and Relocate (it may exceed the
+/// budget; in practice it is a few backward-fix chunks). After it, every
+/// mutator-held address is logical and all card state is consistent with
+/// the post-compaction world except for objects still physically unmoved,
+/// which the fused adjust pass covers one relocation chunk at a time.
+fn flip(heap: &mut Heap, cyc: &mut IncrCycle) {
+    let clock = heap.clock.clone();
+    heap.stats.lane_stall_ns += cyc.sched.barrier(&clock, Category::MajorGc, "incr:precompact");
+    roll_to(heap, cyc, GcPhase::Adjust);
+    // Re-derive scanned H2 card states (all H1 survivors end up old), then
+    // re-mark everything the mutator dirtied mid-cycle on top.
+    if let Some(h2) = heap.h2.as_mut() {
+        for &(card, has_backward) in &cyc.scanned_cards {
+            let state = if has_backward { CardState::OldGen } else { CardState::Clean };
+            h2.cards_mut().set_state(card, state);
+        }
+        for &slot in &cyc.mutator_h2_dirty {
+            h2.cards_mut().mark_dirty(slot);
+        }
+    }
+    // Backward fixes over the scanned slots plus the mutator's additions.
+    // Dedup first: a slot both scanned and re-written must be adjusted
+    // exactly once (a second pass could misread an already-forwarded value
+    // as a source address).
+    let mut slots: Vec<u64> = cyc
+        .backward_slots
+        .iter()
+        .chain(cyc.extra_backward.iter())
+        .map(|a| a.raw())
+        .collect();
+    slots.sort_unstable();
+    slots.dedup();
+    for chunk in slots.chunks(GRAY_PACKET) {
+        let lane = cyc.sched.begin_unit(&clock, WorkUnitKind::BackwardFix);
+        let mut uw = Work::default();
+        for &s in chunk {
+            let slot = Addr::new(s);
+            let val = heap.h2.as_ref().unwrap().read_word_free(slot);
+            if val == 0 || Addr::new(val).is_h2() {
+                continue;
+            }
+            let new_val = cyc.forwarding.get(val).unwrap_or(val);
+            if new_val != val {
+                heap.h2.as_mut().unwrap().write_word(slot, new_val, Category::MajorGc);
+            }
+            uw.adjusted_refs += 1;
+        }
+        let cost = uw.cpu_ns(&heap.config.cost);
+        cyc.sched.end_unit(&clock, lane, WorkUnitKind::BackwardFix, cost, uw.extra_ns);
+    }
+    // Roots — including handles created mid-cycle — become logical.
+    for i in 0..heap.roots.len() {
+        let a = heap.roots[i];
+        if a.is_h1() {
+            if let Some(d) = cyc.forwarding.get(a.raw()) {
+                heap.roots[i] = Addr::new(d);
+            }
+        }
+    }
+    // Plan-window allocations stay put but may hold pre-compaction values.
+    if !cyc.plan_late.is_empty() {
+        let lane = cyc.sched.begin_unit(&clock, WorkUnitKind::AdjustChunk);
+        let mut uw = Work::default();
+        for &obj in &cyc.plan_late {
+            let (first_slot, end_slot) = heap.ref_slot_range(Addr::new(obj));
+            for s in first_slot..end_slot {
+                let val = heap.mem[s as usize];
+                if val == 0 || Addr::new(val).is_h2() {
+                    continue;
+                }
+                uw.adjusted_refs += 1;
+                uw.extra_ns += heap.h1_word_extra_ns(Addr::new(s));
+                if let Some(d) = cyc.forwarding.get(val) {
+                    heap.mem[s as usize] = d;
+                }
+            }
+        }
+        let cost = uw.cpu_ns(&heap.config.cost);
+        cyc.sched.end_unit(&clock, lane, WorkUnitKind::AdjustChunk, cost, uw.extra_ns);
+    }
+    // H1 cards restart from empty; the fused adjust re-derives old→young
+    // (young = plan/relocate-late eden) cards at each destination, and the
+    // mutator barrier keeps marking physically during relocation.
+    heap.h1_cards.clear_all();
+    let total = cyc.old_live.len() + cyc.young_live.len();
+    cyc.dest_index = Vec::with_capacity(total);
+    for idx in 0..total {
+        let src = cyc.enum_at(idx);
+        cyc.dest_index.push((cyc.forwarding.at(src), src));
+    }
+    cyc.dest_index.sort_unstable();
+    heap.stats.lane_stall_ns += cyc.sched.barrier(&clock, Category::MajorGc, "incr:adjust");
+    roll_to(heap, cyc, GcPhase::Compact);
+    cyc.phase = IncrPhase::Relocate;
+}
+
+fn step_relocate(heap: &mut Heap, cyc: &mut IncrCycle) {
+    let total = cyc.old_live.len() + cyc.young_live.len();
+    if cyc.reloc_idx >= total {
+        return finish(heap, cyc);
+    }
+    let clock = heap.clock.clone();
+    let lane = cyc.sched.begin_unit(&clock, WorkUnitKind::CompactChunk);
+    let mut uw = Work::default();
+    let mut unit_h1_words: u64 = 0;
+    let end = (cyc.reloc_idx + RELOC_CHUNK).min(total);
+    for idx in cyc.reloc_idx..end {
+        let src = cyc.enum_at(idx);
+        let dest = cyc.forwarding.at(src);
+        let dest_addr = Addr::new(dest);
+        let dest_is_h2 = dest_addr.is_h2();
+        // Fused pointer adjustment: rewrite this object's slots in place at
+        // the source immediately before the copy, re-deriving destination
+        // card state from the final values.
+        let (first_slot, end_slot) = heap.ref_slot_range(Addr::new(src));
+        for s in first_slot..end_slot {
+            let val = heap.mem[s as usize];
+            if val == 0 {
+                continue;
+            }
+            uw.adjusted_refs += 1;
+            uw.extra_ns += heap.h1_word_extra_ns(Addr::new(s));
+            let new_val = if Addr::new(val).is_h2() {
+                val
+            } else {
+                cyc.forwarding.get(val).unwrap_or(val)
+            };
+            heap.mem[s as usize] = new_val;
+            let new_target = Addr::new(new_val);
+            let slot_off = s - src;
+            if dest_is_h2 {
+                if new_target.is_h1() {
+                    let h2 = heap.h2.as_mut().unwrap();
+                    h2.cards_mut().mark_dirty(Addr::new(dest + slot_off));
+                } else if new_target.is_h2() {
+                    let h2 = heap.h2.as_mut().unwrap();
+                    let from = h2.regions().region_of(dest_addr);
+                    let to = h2.regions().region_of(new_target);
+                    if from != to {
+                        h2.regions_mut().add_dependency(from, to);
+                    }
+                }
+            } else if new_target.is_h1() && heap.in_young(new_target) {
+                heap.h1_cards.mark_dirty(Addr::new(dest + slot_off));
+            }
+        }
+        let size = object::size_of(heap.mem[src as usize]);
+        heap.mem[src as usize] =
+            object::without_candidate(object::without_mark(heap.mem[src as usize]));
+        uw.copied_words += size as u64;
+        let (src_i, src_end) = (src as usize, src as usize + size);
+        if dest_is_h2 {
+            let region = {
+                let Heap { mem, h2, .. } = &mut *heap;
+                let h2 = h2.as_mut().unwrap();
+                h2.write_promoted(dest_addr, &mem[src_i..src_end], Category::MajorGc);
+                h2.regions().region_of(dest_addr)
+            };
+            heap.h2_starts.entry(region.0).or_default().push(dest);
+            if cyc.promoted_regions.last() != Some(&region.0) {
+                cyc.promoted_regions.push(region.0);
+            }
+            heap.stats.objects_promoted_h2 += 1;
+            cyc.staged_words += size as u64;
+        } else {
+            // PS destinations never overtake sources: old-gen dests are
+            // packed monotonically below their srcs, young srcs live in
+            // eden/survivor which no dest overlaps.
+            debug_assert!(dest <= src || src < cyc.old_base);
+            heap.mem.copy_within(src_i..src_end, dest as usize);
+            unit_h1_words += size as u64;
+            uw.extra_ns += heap.h1_word_extra_ns(dest_addr) * size as u64;
+        }
+    }
+    cyc.reloc_idx = end;
+    let copy_ns = heap.config.cost.gc_copy_word_ns;
+    let adjust_cpu = uw.adjusted_refs * heap.config.cost.gc_adjust_ref_ns;
+    let h1_cpu = unit_h1_words * copy_ns;
+    let h2_cpu = (uw.copied_words - unit_h1_words) * copy_ns;
+    cyc.sched.end_unit(
+        &clock,
+        lane,
+        WorkUnitKind::CompactChunk,
+        h1_cpu + adjust_cpu,
+        h2_cpu + uw.extra_ns,
+    );
+}
+
+/// Retires the cycle: restore the start indexes, reset spaces, null the dead
+/// eden prefix's reference slots, update the transfer policy. The final
+/// promotion flush and `GcEnd` happen in the `run_slice` epilogue.
+fn finish(heap: &mut Heap, cyc: &mut IncrCycle) {
+    cyc.promoted_regions.sort_unstable();
+    cyc.promoted_regions.dedup();
+    for rid in &cyc.promoted_regions {
+        if let Some(starts) = heap.h2_starts.get_mut(rid) {
+            starts.sort_unstable();
+        }
+    }
+    let forwarding =
+        std::mem::replace(&mut cyc.forwarding, ForwardTable::recycled(Vec::new(), 0, 0));
+    heap.fwd_scratch = forwarding.reset();
+    heap.old.set_top(Addr::new(cyc.new_top));
+    heap.old_starts = std::mem::take(&mut cyc.new_old_starts);
+    // Deadwood: eden is not reset (late allocations live above flip_top).
+    // Objects in the relocated prefix keep their headers — the linear eden
+    // walk stays parsable — but their reference slots are nulled: dead
+    // objects' slots still hold pre-compaction addresses, and copied-out
+    // sources are garbage.
+    let mut a = heap.eden.base().raw();
+    while a < cyc.flip_top {
+        let size = object::size_of(heap.mem[a as usize]) as u64;
+        let (first, end) = heap.ref_slot_range(Addr::new(a));
+        heap.mem[first as usize..end as usize].fill(0);
+        a += size;
+    }
+    heap.from.reset();
+    heap.to.reset();
+    let live_h1_after = cyc.new_top - cyc.old_base;
+    if let Some(h2) = heap.h2.as_mut() {
+        h2.policy_mut().note_major_gc_end_satisfying(
+            live_h1_after,
+            heap.old.capacity_words() as u64,
+            &cyc.req_snapshot,
+        );
+    }
+    cyc.done = true;
+}

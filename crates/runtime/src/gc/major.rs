@@ -557,7 +557,7 @@ pub(crate) fn major_gc(heap: &mut Heap, cause: GcCause) -> Result<(), OomError> 
 /// instead of being reallocated and memset every major GC. Entries store
 /// `dest + 1` so 0 means "not forwarded"; H2 destinations (`1 << 40` and up)
 /// cannot overflow the +1.
-struct ForwardTable {
+pub(super) struct ForwardTable {
     dense: Vec<u64>,
     srcs: Vec<u64>,
 }
@@ -566,7 +566,7 @@ impl ForwardTable {
     /// Builds the table over `heap_words` of H1, reusing `recycled` (the
     /// previous GC's array, already reset to all-zero) when it is the right
     /// size.
-    fn recycled(recycled: Vec<u64>, heap_words: usize, live: usize) -> Self {
+    pub(super) fn recycled(recycled: Vec<u64>, heap_words: usize, live: usize) -> Self {
         let mut dense = recycled;
         dense.resize(heap_words, 0);
         ForwardTable { dense, srcs: Vec::with_capacity(live) }
@@ -574,13 +574,13 @@ impl ForwardTable {
 
     /// Records `src → dest`. Sources must be unique (every live object has
     /// exactly one destination).
-    fn push(&mut self, src: u64, dest: u64) {
+    pub(super) fn push(&mut self, src: u64, dest: u64) {
         debug_assert_eq!(self.dense[src as usize], 0, "duplicate forwarding source");
         self.dense[src as usize] = dest + 1;
         self.srcs.push(src);
     }
 
-    fn get(&self, src: u64) -> Option<u64> {
+    pub(super) fn get(&self, src: u64) -> Option<u64> {
         match self.dense.get(src as usize) {
             Some(&v) if v != 0 => Some(v - 1),
             _ => None,
@@ -588,13 +588,13 @@ impl ForwardTable {
     }
 
     /// Lookup that must succeed (the table covers every live object).
-    fn at(&self, src: u64) -> u64 {
+    pub(super) fn at(&self, src: u64) -> u64 {
         self.get(src).expect("live object missing from the forwarding table")
     }
 
     /// Clears the entries this GC set and hands the all-zero array back for
     /// the next collection.
-    fn reset(mut self) -> Vec<u64> {
+    pub(super) fn reset(mut self) -> Vec<u64> {
         for src in self.srcs {
             self.dense[src as usize] = 0;
         }
@@ -602,7 +602,13 @@ impl ForwardTable {
     }
 }
 
-fn mark_push(heap: &mut Heap, addr: Addr, stack: &mut Vec<Addr>, live: &mut Vec<u64>, work: &mut Work) {
+pub(super) fn mark_push(
+    heap: &mut Heap,
+    addr: Addr,
+    stack: &mut Vec<Addr>,
+    live: &mut Vec<u64>,
+    work: &mut Work,
+) {
     debug_assert!(addr.is_h1());
     let header = heap.mem[addr.raw() as usize];
     work.objects += 1;
@@ -729,7 +735,7 @@ fn scan_h2_cards_major(
 /// Marking-phase task 4: find live tagged root key-objects, decide which
 /// labels move (hint or pressure, §3.2) and tag their transitive closures as
 /// candidates, honouring the low-threshold budget.
-fn select_candidates(
+pub(super) fn select_candidates(
     heap: &mut Heap,
     live: &[u64],
     live_words: u64,
@@ -818,14 +824,40 @@ fn tag_closure(
     work: &mut Work,
     move_order: &mut Vec<u64>,
 ) -> u64 {
-    let mut words = 0u64;
     let mut stack = vec![root];
-    while let Some(obj) = stack.pop() {
+    tag_closure_step(heap, &mut stack, label, work, move_order, usize::MAX)
+}
+
+/// One bounded step of a closure tagging: pops from `stack` until `limit`
+/// objects were tagged or the stack drains, returning the words tagged. The
+/// incremental selector resumes the same stack across pause slices; the
+/// stop-world path runs it once with an unbounded limit.
+pub(super) fn tag_closure_step(
+    heap: &mut Heap,
+    stack: &mut Vec<Addr>,
+    label: Label,
+    work: &mut Work,
+    move_order: &mut Vec<u64>,
+    limit: usize,
+) -> u64 {
+    let mut words = 0u64;
+    let mut tagged = 0usize;
+    while tagged < limit {
+        let Some(obj) = stack.pop() else { break };
         if !obj.is_h1() {
             continue;
         }
         let header = heap.mem[obj.raw() as usize];
         if object::is_candidate(header) {
+            continue;
+        }
+        // Only marked (SATB-live) objects join the closure. Stop-world
+        // marking leaves no reachable object unmarked, so this never skips
+        // there; the incremental selector interleaves with the mutator,
+        // which can link objects allocated *after* mark termination into a
+        // tagged group — those are outside the frozen relocation
+        // enumeration and must not be assigned H2 addresses this cycle.
+        if !object::is_marked(header) {
             continue;
         }
         let desc = heap.classes.get(object::class_of(header));
@@ -837,6 +869,7 @@ fn tag_closure(
         move_order.push(obj.raw());
         words += object::size_of(header) as u64;
         work.objects += 1;
+        tagged += 1;
         // Push in reverse so the LIFO pops children in field/element order:
         // the placement order then matches the mutator's forward traversal,
         // which is what makes H2 scans sequential on the device.
@@ -853,7 +886,7 @@ fn tag_closure(
 }
 
 /// Sets every card of a freed H2 region back to clean.
-fn clear_region_cards(heap: &mut Heap, region: u32) {
+pub(super) fn clear_region_cards(heap: &mut Heap, region: u32) {
     let h2 = heap.h2.as_mut().unwrap();
     let region_words = h2.regions().region_words();
     let seg_words = h2.cards().seg_words();
@@ -900,7 +933,7 @@ fn g1_moved_fraction_milli(heap: &Heap, region_live: &HashMap<u64, u64>, total_l
 
 /// Uncharged full trace through both heaps recording per-H2-region live
 /// object counts and words — the instrumentation behind Figure 10.
-fn record_h2_liveness(heap: &mut Heap) {
+pub(super) fn record_h2_liveness(heap: &mut Heap) {
     let mut visited: std::collections::HashSet<u64> = std::collections::HashSet::new();
     let mut stack: Vec<Addr> = heap
         .roots

@@ -1,6 +1,7 @@
 //! Garbage collectors: the PS-style minor scavenge and four-phase major
 //! mark–compact, extended with TeraHeap's integration points (§4).
 
+pub mod incremental;
 pub mod major;
 pub mod minor;
 pub mod schedule;

@@ -84,6 +84,15 @@ impl Scheduler {
         lane
     }
 
+    /// Dispatches a unit of a serial dependency chain: always lane 0, so
+    /// chunked serial work (incremental candidate selection, H2 address
+    /// assignment) is never credited with cross-lane parallelism its
+    /// execution order forbids.
+    pub(crate) fn begin_serial_unit(&mut self, clock: &SimClock, kind: WorkUnitKind) -> usize {
+        clock.emit(EventKind::UnitBegin { lane: 0, kind });
+        0
+    }
+
     /// Retires a unit, charging `scaled_ns` (subject to the phase milli at
     /// the barrier) and `flat_ns` to its lane, and emits `UnitEnd` with the
     /// raw (unscaled) cost.
@@ -101,6 +110,14 @@ impl Scheduler {
             kind,
             cost_ns: scaled_ns + flat_ns,
         });
+    }
+
+    /// The ns the next barrier would advance the clock by for the units
+    /// charged so far (critical path + sync), without firing it. The
+    /// incremental collector polls this after every unit to bound a slice's
+    /// pause at `pause_budget_ns`.
+    pub(crate) fn pending_ns(&self) -> u64 {
+        self.lanes.pending_advance_ns()
     }
 
     /// Declares `key` part of the current phase's work domain (no-op unless

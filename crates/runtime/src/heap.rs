@@ -66,6 +66,14 @@ pub struct Heap {
     /// Recycled dense forwarding array for major GC (all-zero between
     /// collections); avoids an alloc+memset of the full H1 word range per GC.
     pub(crate) fwd_scratch: Vec<u64>,
+    /// The in-flight incremental major cycle, if one is active between
+    /// pause slices (DESIGN.md §12). Boxed: the cycle state is large and
+    /// absent in the common (stop-world) configuration.
+    pub(crate) incr: Option<Box<gc::incremental::IncrCycle>>,
+    /// OOM hit inside an incremental slice running under an infallible
+    /// charge path; surfaced at the next fallible call (allocation or
+    /// explicit GC).
+    pub(crate) pending_oom: Option<OomError>,
     /// Run [`Heap::heap_check`] at every GC boundary (config flag or
     /// `TERAHEAP_HEAP_CHECK=1`), panicking on the first violated invariant.
     pub(crate) check_enabled: bool,
@@ -126,6 +134,8 @@ impl Heap {
             h2_starts: std::collections::HashMap::new(),
             in_gc: false,
             fwd_scratch: Vec::new(),
+            incr: None,
+            pending_oom: None,
             check_enabled: config.heap_check
                 || std::env::var("TERAHEAP_HEAP_CHECK").is_ok_and(|v| v == "1"),
         }
@@ -234,8 +244,21 @@ impl Heap {
     /// Releases a handle; the object may become unreachable.
     pub fn release(&mut self, h: Handle) {
         debug_assert!(!self.roots[h.0 as usize].is_null(), "double release");
+        let a = self.roots[h.0 as usize];
         self.roots[h.0 as usize] = NULL;
         self.free_roots.push(h.0);
+        // SATB: a root released mid-marking was reachable at cycle start.
+        if let Some(cyc) = self.incr.as_deref_mut() {
+            if cyc.marking() && !a.is_null() {
+                if a.is_h2() {
+                    self.h2.as_mut().expect("H2 root without H2").note_forward_ref(a);
+                } else {
+                    cyc.remembered.push(a.raw());
+                }
+                self.clock.emit(EventKind::WriteBarrierRemember { root: true });
+                self.stats.write_barrier_remembered += 1;
+            }
+        }
     }
 
     /// Number of live root handles (diagnostics).
@@ -304,13 +327,20 @@ impl Heap {
     }
 
     fn alloc_raw(&mut self, class: ClassId, words: usize, array_len: u64) -> Result<Addr, OomError> {
+        if let Some(e) = self.pending_oom.take() {
+            return Err(e);
+        }
         self.clock.charge(Category::Mutator, self.config.cost.alloc_ns);
+        self.incr_poll();
         let addr = self.alloc_words(words)?;
         let i = addr.raw() as usize;
         self.mem[i..i + words].fill(0);
         self.mem[i] = object::pack_header(class, words);
         if class == OBJ_ARRAY_CLASS || class == PRIM_ARRAY_CLASS {
             self.mem[i + object::HEADER_WORDS] = array_len;
+        }
+        if let Some(cyc) = self.incr.as_deref_mut() {
+            cyc.note_alloc(addr, words, &mut self.mem);
         }
         Ok(addr)
     }
@@ -322,6 +352,8 @@ impl Heap {
             || (matches!(self.config.variant, GcVariant::Panthera { .. })
                 && words > self.eden.capacity_words() / 16);
         if big {
+            // Old-gen placement must not race the in-flight cycle's plan.
+            gc::incremental::force_finish(self)?;
             if let Some(a) = self.alloc_old(words) {
                 return Ok(a);
             }
@@ -389,6 +421,11 @@ impl Heap {
     }
 
     fn collect_for(&mut self, words: usize) -> Result<(), OomError> {
+        // A minor GC would evacuate objects out from under the in-flight
+        // incremental cycle's mark stack and live set: finish it first
+        // (normally already done — the cycle completes well within one
+        // eden refill at the default pacing).
+        gc::incremental::force_finish(self)?;
         // Promotion guarantee: a minor GC may promote everything in the
         // young generation, so fall back to a full GC when the old
         // generation cannot absorb that worst case.
@@ -397,8 +434,10 @@ impl Heap {
             gc::major::major_gc(self, GcCause::PromotionGuarantee)?;
         } else {
             gc::minor::minor_gc(self, GcCause::AllocFailure);
+            gc::incremental::maybe_start(self);
         }
         if self.eden.free_words() < words {
+            gc::incremental::force_finish(self)?;
             gc::major::major_gc(self, GcCause::EdenFullAfterGc)?;
         }
         Ok(())
@@ -406,22 +445,112 @@ impl Heap {
 
     /// Runs a minor (young-generation) collection now.
     pub fn gc_minor(&mut self) -> Result<(), OomError> {
+        gc::incremental::force_finish(self)?;
         let worst_promo = self.worst_case_promotion();
         if self.old.free_words() < worst_promo {
             gc::major::major_gc(self, GcCause::PromotionGuarantee)
         } else {
             gc::minor::minor_gc(self, GcCause::Explicit);
+            gc::incremental::maybe_start(self);
             Ok(())
         }
     }
 
     /// Runs a major (full) collection now.
     ///
+    /// With an incremental cycle in flight, running it to completion *is*
+    /// the requested major collection; otherwise a stop-world major runs.
+    ///
     /// # Errors
     ///
     /// Returns [`OomError`] if live data exceeds the old generation.
     pub fn gc_major(&mut self) -> Result<(), OomError> {
+        let had_cycle = self.incr.is_some();
+        gc::incremental::force_finish(self)?;
+        if had_cycle {
+            return Ok(());
+        }
         gc::major::major_gc(self, GcCause::Explicit)
+    }
+
+    // ----- incremental major collection hooks ------------------------------
+
+    /// Runs the next pause slice of the in-flight incremental cycle once
+    /// enough mutator time has elapsed since the last one
+    /// (`pause_budget_ns / PACE_DIVISOR` — the clock delta captures every
+    /// mutator charge, including accessor costs).
+    pub(crate) fn incr_poll(&mut self) {
+        if self.in_gc {
+            return;
+        }
+        let Some(cyc) = self.incr.as_deref() else { return };
+        let pace = (self.config.pause_budget_ns / gc::incremental::PACE_DIVISOR).max(1);
+        if self.clock.total_ns() - cyc.last_slice_end_ns >= pace {
+            gc::incremental::run_slice(self, self.config.pause_budget_ns);
+        }
+    }
+
+    /// Resolves a mutator-held object address against the in-flight cycle:
+    /// `(physical address, raw_slots)`. See [`gc::incremental::IncrCycle::view`].
+    pub(crate) fn mutator_view(&self, a: Addr) -> (Addr, bool) {
+        match self.incr.as_deref() {
+            Some(cyc) => cyc.view(a),
+            None => (a, false),
+        }
+    }
+
+    /// The pre-store half of the incremental write barrier: SATB-remember
+    /// the overwritten value during marking, fence H2 targets live, and
+    /// track mutator-dirtied H2 slots for the flip's card re-derivation.
+    fn incr_ref_write_hook(&mut self, slot: Addr, val: Addr) {
+        let Some(mut cyc) = self.incr.take() else { return };
+        if cyc.pre_flip() {
+            if cyc.marking() {
+                // Deletion barrier: read (charged) and remember the value
+                // being overwritten, so snapshot reachability survives.
+                let old = if slot.is_h2() {
+                    self.h2.as_mut().expect("H2 slot without H2").read_word(slot, Category::Mutator)
+                } else {
+                    self.clock.charge(
+                        Category::Mutator,
+                        self.config.cost.dram_word_ns + self.h1_word_extra_ns(slot),
+                    );
+                    self.mem[slot.raw() as usize]
+                };
+                if old != 0 {
+                    let old_addr = Addr::new(old);
+                    if old_addr.is_h2() {
+                        self.h2.as_mut().expect("H2 ref without H2").note_forward_ref(old_addr);
+                    } else {
+                        cyc.remembered.push(old);
+                    }
+                    self.clock.emit(EventKind::WriteBarrierRemember { root: false });
+                    self.stats.write_barrier_remembered += 1;
+                }
+                // Insertion fence: a black H1 object may now point at this
+                // H2 target; region liveness must see it.
+                if val.is_h2() {
+                    self.h2.as_mut().expect("H2 ref without H2").note_forward_ref(val);
+                }
+            }
+            if slot.is_h2() {
+                // The incremental card scan may already have passed this
+                // card; replay the dirt after the flip re-derives states,
+                // and record what the scan can no longer discover.
+                cyc.mutator_h2_dirty.push(slot);
+                if val.is_h1() {
+                    cyc.extra_backward.push(slot);
+                } else if val.is_h2() {
+                    let h2 = self.h2.as_mut().expect("H2 slot without H2");
+                    let from = h2.regions().region_of(slot);
+                    let to = h2.regions().region_of(val);
+                    if from != to {
+                        h2.regions_mut().add_dependency(from, to);
+                    }
+                }
+            }
+        }
+        self.incr = Some(cyc);
     }
 
     // ----- memory access ---------------------------------------------------
@@ -560,9 +689,14 @@ impl Heap {
     /// Reads reference field/element `idx`, returning a rooted handle (or
     /// `None` for null). Release the handle when done.
     pub fn read_ref(&mut self, h: Handle, idx: usize) -> Option<Handle> {
-        let obj = self.root_of(h);
+        let (obj, raw_slots) = self.mutator_view(self.root_of(h));
         let slot = self.ref_slot(obj, idx);
-        let val = self.load(slot, Category::Mutator);
+        let mut val = self.load(slot, Category::Mutator);
+        if raw_slots && val != 0 {
+            // Un-relocated object: the slot still holds a pre-compaction
+            // address; canonicalize before rooting.
+            val = self.incr.as_deref().expect("raw view without cycle").canon(val);
+        }
         if val == 0 {
             None
         } else {
@@ -572,7 +706,7 @@ impl Heap {
 
     /// Whether reference field/element `idx` is null.
     pub fn ref_is_null(&mut self, h: Handle, idx: usize) -> bool {
-        let obj = self.root_of(h);
+        let (obj, _) = self.mutator_view(self.root_of(h));
         let slot = self.ref_slot(obj, idx);
         self.load(slot, Category::Mutator) == 0
     }
@@ -580,20 +714,30 @@ impl Heap {
     /// Stores `val` into reference field/element `idx` of `h`, running the
     /// post-write barrier (with TeraHeap's reference range check).
     pub fn write_ref(&mut self, h: Handle, idx: usize, val: Handle) {
-        let obj = self.root_of(h);
         let v = self.root_of(val);
+        let (obj, raw_slots) = self.mutator_view(self.root_of(h));
         let slot = self.ref_slot(obj, idx);
+        let v = if raw_slots {
+            // Un-relocated object: keep the slot in pre-compaction terms so
+            // the fused adjust pass rewrites it exactly once.
+            Addr::new(self.incr.as_deref().expect("raw view without cycle").decanon(v.raw()))
+        } else {
+            v
+        };
         self.write_ref_at(obj, slot, v);
     }
 
     /// Stores null into reference field/element `idx`.
     pub fn write_ref_null(&mut self, h: Handle, idx: usize) {
-        let obj = self.root_of(h);
+        let (obj, _) = self.mutator_view(self.root_of(h));
         let slot = self.ref_slot(obj, idx);
         self.write_ref_at(obj, slot, NULL);
     }
 
     pub(crate) fn write_ref_at(&mut self, obj: Addr, slot: Addr, val: Addr) {
+        if self.incr.is_some() {
+            self.incr_ref_write_hook(slot, val);
+        }
         self.store(slot, val.raw(), Category::Mutator);
         // Post-write barrier (§4): base card-mark cost, plus the reference
         // range check TeraHeap adds (zero overhead when disabled).
@@ -616,14 +760,14 @@ impl Heap {
 
     /// Reads primitive field/element `idx`.
     pub fn read_prim(&mut self, h: Handle, idx: usize) -> u64 {
-        let obj = self.root_of(h);
+        let (obj, _) = self.mutator_view(self.root_of(h));
         let slot = self.prim_slot(obj, idx);
         self.load(slot, Category::Mutator)
     }
 
     /// Writes primitive field/element `idx`.
     pub fn write_prim(&mut self, h: Handle, idx: usize, val: u64) {
-        let obj = self.root_of(h);
+        let (obj, _) = self.mutator_view(self.root_of(h));
         let slot = self.prim_slot(obj, idx);
         self.store(slot, val, Category::Mutator);
     }
@@ -637,7 +781,7 @@ impl Heap {
         if out.is_empty() {
             return;
         }
-        let obj = self.root_of(h);
+        let (obj, _) = self.mutator_view(self.root_of(h));
         let base = self.prim_range_slot(obj, start, out.len());
         if base.is_h2() {
             // Device-resident object: one touch_run over the range charges
@@ -660,7 +804,7 @@ impl Heap {
         if vals.is_empty() {
             return;
         }
-        let obj = self.root_of(h);
+        let (obj, _) = self.mutator_view(self.root_of(h));
         let base = self.prim_range_slot(obj, start, vals.len());
         if base.is_h2() {
             self.h2
@@ -710,7 +854,7 @@ impl Heap {
 
     /// Length of the (reference or primitive) array behind `h`.
     pub fn array_len(&mut self, h: Handle) -> usize {
-        let obj = self.root_of(h);
+        let (obj, _) = self.mutator_view(self.root_of(h));
         let class = self.object_class(obj);
         assert!(
             class == OBJ_ARRAY_CLASS || class == PRIM_ARRAY_CLASS,
@@ -721,7 +865,7 @@ impl Heap {
 
     /// The class id of the object behind `h`.
     pub fn class_of(&self, h: Handle) -> ClassId {
-        self.object_class(self.root_of(h))
+        self.object_class(self.mutator_view(self.root_of(h)).0)
     }
 
     // ----- TeraHeap hint interface (§3.2) -----------------------------------
@@ -729,7 +873,7 @@ impl Heap {
     /// `h2_tag_root(obj, label)`: tags a root key-object for H2 placement by
     /// writing the label into the object header's label field.
     pub fn h2_tag_root(&mut self, h: Handle, label: Label) {
-        let obj = self.root_of(h);
+        let (obj, _) = self.mutator_view(self.root_of(h));
         self.set_word(obj.add(1), label.id());
     }
 
@@ -743,7 +887,7 @@ impl Heap {
 
     /// The label tagged on the object behind `h` (0 = untagged).
     pub fn h2_label_of(&self, h: Handle) -> u64 {
-        self.word(self.root_of(h).add(1))
+        self.word(self.mutator_view(self.root_of(h)).0.add(1))
     }
 
     // ----- tracer charge/span API (workload cost hooks) ---------------------
@@ -751,16 +895,18 @@ impl Heap {
     /// Charges `ops` element-operations of mutator compute, divided across
     /// the configured mutator threads. The charge routes through the
     /// clock's tracer, so the flight recorder attributes it per category.
-    pub fn charge_ops(&self, ops: u64) {
+    pub fn charge_ops(&mut self, ops: u64) {
         let ns = ops * self.config.cost.mutator_op_ns / self.config.mutator_threads.max(1) as u64;
         self.clock.charge(Category::Mutator, ns);
+        self.incr_poll();
     }
 
     /// Charges `ns` nanoseconds directly to a category, divided across
     /// mutator threads (frameworks use this for S/D work).
-    pub fn charge_ns(&self, cat: Category, ns: u64) {
+    pub fn charge_ns(&mut self, cat: Category, ns: u64) {
         self.clock
             .charge(cat, ns / self.config.mutator_threads.max(1) as u64);
+        self.incr_poll();
     }
 
     /// Opens a mutator-side flight-recorder span (stage, shuffle, ...); the

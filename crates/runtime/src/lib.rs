@@ -56,7 +56,10 @@ pub mod stats;
 
 pub use check::{CheckError, CheckReport, CrashRecovery};
 pub use class::{ClassDesc, ClassId, ClassRegistry, OBJ_ARRAY_CLASS, PRIM_ARRAY_CLASS};
-pub use config::{ConfigError, GcVariant, HeapConfig, HeapConfigBuilder, MemoryMode, OomError};
+pub use config::{
+    ConfigError, GcVariant, HeapConfig, HeapConfigBuilder, MemoryMode, OomError,
+    DEFAULT_PAUSE_BUDGET_NS,
+};
 pub use heap::{Handle, Heap};
 pub use stats::{GcStats, MajorPhases};
 pub use teraheap_storage::obs;

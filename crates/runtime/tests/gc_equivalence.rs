@@ -343,6 +343,36 @@ fn mixed_workload_matches_golden_snapshot() {
     assert_eq!(got, golden());
 }
 
+/// `pause_budget_ns = u64::MAX` *arms* incremental mode but the proactive
+/// trigger never starts a cycle (an infinite budget means a demand major
+/// can always run whole), so every demand collection dispatches stop-world
+/// and the armed configuration must reproduce the unarmed golden
+/// bit-identically — the armed-idle write barrier and slice plumbing cost
+/// nothing in the simulated clock.
+fn armed_idle_config() -> HeapConfig {
+    HeapConfig::builder(24 << 10, 96 << 10)
+        .pause_budget_ns(u64::MAX)
+        .build()
+        .expect("armed-idle config is valid")
+}
+
+#[test]
+fn armed_infinite_budget_matches_golden() {
+    let got = capture_with(armed_idle_config());
+    assert_eq!(got, golden());
+}
+
+#[test]
+fn armed_infinite_budget_never_slices() {
+    let (heap, _keep) = run_mixed_workload_with(armed_idle_config());
+    assert_eq!(heap.stats().incr_slices, 0, "no slice may run at infinite budget");
+    assert_eq!(
+        heap.stats().write_barrier_remembered,
+        0,
+        "the SATB barrier must stay passive while no cycle is in flight"
+    );
+}
+
 #[test]
 fn workload_is_self_deterministic() {
     // Two fresh runs in the same process must agree exactly — guards the

@@ -281,6 +281,18 @@ impl LaneSet {
         (0..self.lanes()).map(|l| self.effective(l)).max().unwrap_or(0)
     }
 
+    /// The advance the barrier would charge if it fired right now (critical
+    /// path plus per-extra-lane sync), without firing it. 0 when no units
+    /// are pending — matching [`LaneSet::barrier`]'s empty-phase no-op. The
+    /// incremental GC polls this to decide when a slice has filled its
+    /// pause budget.
+    pub fn pending_advance_ns(&self) -> u64 {
+        if self.units == 0 {
+            return 0;
+        }
+        self.critical_ns() + (self.lanes() as u64 - 1) * self.sync_ns
+    }
+
     /// Total idle ns across lanes: each lane stalls at the barrier until the
     /// critical-path lane arrives.
     pub fn stall_ns(&self) -> u64 {

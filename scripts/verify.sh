@@ -64,6 +64,15 @@ cargo test -q --offline -p teraheap-runtime --test gc_equivalence
 cargo test -q --offline -p teraheap-runtime --test lane_determinism
 echo "ok"
 
+# Incremental-collection invariants (DESIGN.md §12): a pause-budgeted run
+# must converge to the same logical heap as the stop-world collector at any
+# budget and lane count, slices must replay bit-identically, and the armed
+# but idle barrier (pause_budget_ns = u64::MAX) must reproduce the
+# stop-world golden. Run the suite explicitly.
+echo "== incremental equivalence: sliced majors converge to stop-world =="
+cargo test -q --offline -p teraheap-runtime --test incremental_marking
+echo "ok"
+
 # Bulk-access-plane invariant (DESIGN.md §9): touch_run must be bit-identical
 # to the word-at-a-time loop — same ns, same counters, same events. Run the
 # property suite explicitly for the same reason as above.
@@ -108,7 +117,8 @@ if [[ "${VERIFY_SKIP_RESULTS:-0}" != "1" ]]; then
     cp -r results "$tmp/committed"
     for bin in fig6_spark fig6_giraph fig7_timeline fig8_collectors \
                fig9_hints fig10_regions fig11_gc_overhead fig12_nvm \
-               fig13_scaling fig13_gc_threads table5_metadata ablations; do
+               fig13_scaling fig13_gc_threads fig14_pause_cdf \
+               table5_metadata ablations; do
         echo "  regenerating: $bin"
         cargo run -q --release --offline -p teraheap-bench --bin "$bin" >/dev/null
     done
