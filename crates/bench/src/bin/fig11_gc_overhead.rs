@@ -11,15 +11,14 @@ use mini_giraph::workloads::run_giraph_with_context;
 use teraheap_bench::harness::{giraph_ooc, giraph_rows, giraph_th, giraph_vertices, write_csv};
 use teraheap_core::{H2Config, Label};
 use teraheap_runtime::{Heap, HeapConfig};
-use teraheap_storage::DeviceSpec;
+use teraheap_storage::{DeviceSpec, SharedDevice};
 
 /// Measures minor-GC H2 card-scanning time: `holders` H2-resident objects,
 /// a fraction updated by the mutator (backward references to young H1
 /// objects), with the given card segment size.
 fn h2_minor_scan_ns(holders: usize, update_pct: usize, card_seg_words: usize) -> u64 {
     let mut heap = Heap::new(HeapConfig::with_words(64 << 10, 1 << 20));
-    heap.enable_teraheap(
-        H2Config::builder()
+    let h2cfg = H2Config::builder()
             .region_words(64 << 10)
             .n_regions(64)
             .card_seg_words(card_seg_words)
@@ -27,9 +26,9 @@ fn h2_minor_scan_ns(holders: usize, update_pct: usize, card_seg_words: usize) ->
             .page_size(4096)
             .promo_buffer_bytes(2 << 20)
             .build()
-            .expect("valid H2 config"),
-        DeviceSpec::nvme_ssd(),
-    );
+            .expect("valid H2 config");
+    let dev = SharedDevice::new(DeviceSpec::nvme_ssd(), h2cfg.footprint_bytes(), heap.clock().clone());
+    heap.attach_h2(h2cfg, &dev).unwrap();
     let holder_class = heap.register_class("Holder", 1, 2);
     let payload_class = heap.register_class("Payload", 0, 2);
     let arr = heap.alloc_ref_array(holders).expect("alloc holders");

@@ -20,7 +20,7 @@
 
 use teraheap_core::{Addr, H2CardTable, Label, Promoter, RegionId, RegionManager};
 use teraheap_runtime::{Heap, HeapConfig};
-use teraheap_storage::DeviceSpec;
+use teraheap_storage::{DeviceSpec, SharedDevice};
 use teraheap_util::microbench::{black_box, Bench};
 
 /// Builds a heap with a large surviving object graph plus old→young card
@@ -49,7 +49,9 @@ fn bench_barrier(bench: &mut Bench) {
         group.bench_function(name, |b| {
             let mut heap = Heap::new(HeapConfig::small());
             if enable {
-                heap.enable_teraheap(teraheap_core::H2Config::default(), DeviceSpec::nvme_ssd());
+                let h2cfg = teraheap_core::H2Config::default();
+                let dev = SharedDevice::new(DeviceSpec::nvme_ssd(), h2cfg.footprint_bytes(), heap.clock().clone());
+                heap.attach_h2(h2cfg, &dev).unwrap();
             }
             let class = heap.register_class("N", 1, 1);
             let x = heap.alloc(class).unwrap();

@@ -16,7 +16,8 @@ use crate::region::{RegionError, RegionId, RegionManager};
 use teraheap_storage::fault;
 use teraheap_storage::obs::EventKind;
 use teraheap_storage::{
-    Category, DeviceSpec, DurableStore, FaultPlan, FaultPlane, MmapSim, SimClock, WriteBackOutcome,
+    AttachError, Category, DeviceSpec, DurableStore, FaultPlan, FaultPlane, MmapSim, SharedDevice,
+    SimClock, WriteBackOutcome,
 };
 use std::sync::Arc;
 
@@ -62,6 +63,13 @@ impl H2Config {
     /// Total H2 capacity in words.
     pub fn capacity_words(&self) -> usize {
         self.region_words * self.n_regions
+    }
+
+    /// Bytes of device space the H2 mapping needs — what a tenant's
+    /// partition quota must cover ([`H2::attach`] validates this at attach
+    /// time, not at first I/O).
+    pub fn footprint_bytes(&self) -> usize {
+        self.capacity_words() * WORD_BYTES
     }
 
     /// Starts a builder seeded with [`H2Config::default`].
@@ -314,6 +322,30 @@ impl H2 {
             durable,
             degraded: false,
         }
+    }
+
+    /// Creates a second heap attached to a tenant partition of a
+    /// [`SharedDevice`] — the server-plane constructor (DESIGN.md §13).
+    ///
+    /// The tenant is identified by `clock` (`Arc::ptr_eq` with the clock it
+    /// registered with), the config's [`H2Config::footprint_bytes`] is
+    /// validated against the tenant's quota here rather than at first I/O,
+    /// and every device service of the mapping is routed through the
+    /// device's bandwidth arbiter. With a sole tenant the arbiter never
+    /// delays, so this is bit-identical to [`H2::new`] on a private device.
+    ///
+    /// # Errors
+    ///
+    /// See [`SharedDevice::attach`].
+    pub fn attach(
+        config: H2Config,
+        device: &SharedDevice,
+        clock: Arc<SimClock>,
+    ) -> Result<Self, AttachError> {
+        let lease = device.attach(&clock, config.footprint_bytes())?;
+        let mut h2 = H2::new(config, device.spec(), clock);
+        h2.mmap.set_lease(lease);
+        Ok(h2)
     }
 
     /// The configuration this heap was built with.
@@ -659,7 +691,11 @@ impl H2 {
 
     fn charge_flush(&self, flushed_bytes: usize, cat: Category) {
         if flushed_bytes > 0 {
-            self.clock.charge(cat, self.spec.write_cost_ns(flushed_bytes));
+            // The promotion buffer writes straight to the device file, so
+            // the flush is one arbitrated device command (a no-op routing
+            // for a private device or a sole tenant).
+            self.mmap
+                .charge_device(cat, self.spec.write_cost_ns(flushed_bytes));
             self.clock
                 .emit(EventKind::H2PromoFlush { bytes: flushed_bytes as u64 });
         }

@@ -25,11 +25,45 @@
 
 pub mod workloads;
 
-pub use workloads::{run_giraph, GiraphReport, GiraphWorkload};
+pub use workloads::{run_giraph, run_giraph_on_tenant, GiraphReport, GiraphWorkload};
 
+use std::sync::Arc;
 use teraheap_core::{H2Config, Label};
-use teraheap_runtime::{Handle, Heap, HeapConfig, OomError};
-use teraheap_storage::{Category, DeviceSpec, SimDevice};
+use teraheap_runtime::{AttachError, Handle, Heap, HeapConfig, OomError, SharedDevice};
+use teraheap_storage::{Category, DeviceSpec, SimClock, SimDevice};
+
+/// Error loading a tenant Giraph runtime: shared-device attachment rejected
+/// or the input graph does not fit on the heap.
+#[derive(Debug)]
+pub enum TenantLoadError {
+    /// The shared device rejected the attachment.
+    Attach(AttachError),
+    /// The input superstep ran out of heap.
+    Oom(OomError),
+}
+
+impl std::fmt::Display for TenantLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TenantLoadError::Attach(e) => write!(f, "tenant attach failed: {e}"),
+            TenantLoadError::Oom(e) => write!(f, "tenant graph load failed: {e:?}"),
+        }
+    }
+}
+
+impl std::error::Error for TenantLoadError {}
+
+impl From<AttachError> for TenantLoadError {
+    fn from(e: AttachError) -> Self {
+        TenantLoadError::Attach(e)
+    }
+}
+
+impl From<OomError> for TenantLoadError {
+    fn from(e: OomError) -> Self {
+        TenantLoadError::Oom(e)
+    }
+}
 
 /// Memory configuration for a Giraph run (Table 2 / Table 4).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -218,10 +252,50 @@ impl GiraphContext {
         initial_value: impl Fn(u64) -> u64,
     ) -> Result<Self, OomError> {
         let mut heap = Heap::new(config.heap);
+        if let GiraphMode::TeraHeap { h2, device: spec } = config.mode {
+            let dev = SharedDevice::new(spec, h2.footprint_bytes(), heap.clock().clone());
+            heap.attach_h2(h2, &dev)
+                .expect("one-tenant SharedDevice attach cannot fail");
+        }
+        Self::finish_load(heap, config, graph, initial_value)
+    }
+
+    /// Builds the runtime as one tenant of a shared H2 device and loads
+    /// `graph`.
+    ///
+    /// `clock` must be the clock this tenant was registered with
+    /// ([`SharedDevice::add_tenant`]); under `GiraphMode::TeraHeap` the
+    /// device's partition spec — not the mode's `device` field, which only
+    /// matters for the private path of [`GiraphContext::load`] — decides the
+    /// I/O cost model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TenantLoadError`] if the attachment is rejected or the
+    /// graph does not fit.
+    pub fn load_tenant(
+        config: GiraphConfig,
+        graph: &teraheap_workloads::GraphDataset,
+        initial_value: impl Fn(u64) -> u64,
+        device: &SharedDevice,
+        clock: Arc<SimClock>,
+    ) -> Result<Self, TenantLoadError> {
+        let mut heap = Heap::with_clock(config.heap, clock);
+        if let GiraphMode::TeraHeap { h2, .. } = config.mode {
+            heap.attach_h2(h2, device)?;
+        }
+        Ok(Self::finish_load(heap, config, graph, initial_value)?)
+    }
+
+    fn finish_load(
+        mut heap: Heap,
+        config: GiraphConfig,
+        graph: &teraheap_workloads::GraphDataset,
+        initial_value: impl Fn(u64) -> u64,
+    ) -> Result<Self, OomError> {
         let mut device = None;
         match config.mode {
-            GiraphMode::TeraHeap { h2, device: spec } => {
-                heap.enable_teraheap(h2, spec);
+            GiraphMode::TeraHeap { .. } => {
                 if !config.use_move_hint {
                     let p = heap.h2_mut().unwrap().policy().clone().without_hints();
                     *heap.h2_mut().unwrap().policy_mut() = p;

@@ -6,9 +6,10 @@
 //! answers are checksummed so tests can prove the memory mode (in-memory /
 //! OOC / TeraHeap) never changes results.
 
-use crate::{GiraphConfig, GiraphContext};
-use teraheap_runtime::OomError;
-use teraheap_storage::Breakdown;
+use crate::{GiraphConfig, GiraphContext, TenantLoadError};
+use std::sync::Arc;
+use teraheap_runtime::{OomError, SharedDevice};
+use teraheap_storage::{Breakdown, SimClock};
 use teraheap_workloads::powerlaw_graph;
 
 /// The evaluated Giraph workloads.
@@ -143,14 +144,48 @@ pub fn run_giraph_with_context(
     seed: u64,
 ) -> Result<(GiraphContext, f64), OomError> {
     let g = powerlaw_graph(vertices, avg_degree, seed);
-    let init: Box<dyn Fn(u64) -> u64> = match workload {
+    let ctx = GiraphContext::load(config, &g, workload_init(workload))?;
+    drive(ctx, workload, config, &g)
+}
+
+/// Runs a workload as one tenant of a shared H2 device (one server-plane
+/// job round): same superstep loop as [`run_giraph_with_context`], but the
+/// heap lives on `clock` and H2 attaches to the tenant's device partition.
+///
+/// # Errors
+///
+/// Returns [`TenantLoadError`] if the attachment is rejected or the run
+/// exhausts the heap.
+pub fn run_giraph_on_tenant(
+    workload: GiraphWorkload,
+    config: GiraphConfig,
+    vertices: usize,
+    avg_degree: usize,
+    seed: u64,
+    device: &SharedDevice,
+    clock: Arc<SimClock>,
+) -> Result<(GiraphContext, f64), TenantLoadError> {
+    let g = powerlaw_graph(vertices, avg_degree, seed);
+    let ctx = GiraphContext::load_tenant(config, &g, workload_init(workload), device, clock)?;
+    Ok(drive(ctx, workload, config, &g)?)
+}
+
+fn workload_init(workload: GiraphWorkload) -> Box<dyn Fn(u64) -> u64> {
+    match workload {
         GiraphWorkload::Pr => Box::new(|_| 1.0f64.to_bits()),
         GiraphWorkload::Cdlp | GiraphWorkload::Wcc => Box::new(|id| id),
         GiraphWorkload::Bfs | GiraphWorkload::Sssp => {
             Box::new(|id| if id == 0 { 0 } else { INF })
         }
-    };
-    let mut ctx = GiraphContext::load(config, &g, init)?;
+    }
+}
+
+fn drive(
+    mut ctx: GiraphContext,
+    workload: GiraphWorkload,
+    config: GiraphConfig,
+    g: &teraheap_workloads::GraphDataset,
+) -> Result<(GiraphContext, f64), OomError> {
     let parts = ctx.partitions();
     let max_ss = config.max_supersteps;
     // Capacity hints for combiner-less (CDLP) stores: in-edges per

@@ -365,10 +365,17 @@ pub enum EventKind {
     /// marking slices (snapshot-at-the-beginning deletion barrier); `root`
     /// distinguishes a released GC root from an object-field overwrite.
     WriteBarrierRemember { root: bool },
+    /// A device request queued behind other tenants of a shared device
+    /// (server plane, DESIGN.md §13): the arbiter delayed it `wait_ns`
+    /// before service, charged to the waiting tenant.
+    DeviceQueued { wait_ns: u64 },
+    /// A server scheduling decision for tenant `tenant`: `admitted` is
+    /// false when the admission policy deferred the tenant's burst.
+    TenantSched { tenant: u32, admitted: bool },
 }
 
 /// Number of distinct event classes (counter array dimension).
-pub const CLASS_COUNT: usize = 25;
+pub const CLASS_COUNT: usize = 27;
 
 /// Number of span slots tracked by the duration histograms: minor/major GC,
 /// the four major phases, the [`SpanKind`]s, then incremental GC slices.
@@ -416,6 +423,8 @@ impl EventKind {
             EventKind::SliceBegin { .. } => "slice_begin",
             EventKind::SliceEnd { .. } => "slice_end",
             EventKind::WriteBarrierRemember { .. } => "write_barrier_remember",
+            EventKind::DeviceQueued { .. } => "device_queued",
+            EventKind::TenantSched { .. } => "tenant_sched",
         }
     }
 
@@ -447,6 +456,8 @@ impl EventKind {
             EventKind::SliceBegin { .. } => 22,
             EventKind::SliceEnd { .. } => 23,
             EventKind::WriteBarrierRemember { .. } => 24,
+            EventKind::DeviceQueued { .. } => 25,
+            EventKind::TenantSched { .. } => 26,
         }
     }
 
@@ -477,6 +488,8 @@ impl EventKind {
         "slice_begin",
         "slice_end",
         "write_barrier_remember",
+        "device_queued",
+        "tenant_sched",
     ];
 
     /// If this event opens or closes a span, returns `(slot, is_begin)`

@@ -94,6 +94,12 @@ fn json_fields(kind: &EventKind) -> String {
         EventKind::WriteBarrierRemember { root } => {
             format!("\"kind\":\"{name}\",\"root\":{root}")
         }
+        EventKind::DeviceQueued { wait_ns } => {
+            format!("\"kind\":\"{name}\",\"wait_ns\":{wait_ns}")
+        }
+        EventKind::TenantSched { tenant, admitted } => {
+            format!("\"kind\":\"{name}\",\"tenant\":{tenant},\"admitted\":{admitted}")
+        }
     }
 }
 
@@ -173,6 +179,10 @@ pub fn to_csv_rows(events: &[Event]) -> Vec<String> {
                     (phase.name(), units.to_string(), String::new())
                 }
                 EventKind::WriteBarrierRemember { root } => ("", root.to_string(), String::new()),
+                EventKind::DeviceQueued { wait_ns } => ("", wait_ns.to_string(), String::new()),
+                EventKind::TenantSched { tenant, admitted } => {
+                    ("", tenant.to_string(), admitted.to_string())
+                }
             };
             format!("{},{},{},{},{},{}", e.seq, e.t_ns, e.kind.name(), detail, a, b)
         })

@@ -14,7 +14,7 @@ use crate::stats::GcStats;
 use std::sync::Arc;
 use teraheap_core::{Addr, H2Config, Label, H2, NULL};
 use teraheap_storage::obs::{EventKind, GcCause, SpanKind};
-use teraheap_storage::{Category, DeviceSpec, SimClock, TraceSpan};
+use teraheap_storage::{AttachError, Category, DeviceSpec, SharedDevice, SimClock, TraceSpan};
 
 /// Reserved low words so that address 0 stays the null reference.
 const RESERVED_WORDS: usize = 16;
@@ -141,11 +141,35 @@ impl Heap {
         }
     }
 
-    /// Attaches a TeraHeap second heap over a device described by `spec`.
+    /// Attaches a TeraHeap second heap over a tenant partition of `device`.
     ///
-    /// Corresponds to launching the JVM with `EnableTeraHeap`.
+    /// Corresponds to launching the JVM with `EnableTeraHeap`. The heap must
+    /// have been registered as a tenant of the device beforehand (via
+    /// [`SharedDevice::new`] or [`SharedDevice::add_tenant`]) **with this
+    /// heap's clock**: tenant identity *is* clock identity, so a heap and its
+    /// device partition structurally share one [`SimClock`] — the invariant
+    /// every simulated-time comparison in the repo depends on. Attachment
+    /// fails if the clock is unknown to the device, if the partition is
+    /// already attached, or if the configured H2 footprint
+    /// ([`H2Config::footprint_bytes`]) exceeds the tenant's quota — quota
+    /// violations surface here, not at first I/O.
+    pub fn attach_h2(&mut self, h2_config: H2Config, device: &SharedDevice) -> Result<(), AttachError> {
+        let h2 = H2::attach(h2_config, device, self.clock.clone())?;
+        self.h2 = Some(h2);
+        Ok(())
+    }
+
+    /// Attaches a TeraHeap second heap over a freshly-created private device.
+    ///
+    /// Deprecated shim over the shared-device attachment API: builds a
+    /// one-tenant [`SharedDevice`] sized exactly to the configured H2
+    /// footprint and attaches to it, so even legacy callers exercise the
+    /// arbitrated path (where a sole tenant provably never queues).
+    #[deprecated(note = "use `attach_h2` with a `SharedDevice`")]
     pub fn enable_teraheap(&mut self, h2_config: H2Config, spec: DeviceSpec) {
-        self.h2 = Some(H2::new(h2_config, spec, self.clock.clone()));
+        let device = SharedDevice::new(spec, h2_config.footprint_bytes(), self.clock.clone());
+        self.attach_h2(h2_config, &device)
+            .expect("one-tenant SharedDevice attach cannot fail");
     }
 
     /// Whether TeraHeap is enabled.

@@ -63,3 +63,4 @@ pub use config::{
 pub use heap::{Handle, Heap};
 pub use stats::{GcStats, MajorPhases};
 pub use teraheap_storage::obs;
+pub use teraheap_storage::{AttachError, SharedDevice, TenantId, TenantIo};

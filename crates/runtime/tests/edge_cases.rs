@@ -3,7 +3,7 @@
 use teraheap_core::{H2Config, Label};
 use teraheap_runtime::obs::timeline::gc_cycles;
 use teraheap_runtime::{GcVariant, Heap, HeapConfig, MemoryMode};
-use teraheap_storage::{Category, DeviceSpec};
+use teraheap_storage::{Category, DeviceSpec, SharedDevice};
 
 fn tiny_h2(region_words: usize, n_regions: usize) -> H2Config {
     H2Config::builder()
@@ -22,7 +22,9 @@ fn h2_exhaustion_falls_back_to_h1_without_corruption() {
     // H2 with room for almost nothing: candidates that don't fit must stay
     // in H1, still intact and still readable.
     let mut heap = Heap::new(HeapConfig::with_words(8 << 10, 64 << 10));
-    heap.enable_teraheap(tiny_h2(64, 2), DeviceSpec::nvme_ssd());
+    let h2cfg = tiny_h2(64, 2);
+    let dev = SharedDevice::new(DeviceSpec::nvme_ssd(), h2cfg.footprint_bytes(), heap.clock().clone());
+    heap.attach_h2(h2cfg, &dev).unwrap();
     let c = heap.register_class("Blob", 0, 100);
     let mut handles = Vec::new();
     for i in 0..8 {
@@ -47,7 +49,9 @@ fn h2_exhaustion_falls_back_to_h1_without_corruption() {
 #[test]
 fn h2_partial_capacity_moves_what_fits() {
     let mut heap = Heap::new(HeapConfig::with_words(8 << 10, 64 << 10));
-    heap.enable_teraheap(tiny_h2(256, 2), DeviceSpec::nvme_ssd());
+    let h2cfg = tiny_h2(256, 2);
+    let dev = SharedDevice::new(DeviceSpec::nvme_ssd(), h2cfg.footprint_bytes(), heap.clock().clone());
+    heap.attach_h2(h2cfg, &dev).unwrap();
     let c = heap.register_class("Blob", 0, 100);
     let mut handles = Vec::new();
     for i in 0..8 {
@@ -69,7 +73,9 @@ fn h2_partial_capacity_moves_what_fits() {
 #[test]
 fn labels_survive_minor_gc_copies() {
     let mut heap = Heap::new(HeapConfig::small());
-    heap.enable_teraheap(tiny_h2(1 << 10, 8), DeviceSpec::nvme_ssd());
+    let h2cfg = tiny_h2(1 << 10, 8);
+    let dev = SharedDevice::new(DeviceSpec::nvme_ssd(), h2cfg.footprint_bytes(), heap.clock().clone());
+    heap.attach_h2(h2cfg, &dev).unwrap();
     let c = heap.register_class("Tagged", 0, 1);
     let h = heap.alloc(c).unwrap();
     heap.h2_tag_root(h, Label::new(77));
@@ -129,7 +135,9 @@ fn memory_mode_charges_every_h1_access() {
 #[test]
 fn deep_object_chains_survive_many_collections() {
     let mut heap = Heap::new(HeapConfig::with_words(8 << 10, 64 << 10));
-    heap.enable_teraheap(tiny_h2(4 << 10, 8), DeviceSpec::nvme_ssd());
+    let h2cfg = tiny_h2(4 << 10, 8);
+    let dev = SharedDevice::new(DeviceSpec::nvme_ssd(), h2cfg.footprint_bytes(), heap.clock().clone());
+    heap.attach_h2(h2cfg, &dev).unwrap();
     let c = heap.register_class("Link", 1, 1);
     let head = heap.alloc(c).unwrap();
     heap.write_prim(head, 0, 0);
@@ -209,7 +217,9 @@ fn handle_dup_and_release_are_independent() {
 #[test]
 fn unreferenced_h2_groups_die_even_with_internal_cycles() {
     let mut heap = Heap::new(HeapConfig::small());
-    heap.enable_teraheap(tiny_h2(1 << 10, 8), DeviceSpec::nvme_ssd());
+    let h2cfg = tiny_h2(1 << 10, 8);
+    let dev = SharedDevice::new(DeviceSpec::nvme_ssd(), h2cfg.footprint_bytes(), heap.clock().clone());
+    heap.attach_h2(h2cfg, &dev).unwrap();
     let c = heap.register_class("C", 1, 0);
     let a = heap.alloc(c).unwrap();
     let b = heap.alloc(c).unwrap();

@@ -11,7 +11,7 @@
 use teraheap_core::{H2Config, Label};
 use teraheap_runtime::obs::{Event, Level};
 use teraheap_runtime::{Handle, Heap, HeapConfig};
-use teraheap_storage::{DeviceSpec, FaultPlan};
+use teraheap_storage::{DeviceSpec, FaultPlan, SharedDevice};
 
 fn h2_config(plan: FaultPlan) -> H2Config {
     H2Config::builder()
@@ -66,7 +66,9 @@ fn run(plan: FaultPlan) -> (Heap, Vec<Event>, u64) {
         .build()
         .unwrap();
     let mut heap = Heap::new(cfg);
-    heap.enable_teraheap(h2_config(plan), DeviceSpec::nvme_ssd());
+    let h2cfg = h2_config(plan);
+    let dev = SharedDevice::new(DeviceSpec::nvme_ssd(), h2cfg.footprint_bytes(), heap.clock().clone());
+    heap.attach_h2(h2cfg, &dev).unwrap();
     let acc = churn(&mut heap);
     let events = heap.clock().tracer().events();
     (heap, events, acc)
@@ -136,7 +138,9 @@ fn degraded_mode_parks_promotions_in_old_gen() {
     let plan = FaultPlan::zero_rate(7).with_enospc_after(0);
     let cfg = HeapConfig::builder(4 << 10, 32 << 10).build().unwrap();
     let mut heap = Heap::new(cfg);
-    heap.enable_teraheap(h2_config(plan), DeviceSpec::nvme_ssd());
+    let h2cfg = h2_config(plan);
+    let dev = SharedDevice::new(DeviceSpec::nvme_ssd(), h2cfg.footprint_bytes(), heap.clock().clone());
+    heap.attach_h2(h2cfg, &dev).unwrap();
     let class = heap.register_class("Parked", 1, 1);
     let root = heap.alloc_ref_array(16).unwrap();
     for i in 0..16 {

@@ -17,7 +17,7 @@
 
 use teraheap_core::{H2Config, Label};
 use teraheap_runtime::{Handle, Heap, HeapConfig};
-use teraheap_storage::{DeviceSpec, FaultPlan};
+use teraheap_storage::{DeviceSpec, FaultPlan, SharedDevice};
 use teraheap_util::proptest_mini::{
     check, range_u64, range_usize, vec_of, CaseResult, Config, Just, Strategy,
 };
@@ -42,7 +42,9 @@ fn checked_heap(plan: FaultPlan, spec: DeviceSpec) -> Heap {
     let mut cfg = HeapConfig::with_words(4096, 16 << 10);
     cfg.heap_check = true;
     let mut heap = Heap::new(cfg);
-    heap.enable_teraheap(h2_config(plan), spec);
+    let h2cfg = h2_config(plan);
+    let dev = SharedDevice::new(spec, h2cfg.footprint_bytes(), heap.clock().clone());
+    heap.attach_h2(h2cfg, &dev).unwrap();
     heap
 }
 

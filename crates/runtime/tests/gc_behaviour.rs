@@ -2,7 +2,7 @@
 
 use teraheap_core::{H2Config, Label};
 use teraheap_runtime::{GcVariant, Heap, HeapConfig};
-use teraheap_storage::{Category, DeviceSpec};
+use teraheap_storage::{Category, DeviceSpec, SharedDevice};
 
 fn small_heap() -> Heap {
     Heap::new(HeapConfig::with_words(2048, 8192))
@@ -10,8 +10,7 @@ fn small_heap() -> Heap {
 
 fn th_heap() -> Heap {
     let mut heap = Heap::new(HeapConfig::with_words(2048, 8192));
-    heap.enable_teraheap(
-        H2Config::builder()
+    let h2cfg = H2Config::builder()
             .region_words(1024)
             .n_regions(16)
             .card_seg_words(128)
@@ -19,9 +18,9 @@ fn th_heap() -> Heap {
             .page_size(4096)
             .promo_buffer_bytes(8 << 10)
             .build()
-            .expect("valid H2 config"),
-        DeviceSpec::nvme_ssd(),
-    );
+            .expect("valid H2 config");
+    let dev = SharedDevice::new(DeviceSpec::nvme_ssd(), h2cfg.footprint_bytes(), heap.clock().clone());
+    heap.attach_h2(h2cfg, &dev).unwrap();
     heap
 }
 
@@ -289,8 +288,7 @@ fn cross_region_dependencies_prevent_premature_reclaim() {
 fn pressure_moves_marked_objects_without_hint() {
     // High threshold forces movement when H1 fills past 85%.
     let mut h = Heap::new(HeapConfig::with_words(512, 2048));
-    h.enable_teraheap(
-        H2Config::builder()
+    let h2cfg = H2Config::builder()
             .region_words(2048)
             .n_regions(8)
             .card_seg_words(256)
@@ -298,9 +296,9 @@ fn pressure_moves_marked_objects_without_hint() {
             .page_size(4096)
             .promo_buffer_bytes(8 << 10)
             .build()
-            .expect("valid H2 config"),
-        DeviceSpec::nvme_ssd(),
-    );
+            .expect("valid H2 config");
+    let dev = SharedDevice::new(DeviceSpec::nvme_ssd(), h2cfg.footprint_bytes(), h.clock().clone());
+    h.attach_h2(h2cfg, &dev).unwrap();
     let big = h.register_class("Big", 0, 200);
     let mut held = Vec::new();
     for i in 0..9 {
@@ -393,8 +391,7 @@ fn barrier_overhead_zero_when_teraheap_disabled() {
     let run = |enable: bool| -> u64 {
         let mut h = small_heap();
         if enable {
-            h.enable_teraheap(
-                H2Config::builder()
+            let h2cfg = H2Config::builder()
                     .region_words(1024)
                     .n_regions(4)
                     .card_seg_words(128)
@@ -402,9 +399,9 @@ fn barrier_overhead_zero_when_teraheap_disabled() {
                     .page_size(4096)
                     .promo_buffer_bytes(4096)
                     .build()
-                    .expect("valid H2 config"),
-                DeviceSpec::nvme_ssd(),
-            );
+                    .expect("valid H2 config");
+            let dev = SharedDevice::new(DeviceSpec::nvme_ssd(), h2cfg.footprint_bytes(), h.clock().clone());
+            h.attach_h2(h2cfg, &dev).unwrap();
         }
         let c = h.register_class("N", 1, 0);
         let a = h.alloc(c).unwrap();

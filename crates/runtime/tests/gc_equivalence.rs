@@ -13,7 +13,7 @@
 
 use teraheap_core::{H2Config, Label};
 use teraheap_runtime::{Handle, Heap, HeapConfig};
-use teraheap_storage::{Category, DeviceSpec};
+use teraheap_storage::{Category, DeviceSpec, SharedDevice};
 
 /// FNV-1a over a stream of u64s — deterministic, dependency-free.
 struct Fnv(u64);
@@ -98,19 +98,44 @@ fn run_mixed_workload() -> (Heap, Vec<Handle>) {
 }
 
 fn run_mixed_workload_with(config: HeapConfig) -> (Heap, Vec<Handle>) {
+    let (heap, keep, _dev) = run_mixed_workload_shared(config);
+    (heap, keep)
+}
+
+fn workload_h2_config() -> H2Config {
+    H2Config::builder()
+        .region_words(8 << 10)
+        .n_regions(48)
+        .card_seg_words(256)
+        .resident_budget_bytes(96 << 10)
+        .page_size(4096)
+        .promo_buffer_bytes(16 << 10)
+        .build()
+        .expect("valid H2 config")
+}
+
+/// The same workload attached through the explicit [`SharedDevice`] path,
+/// returning the device handle so tests can inspect arbitration counters.
+fn run_mixed_workload_shared(config: HeapConfig) -> (Heap, Vec<Handle>, SharedDevice) {
     let mut heap = Heap::new(config);
-    heap.enable_teraheap(
-        H2Config::builder()
-            .region_words(8 << 10)
-            .n_regions(48)
-            .card_seg_words(256)
-            .resident_budget_bytes(96 << 10)
-            .page_size(4096)
-            .promo_buffer_bytes(16 << 10)
-            .build()
-            .expect("valid H2 config"),
-        DeviceSpec::nvme_ssd(),
-    );
+    let h2cfg = workload_h2_config();
+    let dev = SharedDevice::new(DeviceSpec::nvme_ssd(), h2cfg.footprint_bytes(), heap.clock().clone());
+    heap.attach_h2(h2cfg, &dev).unwrap();
+    let keep = mixed_workload_body(&mut heap);
+    (heap, keep, dev)
+}
+
+/// The same workload attached through the deprecated `enable_teraheap`
+/// shim — the pre-redesign API surface, which must stay bit-identical.
+fn run_mixed_workload_shim(config: HeapConfig) -> (Heap, Vec<Handle>) {
+    let mut heap = Heap::new(config);
+    #[allow(deprecated)]
+    heap.enable_teraheap(workload_h2_config(), DeviceSpec::nvme_ssd());
+    let keep = mixed_workload_body(&mut heap);
+    (heap, keep)
+}
+
+fn mixed_workload_body(heap: &mut Heap) -> Vec<Handle> {
     let node = heap.register_class("Node", 2, 2);
     let leaf = heap.register_class("Leaf", 0, 3);
 
@@ -193,7 +218,7 @@ fn run_mixed_workload_with(config: HeapConfig) -> (Heap, Vec<Handle>) {
     }
     heap.gc_minor().unwrap();
 
-    (heap, keep)
+    keep
 }
 
 #[derive(Debug, PartialEq, Eq)]
@@ -233,7 +258,11 @@ fn serial_config() -> HeapConfig {
 }
 
 fn capture_with(config: HeapConfig) -> Snapshot {
-    let (mut heap, keep) = run_mixed_workload_with(config);
+    let (heap, keep) = run_mixed_workload_with(config);
+    capture_from(heap, keep)
+}
+
+fn capture_from(mut heap: Heap, keep: Vec<Handle>) -> Snapshot {
     // Clock and stats first: the checksum traversal itself charges time.
     let total_ns = heap.clock().total_ns();
     let mutator_ns = heap.clock().category_ns(Category::Mutator);
@@ -400,4 +429,33 @@ fn release_recycles_slots_under_churn() {
         baseline,
         heap.root_table_len()
     );
+}
+
+/// The deprecated `enable_teraheap` shim routes through a one-tenant
+/// [`SharedDevice`]; it must reproduce the golden — and hence the explicit
+/// `attach_h2` path — bit for bit. This pins the API redesign: the
+/// arbitration layer a sole tenant passes through costs zero simulated ns.
+#[test]
+fn deprecated_shim_matches_golden() {
+    let (heap, keep) = run_mixed_workload_shim(HeapConfig::with_words(24 << 10, 96 << 10));
+    assert_eq!(capture_from(heap, keep), golden());
+}
+
+/// A sole tenant at full weight must never queue: with one tenant the
+/// virtual-time fair queue degenerates to FIFO against an idle device, so
+/// every submission starts at its arrival (`wait = 0` for all ops) even
+/// though real service time flows through the arbiter.
+#[test]
+fn sole_tenant_arbitration_is_queueless() {
+    let (heap, _keep, dev) = run_mixed_workload_shared(HeapConfig::with_words(24 << 10, 96 << 10));
+    let id = dev.tenant_of(heap.clock()).expect("heap's clock is registered");
+    let io = dev.tenant_io(id).expect("registered tenant has counters");
+    assert_eq!(io.queued_ns, 0, "a sole tenant must never wait");
+    assert_eq!(io.queued_ops, 0);
+    assert!(io.ops > 0, "the workload must exercise the device");
+    assert!(io.busy_ns > 0, "arbitrated ops must carry real service time");
+    // At weight 1000 the sole tenant's finish tag tracks the device's
+    // virtual time exactly — the property that makes every wait zero.
+    assert_eq!(dev.finish_tag_ns(id), Some(dev.device_vtime_ns()));
+    assert!(dev.device_vtime_ns() >= io.busy_ns, "virtual time covers all service");
 }

@@ -21,7 +21,7 @@
 
 use teraheap_core::{H2Config, Label};
 use teraheap_runtime::{Handle, Heap, HeapConfig, OBJ_ARRAY_CLASS, PRIM_ARRAY_CLASS};
-use teraheap_storage::DeviceSpec;
+use teraheap_storage::{DeviceSpec, SharedDevice};
 
 /// Knuth MMIX LCG; high bits only (low bits of an LCG are weak).
 struct Lcg(u64);
@@ -136,8 +136,7 @@ fn run_program(seed: u64, budget: u64, gc_threads: usize, h2: bool) -> Outcome {
         .expect("valid config");
     let mut heap = Heap::new(config);
     if h2 {
-        heap.enable_teraheap(
-            H2Config::builder()
+        let h2cfg = H2Config::builder()
                 .region_words(4 << 10)
                 .n_regions(32)
                 .card_seg_words(256)
@@ -145,9 +144,9 @@ fn run_program(seed: u64, budget: u64, gc_threads: usize, h2: bool) -> Outcome {
                 .page_size(4096)
                 .promo_buffer_bytes(8 << 10)
                 .build()
-                .expect("valid H2 config"),
-            DeviceSpec::nvme_ssd(),
-        );
+                .expect("valid H2 config");
+        let dev = SharedDevice::new(DeviceSpec::nvme_ssd(), h2cfg.footprint_bytes(), heap.clock().clone());
+        heap.attach_h2(h2cfg, &dev).unwrap();
     }
     let node = heap.register_class("Node", 2, 2);
     let leaf = heap.register_class("Leaf", 0, 2);

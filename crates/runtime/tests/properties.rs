@@ -9,7 +9,7 @@
 
 use teraheap_core::{H2Config, Label};
 use teraheap_runtime::{Handle, Heap, HeapConfig};
-use teraheap_storage::DeviceSpec;
+use teraheap_storage::{DeviceSpec, SharedDevice};
 use teraheap_util::proptest_mini::{
     check, range_u64, range_usize, vec_of, CaseResult, Config, Just, Strategy,
 };
@@ -60,8 +60,7 @@ fn mutation_programs_preserve_the_graph() {
         &Config::with_cases(64),
         |ops: Vec<Op>| {
             let mut heap = Heap::new(HeapConfig::with_words(4096, 16384));
-            heap.enable_teraheap(
-                H2Config::builder()
+            let h2cfg = H2Config::builder()
                     .region_words(2048)
                     .n_regions(16)
                     .card_seg_words(256)
@@ -69,9 +68,9 @@ fn mutation_programs_preserve_the_graph() {
                     .page_size(4096)
                     .promo_buffer_bytes(8 << 10)
                     .build()
-                    .expect("valid H2 config"),
-                DeviceSpec::nvme_ssd(),
-            );
+                    .expect("valid H2 config");
+            let dev = SharedDevice::new(DeviceSpec::nvme_ssd(), h2cfg.footprint_bytes(), heap.clock().clone());
+            heap.attach_h2(h2cfg, &dev).unwrap();
             let class = heap.register_class("PropNode", 1, 1);
             let mut handles: Vec<Handle> = Vec::new();
             let mut model: Vec<ModelNode> = Vec::new();

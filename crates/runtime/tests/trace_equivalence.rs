@@ -11,7 +11,7 @@
 use teraheap_core::{H2Config, Label};
 use teraheap_runtime::obs::{Event, EventKind, GcKind, Level, SpanKind, SPAN_COUNT};
 use teraheap_runtime::{Handle, Heap, HeapConfig};
-use teraheap_storage::DeviceSpec;
+use teraheap_storage::{DeviceSpec, SharedDevice};
 use teraheap_util::proptest_mini::{
     check, range_u64, range_usize, vec_of, CaseResult, Config, Just, Strategy,
 };
@@ -62,7 +62,9 @@ fn run_traced(level: Level) -> (Heap, Vec<Event>) {
         .build()
         .unwrap();
     let mut heap = Heap::new(cfg);
-    heap.enable_teraheap(test_h2(), DeviceSpec::nvme_ssd());
+    let h2cfg = test_h2();
+    let dev = SharedDevice::new(DeviceSpec::nvme_ssd(), h2cfg.footprint_bytes(), heap.clock().clone());
+    heap.attach_h2(h2cfg, &dev).unwrap();
     churn(&mut heap);
     let events = heap.clock().tracer().events();
     (heap, events)
@@ -139,7 +141,9 @@ fn spans_are_well_nested_per_slot() {
                 .build()
                 .unwrap();
             let mut heap = Heap::new(cfg);
-            heap.enable_teraheap(test_h2(), DeviceSpec::nvme_ssd());
+            let h2cfg = test_h2();
+            let dev = SharedDevice::new(DeviceSpec::nvme_ssd(), h2cfg.footprint_bytes(), heap.clock().clone());
+            heap.attach_h2(h2cfg, &dev).unwrap();
             let class = heap.register_class("PropNode", 1, 1);
             let mut handles: Vec<Handle> = Vec::new();
             let mut released: Vec<bool> = Vec::new();

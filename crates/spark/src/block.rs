@@ -179,7 +179,7 @@ mod tests {
     use std::sync::Arc;
     use teraheap_core::H2Config;
     use teraheap_runtime::HeapConfig;
-    use teraheap_storage::DeviceSpec;
+    use teraheap_storage::{DeviceSpec, SharedDevice};
 
     fn mk_partition(heap: &mut Heap, words: usize, fill: u64) -> Handle {
         let p = heap.alloc_prim_array(words).unwrap();
@@ -229,8 +229,7 @@ mod tests {
     fn teraheap_mode_moves_partitions_to_h2() {
         let clock = Arc::new(teraheap_storage::SimClock::new());
         let mut heap = Heap::with_clock(HeapConfig::small(), clock);
-        heap.enable_teraheap(
-            H2Config::builder()
+        let h2cfg = H2Config::builder()
                 .region_words(4096)
                 .n_regions(8)
                 .card_seg_words(512)
@@ -238,9 +237,9 @@ mod tests {
                 .page_size(4096)
                 .promo_buffer_bytes(8 << 10)
                 .build()
-                .expect("valid H2 config"),
-            DeviceSpec::nvme_ssd(),
-        );
+                .expect("valid H2 config");
+        let dev = SharedDevice::new(DeviceSpec::nvme_ssd(), h2cfg.footprint_bytes(), heap.clock().clone());
+        heap.attach_h2(h2cfg, &dev).unwrap();
         let mut bm = BlockManager::new(CacheMode::TeraHeap);
         let p = mk_partition(&mut heap, 64, 7);
         let id = BlockId { rdd: 3, partition: 0 };

@@ -1,10 +1,11 @@
 //! The Spark execution context: heap + block manager + shared classes.
 
 use crate::block::{BlockManager, CacheMode};
+use std::sync::Arc;
 use teraheap_core::H2Config;
 use teraheap_runtime::obs::SpanKind;
-use teraheap_runtime::{ClassId, Heap, HeapConfig};
-use teraheap_storage::{Category, DeviceSpec, SimDevice};
+use teraheap_runtime::{AttachError, ClassId, Heap, HeapConfig, SharedDevice};
+use teraheap_storage::{Category, DeviceSpec, SimClock, SimDevice};
 
 /// Which cache/heap configuration a run uses (Table 2).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -82,8 +83,44 @@ pub struct SparkContext {
 impl SparkContext {
     /// Builds a context: heap (with H2 when TeraHeap), block manager and
     /// the shared data classes.
+    ///
+    /// A TeraHeap mode attaches to a freshly-created one-tenant
+    /// [`SharedDevice`] sized to the H2 footprint — the single-tenant
+    /// degenerate case, where arbitration provably never queues.
     pub fn new(config: SparkConfig) -> Self {
         let mut heap = Heap::new(config.heap);
+        if let ExecMode::TeraHeap { h2, device } = config.mode {
+            let dev = SharedDevice::new(device, h2.footprint_bytes(), heap.clock().clone());
+            heap.attach_h2(h2, &dev)
+                .expect("one-tenant SharedDevice attach cannot fail");
+        }
+        Self::with_heap(config, heap)
+    }
+
+    /// Builds a context as one tenant of a shared H2 device.
+    ///
+    /// `clock` must be the clock this tenant was registered with
+    /// ([`SharedDevice::add_tenant`]); the device's partition spec — not the
+    /// `ExecMode::TeraHeap` device field, which only matters for the private
+    /// path of [`SparkContext::new`] — decides the I/O cost model.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the clock is not a registered tenant of `device` or the H2
+    /// footprint exceeds the tenant's quota.
+    pub fn new_tenant(
+        config: SparkConfig,
+        device: &SharedDevice,
+        clock: Arc<SimClock>,
+    ) -> Result<Self, AttachError> {
+        let mut heap = Heap::with_clock(config.heap, clock);
+        if let ExecMode::TeraHeap { h2, .. } = config.mode {
+            heap.attach_h2(h2, device)?;
+        }
+        Ok(Self::with_heap(config, heap))
+    }
+
+    fn with_heap(config: SparkConfig, mut heap: Heap) -> Self {
         let cache = match config.mode {
             ExecMode::SparkSd { device } => {
                 let dev = SimDevice::new(device, 4 << 30, heap.clock().clone());
@@ -93,10 +130,7 @@ impl SparkContext {
                 }
             }
             ExecMode::OnHeap => CacheMode::OnHeapOnly,
-            ExecMode::TeraHeap { h2, device } => {
-                heap.enable_teraheap(h2, device);
-                CacheMode::TeraHeap
-            }
+            ExecMode::TeraHeap { .. } => CacheMode::TeraHeap,
         };
         let partition_class = heap.register_class("SparkPartition", 2, 1);
         let vertex_class = heap.register_class("Vertex", 1, 2);

@@ -28,4 +28,4 @@ pub mod workloads;
 pub use block::{BlockId, BlockManager, CacheMode};
 pub use context::{ExecMode, SparkConfig, SparkContext};
 pub use report::RunReport;
-pub use workloads::{run_workload, run_workload_traced, DatasetScale, Workload};
+pub use workloads::{run_workload, run_workload_on, run_workload_traced, DatasetScale, Workload};

@@ -188,6 +188,22 @@ fn mode_label(config: &SparkConfig) -> String {
     format!("{}{}{}", config.mode.name(), collector, mm)
 }
 
+/// Runs `workload` on an existing context and returns its checksum — one
+/// server-plane job round. The caller owns context setup (tenant or
+/// private) and teardown; repeated rounds on one context accumulate cache
+/// state like a long-lived Spark executor would.
+///
+/// # Errors
+///
+/// Returns [`OomError`] if the run exhausts the heap.
+pub fn run_workload_on(
+    workload: Workload,
+    ctx: &mut SparkContext,
+    scale: DatasetScale,
+) -> Result<f64, OomError> {
+    exec(workload, ctx, scale)
+}
+
 fn exec(workload: Workload, ctx: &mut SparkContext, scale: DatasetScale) -> Result<f64, OomError> {
     match workload {
         Workload::Pr => pagerank(ctx, scale),

@@ -154,6 +154,17 @@ impl ChargeScope {
         ChargeScope { cat, pending_ns: 0, pending_charges: 0 }
     }
 
+    /// Nanoseconds accumulated locally but not yet flushed to the clock.
+    ///
+    /// The shared-device arbiter needs the *true* simulated instant of a
+    /// request — `clock.total_ns()` plus whatever this scope is still
+    /// holding — so batched hot loops submit arrivals that match the
+    /// per-word loop exactly (DESIGN.md §13).
+    #[inline]
+    pub fn pending_ns(&self) -> u64 {
+        self.pending_ns
+    }
+
     /// Accumulates one charge of `ns`.
     #[inline]
     pub fn add(&mut self, ns: u64) {

@@ -12,6 +12,10 @@
 //! * [`MmapSim`] — a page-cache cost model for file-backed `mmap`, with
 //!   faults, dirty write-back, a resident-set budget (the paper's DR2) and
 //!   optional 2 MB huge pages (the paper's HugeMap configuration).
+//! * [`SharedDevice`] — one H2 device shared by N tenant heaps: per-tenant
+//!   partitions/quotas carved from a single capacity pool and deterministic
+//!   virtual-time fair queueing, so colocated tenants' I/O charges reflect
+//!   contention (the server plane, DESIGN.md §13).
 //! * [`SimClock`] — a deterministic simulated clock that attributes
 //!   nanoseconds to the paper's execution-time breakdown categories
 //!   (other, S/D + I/O, minor GC, major GC).
@@ -43,6 +47,7 @@ pub mod device;
 pub mod durable;
 pub mod fault;
 pub mod mmap;
+pub mod shared;
 pub mod stats;
 
 pub use clock::{Breakdown, Category, ChargeScope, LaneSet, SimClock, TraceSpan};
@@ -51,6 +56,7 @@ pub use device::{DeviceKind, DeviceSpec, SimDevice};
 pub use durable::{DurableStore, WriteBackOutcome};
 pub use fault::{FaultPlan, FaultPlane, RetryOutcome};
 pub use mmap::MmapSim;
+pub use shared::{AttachError, DeviceLease, SharedDevice, TenantId, TenantIo};
 pub use stats::IoStats;
 
 /// The flight-recorder crate, re-exported so clock holders can name event

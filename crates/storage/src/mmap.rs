@@ -19,6 +19,7 @@
 use crate::clock::{Category, ChargeScope, SimClock};
 use crate::device::DeviceSpec;
 use crate::fault::{self, FaultPlane};
+use crate::shared::DeviceLease;
 use crate::stats::IoStats;
 use teraheap_obs::EventKind;
 use std::cmp::Reverse;
@@ -81,6 +82,12 @@ pub struct MmapSim {
     /// owner last drained; only kept while a fault plane is armed, feeding
     /// the owner's durable mirroring.
     writeback_log: Option<Vec<u64>>,
+    /// Shared-device lease: when present, every device service (fault
+    /// transfer, write-back, msync, DAX run) is submitted to the device
+    /// arbiter before its cost lands, and any queueing delay is charged to
+    /// the touching category (DESIGN.md §13). `None` — and a sole tenant —
+    /// keep every path bit-identical to the private-device code.
+    lease: Option<DeviceLease>,
 }
 
 impl MmapSim {
@@ -116,7 +123,58 @@ impl MmapSim {
             clock,
             plane: None,
             writeback_log: None,
+            lease: None,
         }
+    }
+
+    /// Routes the mapping's device services through a shared-device
+    /// arbiter. Queueing delays are charged to the touching category and
+    /// surfaced as `DeviceQueued` events.
+    pub fn set_lease(&mut self, lease: DeviceLease) {
+        self.lease = Some(lease);
+    }
+
+    /// The shared-device lease, if the mapping is attached to one.
+    pub fn lease(&self) -> Option<&DeviceLease> {
+        self.lease.as_ref()
+    }
+
+    /// Submits a device request of `service_ns` arriving at the current
+    /// scope-adjusted instant; accumulates any queueing delay into `scope`
+    /// (before the caller adds the service cost) and emits `DeviceQueued`.
+    /// A no-op without a lease, and delay-free for a sole tenant.
+    fn arbitrate_scoped(&self, service_ns: u64, scope: &mut ChargeScope) {
+        if let Some(lease) = &self.lease {
+            let arrival = self.clock.total_ns() + scope.pending_ns();
+            let wait = lease.submit(arrival, service_ns);
+            if wait > 0 {
+                scope.add(wait);
+                scope.emit(&self.clock, EventKind::DeviceQueued { wait_ns: wait });
+            }
+        }
+    }
+
+    /// As [`MmapSim::arbitrate_scoped`] for paths that charge the clock
+    /// directly (no scope in flight).
+    fn arbitrate_direct(&self, service_ns: u64, cat: Category) {
+        if let Some(lease) = &self.lease {
+            let wait = lease.submit(self.clock.total_ns(), service_ns);
+            if wait > 0 {
+                self.clock.charge(cat, wait);
+                self.clock.emit(EventKind::DeviceQueued { wait_ns: wait });
+            }
+        }
+    }
+
+    /// Charges `service_ns` of device time to `cat` through the arbiter —
+    /// for owner-level device costs that bypass the page cache (H2's
+    /// promotion-buffer flush writes straight to the device file).
+    pub fn charge_device(&self, cat: Category, service_ns: u64) {
+        if service_ns == 0 {
+            return;
+        }
+        self.arbitrate_direct(service_ns, cat);
+        self.clock.charge(cat, service_ns);
     }
 
     /// Arms a fault plane over the mapping: device costs gain the plane's
@@ -229,6 +287,7 @@ impl MmapSim {
             } else {
                 self.stats.record_read(bytes as u64);
             }
+            self.arbitrate_direct(cost, cat);
             self.clock.charge(cat, cost);
             return;
         }
@@ -273,6 +332,9 @@ impl MmapSim {
             } else {
                 self.stats.record_reads(bytes as u64, words);
             }
+            // The whole run is one arbitrated device command (a sole
+            // tenant sees no delay, so run-vs-loop equivalence holds).
+            self.arbitrate_direct(words * cost, cat);
             self.clock.charge_batched(cat, words * cost, words);
             return;
         }
@@ -354,7 +416,9 @@ impl MmapSim {
         };
         match self.plane.as_deref() {
             None => {
-                scope.add(transfer_ns + latency_ns);
+                let service = transfer_ns + latency_ns;
+                self.arbitrate_scoped(service, scope);
+                scope.add(service);
                 scope.emit(&self.clock, EventKind::PageFault { sequential });
             }
             Some(plane) => {
@@ -364,7 +428,9 @@ impl MmapSim {
                 // (the kernel's own page-I/O retry loop), so the fault path
                 // stays total.
                 let mult = plane.spike_multiplier();
-                scope.add((transfer_ns + latency_ns).saturating_mul(mult));
+                let service = (transfer_ns + latency_ns).saturating_mul(mult);
+                self.arbitrate_scoped(service, scope);
+                scope.add(service);
                 scope.emit(&self.clock, EventKind::PageFault { sequential });
                 let out = fault::inject_scoped(plane, &self.clock, scope, false);
                 self.stats.record_retries(out.retries as u64);
@@ -402,14 +468,19 @@ impl MmapSim {
                     if dirty {
                         self.stats.record_write(self.page_size as u64);
                         match self.plane.as_deref() {
-                            None => scope.add(self.spec.write_cost_ns(self.page_size)),
+                            None => {
+                                let service = self.spec.write_cost_ns(self.page_size);
+                                self.arbitrate_scoped(service, scope);
+                                scope.add(service);
+                            }
                             Some(plane) => {
                                 let mult = plane.spike_multiplier();
-                                scope.add(
-                                    self.spec
-                                        .write_cost_ns(self.page_size)
-                                        .saturating_mul(mult),
-                                );
+                                let service = self
+                                    .spec
+                                    .write_cost_ns(self.page_size)
+                                    .saturating_mul(mult);
+                                self.arbitrate_scoped(service, scope);
+                                scope.add(service);
                                 // Transient write error on the eviction
                                 // write-back: the kernel keeps the page and
                                 // retries until it lands, so only the
@@ -458,18 +529,15 @@ impl MmapSim {
         if dirty_pages > 0 {
             let bytes = dirty_pages * self.page_size as u64;
             self.stats.record_write(bytes);
-            match self.plane.as_deref() {
-                None => self
-                    .clock
-                    .charge(cat, self.spec.write_cost_ns(bytes as usize)),
-                Some(plane) => {
-                    let mult = plane.spike_multiplier();
-                    self.clock.charge(
-                        cat,
-                        self.spec.write_cost_ns(bytes as usize).saturating_mul(mult),
-                    );
-                }
-            }
+            let service = match self.plane.as_deref() {
+                None => self.spec.write_cost_ns(bytes as usize),
+                Some(plane) => self
+                    .spec
+                    .write_cost_ns(bytes as usize)
+                    .saturating_mul(plane.spike_multiplier()),
+            };
+            self.arbitrate_direct(service, cat);
+            self.clock.charge(cat, service);
             self.clock.emit(EventKind::WriteBack { bytes });
             if let Some(plane) = self.plane.as_deref() {
                 // An msync the kernel retries to completion: only the

@@ -6,19 +6,18 @@
 
 use teraheap_core::{CardState, H2Config, Label};
 use teraheap_runtime::{Heap, HeapConfig};
-use teraheap_storage::DeviceSpec;
+use teraheap_storage::{DeviceSpec, SharedDevice};
 
 fn main() {
     let mut heap = Heap::new(HeapConfig::small());
-    heap.enable_teraheap(
-        H2Config {
+    let h2cfg = H2Config {
             region_words: 8 << 10,
             n_regions: 32,
             card_seg_words: 1 << 10,
             ..H2Config::default()
-        },
-        DeviceSpec::nvme_ssd(),
-    );
+        };
+    let dev = SharedDevice::new(DeviceSpec::nvme_ssd(), h2cfg.footprint_bytes(), heap.clock().clone());
+    heap.attach_h2(h2cfg, &dev).unwrap();
     let node = heap.register_class("Node", 1, 1);
 
     // --- 1. Labels group object closures into regions -----------------

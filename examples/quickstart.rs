@@ -9,12 +9,14 @@
 
 use teraheap_core::{H2Config, Label};
 use teraheap_runtime::{Heap, HeapConfig};
-use teraheap_storage::DeviceSpec;
+use teraheap_storage::{DeviceSpec, SharedDevice};
 
 fn main() {
     // H1: a small DRAM heap. H2: region-based second heap over NVMe.
     let mut heap = Heap::new(HeapConfig::small());
-    heap.enable_teraheap(H2Config::default(), DeviceSpec::nvme_ssd());
+    let h2cfg = H2Config::default();
+    let dev = SharedDevice::new(DeviceSpec::nvme_ssd(), h2cfg.footprint_bytes(), heap.clock().clone());
+    heap.attach_h2(h2cfg, &dev).unwrap();
 
     // A "partition": an array of a thousand point objects.
     let point = heap.register_class("Point", 0, 2);

@@ -43,6 +43,14 @@
 #        no cycle ever starts, simulation bit-identical to stop-world) must
 #        cost < 5% wall-clock over budget 0 on the fig14 single-point run
 #        (TERAHEAP_PAUSE_BUDGET), best of BENCH_GCINCR_REPS (default 5).
+#
+# Special mode: scripts/bench.sh tenants
+#   Measures the shared-device era's host overhead and writes
+#   BENCH_tenants.json. Every heap now attaches through a SharedDevice, so
+#   every device charge passes the bandwidth arbiter even with one tenant;
+#   gate: fig6_spark (single-tenant, arbitrated) must stay < 2% wall-clock
+#   over the BENCH_gc_incremental.json baseline, best of BENCH_TENANT_REPS
+#   runs (default 3). Also records the fig15_tenants multi-tenant sweep.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -53,7 +61,8 @@ out="BENCH_${name}.json"
 
 fig_bins=(fig6_spark fig6_giraph fig7_timeline fig8_collectors fig9_hints
           fig10_regions fig11_gc_overhead fig12_nvm fig13_scaling
-          fig13_gc_threads fig14_pause_cdf table5_metadata ablations)
+          fig13_gc_threads fig14_pause_cdf fig15_tenants table5_metadata
+          ablations)
 
 echo "== release build =="
 cargo build --release --offline --workspace
@@ -273,6 +282,58 @@ if [[ "$name" == "gc_incr" ]]; then
     if awk "BEGIN{exit !($armed_pct >= 5.0)}"; then
         echo "ERROR: armed-idle barrier costs ${armed_pct}% (>= 5%) over stop-world" >&2
         exit 1
+    fi
+    exit 0
+fi
+
+if [[ "$name" == "tenants" ]]; then
+    reps="${BENCH_TENANT_REPS:-3}"
+    declare -A secs
+    for b in fig6_spark fig15_tenants; do
+        best=""
+        for _ in $(seq "$reps"); do
+            t0=$(now_ms)
+            "target/release/$b" >/dev/null
+            t=$(awk "BEGIN{printf \"%.3f\", ($(now_ms)-$t0)/1000}")
+            if [[ -z "$best" ]] || awk "BEGIN{exit !($t < $best)}"; then
+                best=$t
+            fi
+        done
+        secs[$b]=$best
+        echo "$b: ${best}s (best of $reps)"
+    done
+    baseline=""
+    if [[ -f BENCH_gc_incremental.json ]]; then
+        baseline=$(sed -n 's/^[[:space:]]*"fig6_spark_secs": \([0-9.]*\),*$/\1/p' \
+            BENCH_gc_incremental.json | head -1)
+    fi
+    {
+        echo "{"
+        echo "  \"name\": \"tenants\","
+        echo "  \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+        echo "  \"reps\": ${reps},"
+        echo "  \"target_fig6_spark_regression_percent\": 2.0,"
+        if [[ -n "$baseline" ]]; then
+            pct=$(awk "BEGIN{printf \"%.2f\", (${secs[fig6_spark]}-$baseline)/$baseline*100}")
+            echo "  \"baseline_fig6_spark_secs\": ${baseline},"
+            echo "  \"fig6_spark_regression_percent\": ${pct},"
+        fi
+        echo "  \"wall_clock_secs\": {"
+        echo "    \"fig6_spark\": ${secs[fig6_spark]},"
+        echo "    \"fig15_tenants\": ${secs[fig15_tenants]}"
+        echo "  }"
+        echo "}"
+    } > "$out"
+    echo "wrote $out"
+    if [[ -n "$baseline" ]]; then
+        echo "fig6_spark: ${secs[fig6_spark]}s vs baseline ${baseline}s (${pct}%)"
+        if awk "BEGIN{exit !($pct >= 2.0)}"; then
+            echo "ERROR: fig6_spark regressed ${pct}% (>= 2% vs BENCH_gc_incremental.json)" >&2
+            echo "(single-tenant arbitration must be free on the host too)" >&2
+            exit 1
+        fi
+    else
+        echo "note: BENCH_gc_incremental.json not found; no regression gate applied"
     fi
     exit 0
 fi

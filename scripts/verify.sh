@@ -91,6 +91,19 @@ cargo test -q --offline -p teraheap-runtime --test fault_recovery
 cargo test -q --offline -p teraheap-runtime --test fault_equivalence
 echo "ok"
 
+# Shared-device invariants (DESIGN.md §13): the one-tenant arbitrated path
+# must reproduce the pre-redesign private-device goldens bit-identically
+# (both through attach_h2 and the deprecated shim), N-tenant server runs
+# must be deterministic with typed config rejection, and one tenant's
+# injected crash must leave its neighbours' simulated time, heap census and
+# arbitration counters untouched. Run the three suites explicitly.
+echo "== shared device: tenant equivalence, server plane, fault isolation =="
+cargo test -q --offline -p teraheap-runtime --test gc_equivalence -- \
+    deprecated_shim_matches_golden sole_tenant_arbitration_is_queueless
+cargo test -q --offline -p teraheap-server
+cargo test -q --offline -p teraheap-runtime --test fault_isolation
+echo "ok"
+
 # Faults smoke stage: one seeded chaos run per device profile (NVMe page
 # cache, Optane NVM, DRAM-DAX), injected through the production
 # TERAHEAP_FAULTS path with the full-heap checker armed at every GC
@@ -118,7 +131,7 @@ if [[ "${VERIFY_SKIP_RESULTS:-0}" != "1" ]]; then
     for bin in fig6_spark fig6_giraph fig7_timeline fig8_collectors \
                fig9_hints fig10_regions fig11_gc_overhead fig12_nvm \
                fig13_scaling fig13_gc_threads fig14_pause_cdf \
-               table5_metadata ablations; do
+               fig15_tenants table5_metadata ablations; do
         echo "  regenerating: $bin"
         cargo run -q --release --offline -p teraheap-bench --bin "$bin" >/dev/null
     done

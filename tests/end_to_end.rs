@@ -7,7 +7,7 @@ use mini_giraph::{run_giraph, GiraphConfig, GiraphMode, GiraphWorkload};
 use mini_spark::{run_workload, DatasetScale, ExecMode, SparkConfig, Workload};
 use teraheap_core::H2Config;
 use teraheap_runtime::{GcVariant, Heap, HeapConfig};
-use teraheap_storage::DeviceSpec;
+use teraheap_storage::{DeviceSpec, SharedDevice};
 
 fn h2() -> H2Config {
     H2Config {
@@ -150,7 +150,9 @@ fn enabling_teraheap_is_nearly_free_without_hints() {
     let run = |enable: bool| {
         let mut heap = Heap::new(HeapConfig::small());
         if enable {
-            heap.enable_teraheap(h2(), DeviceSpec::nvme_ssd());
+            let h2cfg = h2();
+            let dev = SharedDevice::new(DeviceSpec::nvme_ssd(), h2cfg.footprint_bytes(), heap.clock().clone());
+            heap.attach_h2(h2cfg, &dev).unwrap();
         }
         let class = heap.register_class("N", 1, 2);
         let root = heap.alloc_ref_array(64).unwrap();
@@ -194,7 +196,9 @@ fn enabling_teraheap_is_nearly_free_without_hints() {
 #[test]
 fn serialized_and_h2_paths_read_identical_data() {
     let mut heap = Heap::new(HeapConfig::small());
-    heap.enable_teraheap(h2(), DeviceSpec::nvme_ssd());
+    let h2cfg = h2();
+    let dev = SharedDevice::new(DeviceSpec::nvme_ssd(), h2cfg.footprint_bytes(), heap.clock().clone());
+    heap.attach_h2(h2cfg, &dev).unwrap();
     let class = heap.register_class("Row", 0, 3);
     let arr = heap.alloc_ref_array(50).unwrap();
     for i in 0..50 {
