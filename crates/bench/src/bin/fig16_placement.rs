@@ -1,0 +1,220 @@
+//! Figure 16 (beyond the paper): adaptive placement ablation.
+//!
+//! The paper's TeraHeap places *every* hinted partition in H2 behind static
+//! high/low watermarks; vanilla Spark serializes every cache-overflow
+//! partition. This figure ablates the PR's online placement plane — the
+//! per-partition cost model plus lifetime-profiled pretenuring — against
+//! those static policies on the mixed hot/cold workload ([`Workload::Mix`]:
+//! a small hot working set re-read every iteration plus a cold stream of
+//! large ingest partitions read once, long after ingest).
+//!
+//! Arms, per device profile (NVMe / Optane NVM / DAX):
+//!
+//! * `adaptive`      — cost-model placement + pretenuring (`ExecMode::Adaptive`);
+//! * `static-high`   — TeraHeap, high watermark only (85%, the paper default);
+//! * `static-low`    — TeraHeap, high + low watermarks (§7.2's 50% low);
+//! * `spark-sd`      — always-serialize cache overflow (Spark-SD);
+//! * `always-h2`     — TeraHeap with the high watermark floored, so every
+//!   major GC drains all tagged partitions to H2 regardless of pressure.
+//!
+//! Expected shape: the static arms pay device fault latency on every hot
+//! re-read (all partitions land in H2) or S/D on every overflow access;
+//! adaptive keeps the hot set deserialized on H1 and streams only the cold
+//! partitions to H2, so it wins end-to-end on every device, decisively on
+//! NVMe where fault reads cost ~80 µs. The binary exits non-zero if the
+//! ablation gates regress (adaptive no worse than the static watermarks
+//! anywhere, ≥1.15x on at least one device).
+
+use mini_spark::{
+    run_workload_on, DatasetScale, ExecMode, RunReport, SparkConfig, SparkContext, Workload,
+};
+use teraheap_bench::harness::{h2_for, run_parallel, write_csv};
+use teraheap_core::TransferPolicy;
+use teraheap_runtime::HeapConfig;
+use teraheap_storage::DeviceSpec;
+
+/// Mix-workload rounds: enough that the profiler's tenure evidence and the
+/// model's reuse estimates settle well before the run ends.
+const ITERATIONS: usize = 16;
+
+/// Hot partitions per iteration (the re-read working set).
+const PARTITIONS: usize = 4;
+
+/// Mixed dataset: cold ingest partitions of rows*dims/4 = 16 Ki words
+/// (128 KiB) dwarf the 4 Ki-word hot partitions.
+fn mix_scale() -> DatasetScale {
+    DatasetScale { rows: 4_000, dims: 16, ..DatasetScale::tiny() }
+}
+
+/// H1 sized so the cold stream overflows it within two iterations: majors
+/// run throughout, and the on-heap cache budget (H1/2) holds the hot set
+/// plus at most one cold partition.
+fn mix_heap() -> HeapConfig {
+    HeapConfig::with_words(8 << 10, 40 << 10)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Arm {
+    Adaptive,
+    StaticHigh,
+    StaticLow,
+    SparkSd,
+    AlwaysH2,
+}
+
+impl Arm {
+    const ALL: [Arm; 5] =
+        [Arm::Adaptive, Arm::StaticHigh, Arm::StaticLow, Arm::SparkSd, Arm::AlwaysH2];
+
+    fn name(self) -> &'static str {
+        match self {
+            Arm::Adaptive => "adaptive",
+            Arm::StaticHigh => "static-high",
+            Arm::StaticLow => "static-low",
+            Arm::SparkSd => "spark-sd",
+            Arm::AlwaysH2 => "always-h2",
+        }
+    }
+}
+
+fn run_arm(arm: Arm, device: DeviceSpec) -> RunReport {
+    let mode = match arm {
+        Arm::Adaptive => ExecMode::Adaptive { h2: h2_for(4), device },
+        Arm::SparkSd => ExecMode::SparkSd { device },
+        _ => ExecMode::TeraHeap { h2: h2_for(4), device },
+    };
+    let config =
+        SparkConfig { heap: mix_heap(), mode, partitions: PARTITIONS, iterations: ITERATIONS };
+    let mut ctx = SparkContext::new(config);
+    match arm {
+        Arm::StaticLow => {
+            *ctx.heap.h2_mut().expect("TeraHeap mode has H2").policy_mut() =
+                TransferPolicy::new().with_low(TransferPolicy::DEFAULT_LOW);
+        }
+        Arm::AlwaysH2 => {
+            // Floor the high watermark: every major GC is "pressured", so
+            // all tagged partitions drain to H2 unconditionally.
+            *ctx.heap.h2_mut().expect("TeraHeap mode has H2").policy_mut() =
+                TransferPolicy::new().with_high(0.05);
+        }
+        _ => {}
+    }
+    match run_workload_on(Workload::Mix, &mut ctx, mix_scale()) {
+        Err(e) => {
+            let mut r = RunReport::oom("MIX", arm.name().into());
+            r.oom_context = Some(e.to_string());
+            r
+        }
+        Ok(checksum) => {
+            let s = ctx.heap.stats();
+            RunReport {
+                workload: "MIX",
+                mode: arm.name().into(),
+                oom: false,
+                oom_context: None,
+                breakdown: ctx.heap.clock().breakdown(),
+                minor_gcs: s.minor_count,
+                major_gcs: s.major_count,
+                h2_objects: s.objects_promoted_h2,
+                serializations: ctx.bm.serializations(),
+                deserializations: ctx.bm.deserializations(),
+                pretenured: s.pretenured_objects,
+                checksum,
+            }
+        }
+    }
+}
+
+fn main() {
+    let devices: [(&str, DeviceSpec); 3] = [
+        ("nvme", DeviceSpec::nvme_ssd()),
+        ("nvm", DeviceSpec::optane_nvm()),
+        ("dax", DeviceSpec::dram()),
+    ];
+
+    println!("=== Figure 16: adaptive placement ablation (mixed hot/cold) ===\n");
+
+    let jobs: Vec<_> = devices
+        .iter()
+        .flat_map(|&(_, spec)| Arm::ALL.iter().map(move |&a| (a, spec)))
+        .map(|(a, spec)| move || run_arm(a, spec))
+        .collect();
+    let reports = run_parallel(jobs);
+
+    let mut csv: Vec<String> = Vec::new();
+    let mut gates_ok = true;
+    let mut best_speedup = 0.0f64;
+    let mut it = reports.iter();
+    for (name, _) in devices {
+        println!("--- device {name} ---");
+        let per_arm: Vec<&RunReport> = Arm::ALL.iter().map(|_| it.next().unwrap()).collect();
+        let adaptive_ns = per_arm[0].breakdown.total_ns().max(1);
+        for (arm, r) in Arm::ALL.iter().zip(&per_arm) {
+            let status = if r.oom { "OOM".into() } else { format!("{:9.3} ms", r.total_ms()) };
+            println!(
+                "  {:>11}: {status}  [minor {} major {} h2 {} ser {} deser {} pretenured {}]",
+                arm.name(),
+                r.minor_gcs,
+                r.major_gcs,
+                r.h2_objects,
+                r.serializations,
+                r.deserializations,
+                r.pretenured
+            );
+            csv.push(format!(
+                "{name},{},{},{},{},{},{},{}",
+                arm.name(),
+                r.csv_row(),
+                r.serializations,
+                r.deserializations,
+                r.pretenured,
+                r.h2_objects,
+                r.checksum
+            ));
+        }
+        // Every non-OOM arm must compute the same answer.
+        for r in per_arm.iter().filter(|r| !r.oom) {
+            assert!(
+                (r.checksum - per_arm[0].checksum).abs() < 1e-9,
+                "checksum mismatch on {name}: {} vs adaptive",
+                r.mode
+            );
+        }
+        // Gate 1: adaptive no worse than either static watermark arm.
+        for &i in &[1usize, 2] {
+            let static_ns = per_arm[i].breakdown.total_ns();
+            if !per_arm[i].oom && static_ns < adaptive_ns {
+                println!(
+                    "  GATE FAIL: adaptive slower than {} on {name}",
+                    per_arm[i].mode
+                );
+                gates_ok = false;
+            }
+        }
+        let best_static_ns =
+            per_arm[1..3].iter().filter(|r| !r.oom).map(|r| r.breakdown.total_ns()).min();
+        if let Some(s) = best_static_ns {
+            best_speedup = best_speedup.max(s as f64 / adaptive_ns as f64);
+        }
+        println!();
+    }
+    // Gate 2: a ≥1.15x end-to-end win over the best static arm somewhere.
+    println!("best adaptive speedup vs static watermarks: {best_speedup:.2}x");
+    if best_speedup < 1.15 {
+        println!("GATE FAIL: no device shows ≥1.15x adaptive win");
+        gates_ok = false;
+    }
+
+    let path = write_csv(
+        "fig16_placement",
+        &format!(
+            "device,arm,{},serializations,deserializations,pretenured,h2_objects,checksum",
+            RunReport::csv_header()
+        ),
+        &csv,
+    );
+    println!("wrote {}", path.display());
+    if !gates_ok {
+        std::process::exit(1);
+    }
+}

@@ -114,6 +114,17 @@ impl TransferPolicy {
         self.adaptive
     }
 
+    /// Turns dynamic threshold adaptation on or off at run time (the
+    /// adaptive-placement plane flips this together with the lifetime
+    /// profiler; see `Heap::set_adaptive_placement`).
+    pub fn set_adaptive(&mut self, on: bool) {
+        self.adaptive = on;
+        if !on {
+            self.consecutive_pressure = 0;
+            self.consecutive_calm = 0;
+        }
+    }
+
     /// Disables the `h2_move` hint (the "NH" configuration of Figure 9a):
     /// objects move only via the high-threshold pressure mechanism.
     pub fn without_hints(mut self) -> Self {
@@ -172,8 +183,13 @@ impl TransferPolicy {
     /// candidate selection at a different time than they retire the GC (the
     /// incremental collector snapshots these at selection and passes them
     /// back through [`TransferPolicy::note_major_gc_end_satisfying`]).
-    pub fn requested_labels(&self) -> Vec<Label> {
-        self.requested.iter().copied().collect()
+    ///
+    /// Returned as an iterator — the caller chooses whether to collect into
+    /// its own (reusable) storage, so this GC-path accessor allocates
+    /// nothing itself (PR 2 zero-allocation convention). Order is
+    /// unspecified; callers must be order-insensitive.
+    pub fn requested_labels(&self) -> impl Iterator<Item = Label> + '_ {
+        self.requested.iter().copied()
     }
 
     /// Updates the pressure flag from end-of-major-GC occupancy and clears

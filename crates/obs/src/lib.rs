@@ -372,10 +372,24 @@ pub enum EventKind {
     /// A server scheduling decision for tenant `tenant`: `admitted` is
     /// false when the admission policy deferred the tenant's burst.
     TenantSched { tenant: u32, admitted: bool },
+    /// Lifetime-profiled pretenuring placed a `words`-word object straight
+    /// into H2 under allocation site `label` (adaptive placement plane).
+    Pretenure { label: u64, words: u64 },
+    /// The online cost model decided where partition `(rdd, partition)` is
+    /// cached: `choice` indexes `PLACEMENT_NAMES` (0 on-heap, 1 serialized,
+    /// 2 H2).
+    PlacementDecision { rdd: u64, partition: u32, choice: u8 },
+    /// A block-manager serialize (`deser == false`) or deserialize
+    /// (`deser == true`) of `bytes` bytes — the one source of truth the
+    /// cost model, `RunReport` and the timeline exporter all read.
+    BlockSerde { deser: bool, bytes: u64 },
 }
 
+/// Display names for [`EventKind::PlacementDecision::choice`].
+pub const PLACEMENT_NAMES: [&str; 3] = ["on_heap", "serialized", "h2"];
+
 /// Number of distinct event classes (counter array dimension).
-pub const CLASS_COUNT: usize = 27;
+pub const CLASS_COUNT: usize = 30;
 
 /// Number of span slots tracked by the duration histograms: minor/major GC,
 /// the four major phases, the [`SpanKind`]s, then incremental GC slices.
@@ -425,6 +439,9 @@ impl EventKind {
             EventKind::WriteBarrierRemember { .. } => "write_barrier_remember",
             EventKind::DeviceQueued { .. } => "device_queued",
             EventKind::TenantSched { .. } => "tenant_sched",
+            EventKind::Pretenure { .. } => "pretenure",
+            EventKind::PlacementDecision { .. } => "placement_decision",
+            EventKind::BlockSerde { .. } => "block_serde",
         }
     }
 
@@ -458,6 +475,9 @@ impl EventKind {
             EventKind::WriteBarrierRemember { .. } => 24,
             EventKind::DeviceQueued { .. } => 25,
             EventKind::TenantSched { .. } => 26,
+            EventKind::Pretenure { .. } => 27,
+            EventKind::PlacementDecision { .. } => 28,
+            EventKind::BlockSerde { .. } => 29,
         }
     }
 
@@ -490,6 +510,9 @@ impl EventKind {
         "write_barrier_remember",
         "device_queued",
         "tenant_sched",
+        "pretenure",
+        "placement_decision",
+        "block_serde",
     ];
 
     /// If this event opens or closes a span, returns `(slot, is_begin)`

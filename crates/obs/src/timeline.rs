@@ -100,6 +100,16 @@ fn json_fields(kind: &EventKind) -> String {
         EventKind::TenantSched { tenant, admitted } => {
             format!("\"kind\":\"{name}\",\"tenant\":{tenant},\"admitted\":{admitted}")
         }
+        EventKind::Pretenure { label, words } => {
+            format!("\"kind\":\"{name}\",\"label\":{label},\"words\":{words}")
+        }
+        EventKind::PlacementDecision { rdd, partition, choice } => format!(
+            "\"kind\":\"{name}\",\"rdd\":{rdd},\"partition\":{partition},\"choice\":\"{}\"",
+            crate::PLACEMENT_NAMES[*choice as usize]
+        ),
+        EventKind::BlockSerde { deser, bytes } => {
+            format!("\"kind\":\"{name}\",\"deser\":{deser},\"bytes\":{bytes}")
+        }
     }
 }
 
@@ -182,6 +192,19 @@ pub fn to_csv_rows(events: &[Event]) -> Vec<String> {
                 EventKind::DeviceQueued { wait_ns } => ("", wait_ns.to_string(), String::new()),
                 EventKind::TenantSched { tenant, admitted } => {
                     ("", tenant.to_string(), admitted.to_string())
+                }
+                EventKind::Pretenure { label, words } => {
+                    ("", label.to_string(), words.to_string())
+                }
+                // Two payload slots: keep the block coordinates; the JSONL
+                // export carries the decision name.
+                EventKind::PlacementDecision { rdd, partition, choice } => (
+                    crate::PLACEMENT_NAMES[*choice as usize],
+                    rdd.to_string(),
+                    partition.to_string(),
+                ),
+                EventKind::BlockSerde { deser, bytes } => {
+                    ("", deser.to_string(), bytes.to_string())
                 }
             };
             format!("{},{},{},{},{},{}", e.seq, e.t_ns, e.kind.name(), detail, a, b)

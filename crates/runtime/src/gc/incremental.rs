@@ -666,8 +666,12 @@ fn mark_terminate(heap: &mut Heap, cyc: &mut IncrCycle) {
     // Snapshot the hint requests this cycle will consider: a request landing
     // after this point applies to a later GC, so retirement must not clear
     // it (the stop-world selector runs atomically and can clear wholesale).
-    cyc.req_snapshot =
-        heap.h2.as_ref().map(|h| h.policy().requested_labels()).unwrap_or_default();
+    // requested_labels() is an iterator; extending the cycle's reusable
+    // snapshot Vec keeps this allocation-free once its capacity warms up.
+    cyc.req_snapshot.clear();
+    if let Some(h) = heap.h2.as_ref() {
+        cyc.req_snapshot.extend(h.policy().requested_labels());
+    }
     cyc.sel = begin_select(heap, cyc.live_words, &cyc.live);
     step_select(heap, cyc)
 }
@@ -830,6 +834,7 @@ fn finish_select(heap: &mut Heap, cyc: &mut IncrCycle) {
         major::record_h2_liveness(heap);
     }
     if heap.h2.is_some() {
+        heap.propagate_site_groups();
         let freed = heap.h2.as_mut().unwrap().propagate_and_sweep();
         for rid in &freed {
             heap.h2_starts.remove(&rid.0);
@@ -1159,6 +1164,14 @@ fn step_relocate(heap: &mut Heap, cyc: &mut IncrCycle) {
             }
             heap.stats.objects_promoted_h2 += 1;
             cyc.staged_words += size as u64;
+            if heap.lifetimes.is_enabled() {
+                let label_word = heap.mem[src_i + 1];
+                if label_word != 0 {
+                    let label = teraheap_core::Label::new(label_word);
+                    heap.lifetimes.record_promotion(label, size as u64);
+                    heap.note_site_region(label, region.0);
+                }
+            }
         } else {
             // PS destinations never overtake sources: old-gen dests are
             // packed monotonically below their srcs, young srcs live in

@@ -158,6 +158,7 @@ pub(crate) fn major_gc(heap: &mut Heap, cause: GcCause) -> Result<(), OomError> 
 
     // Task 5: free dead H2 regions (lazy bulk reclamation).
     if heap.h2.is_some() {
+        heap.propagate_site_groups();
         let freed = heap.h2.as_mut().unwrap().propagate_and_sweep();
         for rid in &freed {
             heap.h2_starts.remove(&rid.0);
@@ -472,6 +473,14 @@ pub(crate) fn major_gc(heap: &mut Heap, cause: GcCause) -> Result<(), OomError> 
                 promoted_regions.push(region.0);
             }
             heap.stats.objects_promoted_h2 += 1;
+            if heap.lifetimes.is_enabled() {
+                let label_word = heap.mem[src_i + 1];
+                if label_word != 0 {
+                    let label = teraheap_core::Label::new(label_word);
+                    heap.lifetimes.record_promotion(label, size as u64);
+                    heap.note_site_region(label, region.0);
+                }
+            }
         } else if dest <= src {
             heap.mem.copy_within(src_i..src_end, dest as usize);
             unit_h1_words += size as u64;

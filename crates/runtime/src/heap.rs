@@ -12,7 +12,7 @@ use crate::object;
 use crate::space::{H1CardTable, Space};
 use crate::stats::GcStats;
 use std::sync::Arc;
-use teraheap_core::{Addr, H2Config, Label, H2, NULL};
+use teraheap_core::{Addr, H2Config, Label, LifetimeProfiles, RegionGroups, RegionId, H2, NULL};
 use teraheap_storage::obs::{EventKind, GcCause, SpanKind};
 use teraheap_storage::{AttachError, Category, DeviceSpec, SharedDevice, SimClock, TraceSpan};
 
@@ -77,6 +77,22 @@ pub struct Heap {
     /// Run [`Heap::heap_check`] at every GC boundary (config flag or
     /// `TERAHEAP_HEAP_CHECK=1`), panicking on the first violated invariant.
     pub(crate) check_enabled: bool,
+    /// Per-allocation-site lifetime profiles (adaptive placement plane).
+    /// Disabled by default, so the static-policy goldens stay bit-identical.
+    pub(crate) lifetimes: LifetimeProfiles,
+    /// The allocation-site label subsequent allocations belong to, set by
+    /// the framework around partition construction ([`Heap::set_alloc_site`]).
+    pub(crate) alloc_site: Option<Label>,
+    /// Union-find over H2 regions: regions receiving pretenured data from
+    /// one site merge into a group whose liveness is decided as a unit.
+    /// Present only while adaptive placement is on.
+    pub(crate) site_groups: Option<RegionGroups>,
+    /// `(label id, last region)` per pretenuring site, sorted by label id —
+    /// consecutive regions of one site are merged in `site_groups`.
+    pub(crate) site_last_region: Vec<(u64, u32)>,
+    /// Reusable scratch for composing pretenured object images (zero
+    /// allocation on the pretenure path once its capacity warms up).
+    pub(crate) pretenure_scratch: Vec<u64>,
 }
 
 impl Heap {
@@ -138,6 +154,11 @@ impl Heap {
             pending_oom: None,
             check_enabled: config.heap_check
                 || std::env::var("TERAHEAP_HEAP_CHECK").is_ok_and(|v| v == "1"),
+            lifetimes: LifetimeProfiles::new(),
+            alloc_site: None,
+            site_groups: None,
+            site_last_region: Vec::new(),
+            pretenure_scratch: Vec::new(),
         }
     }
 
@@ -356,6 +377,17 @@ impl Heap {
         }
         self.clock.charge(Category::Mutator, self.config.cost.alloc_ns);
         self.incr_poll();
+        // Lifetime-profiled pretenuring: when the current allocation site's
+        // profile crossed the tenure threshold, place the object straight
+        // into region-grouped H2 storage, skipping survivor copying. Falls
+        // through to the normal H1 path when H2 is absent, degraded or full.
+        if let Some(label) = self.alloc_site {
+            if self.lifetimes.should_pretenure(label) {
+                if let Some(addr) = self.pretenure(label, class, words, array_len) {
+                    return Ok(addr);
+                }
+            }
+        }
         let addr = self.alloc_words(words)?;
         let i = addr.raw() as usize;
         self.mem[i..i + words].fill(0);
@@ -399,6 +431,81 @@ impl Heap {
                 context: "eden exhausted after garbage collection".to_string(),
             })
         })
+    }
+
+    /// Allocates a pretenured object directly in H2 under `label`,
+    /// returning `None` (caller falls back to H1) when H2 is absent,
+    /// degraded, or cannot fit the object. The object image — header,
+    /// label word, array length — is composed in a reusable scratch buffer
+    /// and written through the promotion buffer, so device costs are
+    /// batched exactly like major-GC promotion, but charged to the mutator.
+    fn pretenure(&mut self, label: Label, class: ClassId, words: usize, array_len: u64) -> Option<Addr> {
+        let h2 = self.h2.as_mut()?;
+        if h2.is_degraded() {
+            return None;
+        }
+        let dest = h2.alloc(label, words).ok()?;
+        let mut scratch = std::mem::take(&mut self.pretenure_scratch);
+        scratch.clear();
+        scratch.resize(words, 0);
+        scratch[0] = object::pack_header(class, words);
+        scratch[1] = label.id();
+        if class == OBJ_ARRAY_CLASS || class == PRIM_ARRAY_CLASS {
+            scratch[object::HEADER_WORDS] = array_len;
+        }
+        let h2 = self.h2.as_mut().expect("checked above");
+        h2.write_promoted(dest, &scratch, Category::Mutator);
+        // Fence the region live immediately: an in-flight incremental cycle
+        // must not sweep a region that just received a rooted allocation.
+        h2.note_forward_ref(dest);
+        let region = h2.regions().region_of(dest).0;
+        self.pretenure_scratch = scratch;
+        // Bump allocation within a region is monotone, so appending keeps
+        // the per-region start index sorted (the PR 2 invariant card scans
+        // rely on).
+        self.h2_starts.entry(region).or_default().push(dest.raw());
+        self.note_site_region(label, region);
+        self.lifetimes.record_pretenure(label, words as u64);
+        self.stats.pretenured_objects += 1;
+        self.stats.pretenured_words += words as u64;
+        self.clock.emit(EventKind::Pretenure { label: label.id(), words: words as u64 });
+        Some(dest)
+    }
+
+    /// Records that `label`'s site placed an object in `region`, merging
+    /// the site's regions into one union-find group.
+    pub(crate) fn note_site_region(&mut self, label: Label, region: u32) {
+        let Some(groups) = self.site_groups.as_mut() else { return };
+        match self.site_last_region.binary_search_by_key(&label.id(), |&(k, _)| k) {
+            Ok(i) => {
+                let prev = self.site_last_region[i].1;
+                if prev != region {
+                    groups.merge(RegionId(prev), RegionId(region));
+                    self.site_last_region[i].1 = region;
+                }
+            }
+            Err(i) => self.site_last_region.insert(i, (label.id(), region)),
+        }
+    }
+
+    /// Propagates liveness across pretenure site groups before the H2
+    /// sweep: if any region of a group is referenced, the whole group
+    /// stays live (one site's partition data references itself freely, so
+    /// the group lives or dies as a unit). No-op with adaptive placement
+    /// off, keeping the static-policy goldens untouched.
+    pub(crate) fn propagate_site_groups(&mut self) {
+        let Some(groups) = self.site_groups.as_mut() else { return };
+        let Some(h2) = self.h2.as_mut() else { return };
+        let n = h2.config().n_regions;
+        let referenced: Vec<bool> =
+            (0..n).map(|r| h2.regions().is_live(RegionId(r as u32))).collect();
+        let live = groups.group_liveness(&referenced);
+        for (r, &keep) in live.iter().enumerate() {
+            if keep && !referenced[r] {
+                let base = h2.regions().region_base(RegionId(r as u32));
+                h2.regions_mut().mark_live(base);
+            }
+        }
     }
 
     /// Records an OOM in the flight recorder and fires the crash-dump hook
@@ -896,9 +1003,64 @@ impl Heap {
 
     /// `h2_tag_root(obj, label)`: tags a root key-object for H2 placement by
     /// writing the label into the object header's label field.
+    ///
+    /// With adaptive placement on, tagging doubles as the lifetime
+    /// profiler's allocation sample: the tagged words are the denominator
+    /// of the site's survival ratio. Recording charges nothing.
     pub fn h2_tag_root(&mut self, h: Handle, label: Label) {
         let (obj, _) = self.mutator_view(self.root_of(h));
         self.set_word(obj.add(1), label.id());
+        if self.lifetimes.is_enabled() && obj.is_h1() {
+            let words = self.object_size(obj) as u64;
+            self.lifetimes.record_tag(label, words);
+        }
+    }
+
+    // ----- adaptive placement (lifetime-profiled pretenuring) ---------------
+
+    /// Turns the adaptive placement plane on or off: the per-site lifetime
+    /// profiler, H2 pretenuring, site region grouping, and the transfer
+    /// policy's dynamic threshold controller. Off by default — every
+    /// simulated-ns golden is pinned with this off.
+    pub fn set_adaptive_placement(&mut self, on: bool) {
+        self.lifetimes.set_enabled(on);
+        if on {
+            if self.site_groups.is_none() {
+                let n = self.h2.as_ref().map(|h| h.config().n_regions).unwrap_or(0);
+                self.site_groups = Some(RegionGroups::new(n));
+            }
+        } else {
+            self.site_groups = None;
+            self.site_last_region.clear();
+            self.alloc_site = None;
+        }
+        if let Some(h2) = self.h2.as_mut() {
+            h2.policy_mut().set_adaptive(on);
+        }
+    }
+
+    /// Whether the adaptive placement plane is on.
+    pub fn adaptive_placement(&self) -> bool {
+        self.lifetimes.is_enabled()
+    }
+
+    /// Sets (or clears) the allocation-site label for subsequent
+    /// allocations. Frameworks bracket partition construction with this so
+    /// the profiler can attribute allocations — and pretenure decisions —
+    /// to the partition's site.
+    pub fn set_alloc_site(&mut self, site: Option<Label>) {
+        self.alloc_site = site;
+    }
+
+    /// The per-site lifetime profiles (empty unless adaptive placement ran).
+    pub fn lifetime_profiles(&self) -> &LifetimeProfiles {
+        &self.lifetimes
+    }
+
+    /// The union-find over H2 regions grouped by pretenure site, if
+    /// adaptive placement is on.
+    pub fn pretenure_groups(&self) -> Option<&RegionGroups> {
+        self.site_groups.as_ref()
     }
 
     /// `h2_move(label)`: advises TeraHeap to move all objects tagged with

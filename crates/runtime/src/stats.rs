@@ -62,6 +62,11 @@ pub struct GcStats {
     /// Incremental major GC: pause slices executed across all cycles
     /// (`SliceBegin`/`SliceEnd` pairs).
     pub incr_slices: u64,
+    /// Objects allocated straight into H2 by lifetime-profiled pretenuring
+    /// (adaptive placement plane; 0 with the static policy).
+    pub pretenured_objects: u64,
+    /// Words allocated straight into H2 by pretenuring.
+    pub pretenured_words: u64,
 }
 
 impl GcStats {

@@ -4,8 +4,10 @@
 //! stages fetch them back with [`BlockManager::get`]. The three cache modes
 //! implement the paper's baseline and TeraHeap configurations.
 
+use crate::placement::{Placement, PlacementModel};
 use std::collections::HashMap;
 use teraheap_core::Label;
+use teraheap_runtime::obs::EventKind;
 use teraheap_runtime::{Handle, Heap, OomError};
 use teraheap_storage::{Category, SimDevice};
 
@@ -34,6 +36,17 @@ pub enum CacheMode {
     OnHeapOnly,
     /// TeraHeap: partitions are tagged + moved to H2 and accessed directly.
     TeraHeap,
+    /// Adaptive: an online cost model re-decides per put between the
+    /// deserialized on-heap cache, the serialized off-heap cache, and H2
+    /// (requires an attached H2 for the H2 tier to be reachable).
+    Adaptive {
+        /// Device holding the serialized off-heap cache tier.
+        device: SimDevice,
+        /// On-heap cache budget in words.
+        onheap_budget_words: usize,
+        /// The online placement model.
+        model: PlacementModel,
+    },
 }
 
 #[derive(Debug)]
@@ -51,6 +64,9 @@ pub struct BlockManager {
     device_cursor: usize,
     sd_serializations: u64,
     sd_deserializations: u64,
+    /// Adaptive mode only: words each on-heap-budgeted block is charged,
+    /// so unpersist can return its budget (H2-placed blocks are absent).
+    budgeted: HashMap<BlockId, usize>,
 }
 
 impl BlockManager {
@@ -63,6 +79,15 @@ impl BlockManager {
             device_cursor: 0,
             sd_serializations: 0,
             sd_deserializations: 0,
+            budgeted: HashMap::new(),
+        }
+    }
+
+    /// The online placement model, when running in adaptive mode.
+    pub fn placement_model(&self) -> Option<&PlacementModel> {
+        match &self.mode {
+            CacheMode::Adaptive { model, .. } => Some(model),
+            _ => None,
         }
     }
 
@@ -118,8 +143,67 @@ impl BlockManager {
                         .write(offset, &bytes, Category::Io)
                         .expect("off-heap cache device full");
                     heap.release(partition);
+                    heap.clock().emit(EventKind::BlockSerde {
+                        deser: false,
+                        bytes: bytes.len() as u64,
+                    });
                     self.slots.insert(id, Slot::OffHeap { offset, len: bytes.len() });
                     self.sd_serializations += 1;
+                }
+            }
+            CacheMode::Adaptive { device, onheap_budget_words, model } => {
+                model.note_put(id.rdd);
+                if heap.is_in_h2(partition) {
+                    // Pretenured at allocation: the lifetime profiler already
+                    // placed the partition in region-grouped H2 storage.
+                    heap.clock().emit(EventKind::PlacementDecision {
+                        rdd: id.rdd,
+                        partition: id.partition,
+                        choice: Placement::H2.index(),
+                    });
+                    self.slots.insert(id, Slot::OnHeap(partition));
+                    return Ok(());
+                }
+                let bytes_est = kryo_sim::serialized_size(heap, partition);
+                let words = bytes_est / 8;
+                let onheap_fits = self.onheap_used_words + words <= *onheap_budget_words;
+                let h2_ok = heap.h2().is_some_and(|h| !h.is_degraded());
+                let choice =
+                    model.decide(id.rdd, words as u64, bytes_est as u64, onheap_fits, h2_ok);
+                heap.clock().emit(EventKind::PlacementDecision {
+                    rdd: id.rdd,
+                    partition: id.partition,
+                    choice: choice.index(),
+                });
+                match choice {
+                    Placement::OnHeap => {
+                        self.onheap_used_words += words;
+                        self.budgeted.insert(id, words);
+                        self.slots.insert(id, Slot::OnHeap(partition));
+                    }
+                    Placement::H2 => {
+                        heap.h2_tag_root(partition, Label::new(id.rdd));
+                        heap.h2_move(Label::new(id.rdd));
+                        self.slots.insert(id, Slot::OnHeap(partition));
+                    }
+                    Placement::Serialized => {
+                        let before = heap.clock().category_ns(Category::SerDe);
+                        let bytes = kryo_sim::serialize(heap, partition)?;
+                        let serde_ns = heap.clock().category_ns(Category::SerDe) - before;
+                        model.observe_serde(bytes.len() as u64, serde_ns);
+                        let offset = self.device_cursor;
+                        self.device_cursor += bytes.len();
+                        device
+                            .write(offset, &bytes, Category::Io)
+                            .expect("off-heap cache device full");
+                        heap.release(partition);
+                        heap.clock().emit(EventKind::BlockSerde {
+                            deser: false,
+                            bytes: bytes.len() as u64,
+                        });
+                        self.slots.insert(id, Slot::OffHeap { offset, len: bytes.len() });
+                        self.sd_serializations += 1;
+                    }
                 }
             }
         }
@@ -137,12 +221,18 @@ impl BlockManager {
     ///
     /// Returns [`OomError`] if deserialization exhausts the heap.
     pub fn get(&mut self, heap: &mut Heap, id: BlockId) -> Result<Option<Handle>, OomError> {
+        if self.slots.contains_key(&id) {
+            if let CacheMode::Adaptive { model, .. } = &mut self.mode {
+                model.note_get(id.rdd);
+            }
+        }
         match self.slots.get(&id) {
             None => Ok(None),
             Some(Slot::OnHeap(h)) => Ok(Some(heap.dup(*h))),
             Some(&Slot::OffHeap { offset, len }) => {
                 let device = match &self.mode {
-                    CacheMode::SerializedOverflow { device, .. } => device,
+                    CacheMode::SerializedOverflow { device, .. }
+                    | CacheMode::Adaptive { device, .. } => device,
                     _ => unreachable!("off-heap slot without a device"),
                 };
                 let mut bytes = vec![0u8; len];
@@ -150,7 +240,13 @@ impl BlockManager {
                     .read(offset, &mut bytes, Category::Io)
                     .expect("off-heap cache read failed");
                 self.sd_deserializations += 1;
+                let before = heap.clock().category_ns(Category::SerDe);
                 let h = kryo_sim::deserialize(heap, &bytes)?;
+                let serde_ns = heap.clock().category_ns(Category::SerDe) - before;
+                heap.clock().emit(EventKind::BlockSerde { deser: true, bytes: len as u64 });
+                if let CacheMode::Adaptive { model, .. } = &mut self.mode {
+                    model.observe_serde(len as u64, serde_ns);
+                }
                 Ok(Some(h))
             }
         }
@@ -168,6 +264,9 @@ impl BlockManager {
         for id in ids {
             if let Some(Slot::OnHeap(h)) = self.slots.remove(&id) {
                 heap.release(h);
+            }
+            if let Some(words) = self.budgeted.remove(&id) {
+                self.onheap_used_words = self.onheap_used_words.saturating_sub(words);
             }
         }
     }

@@ -1,6 +1,7 @@
 //! The Spark execution context: heap + block manager + shared classes.
 
 use crate::block::{BlockManager, CacheMode};
+use crate::placement::PlacementModel;
 use std::sync::Arc;
 use teraheap_core::H2Config;
 use teraheap_runtime::obs::SpanKind;
@@ -26,6 +27,16 @@ pub enum ExecMode {
         /// Device backing H2.
         device: DeviceSpec,
     },
+    /// Adaptive placement: H2 is attached as in TeraHeap mode, a serialized
+    /// off-heap cache tier exists as in Spark-SD, and the online cost model
+    /// ([`crate::placement`]) re-decides per put which tier each partition
+    /// lands in. Enables the heap's lifetime-profiled pretenuring.
+    Adaptive {
+        /// H2 layout.
+        h2: H2Config,
+        /// Device backing both H2 and the serialized cache tier.
+        device: DeviceSpec,
+    },
 }
 
 impl ExecMode {
@@ -35,6 +46,7 @@ impl ExecMode {
             ExecMode::SparkSd { .. } => "Spark-SD",
             ExecMode::OnHeap => "On-heap",
             ExecMode::TeraHeap { .. } => "TeraHeap",
+            ExecMode::Adaptive { .. } => "Adaptive",
         }
     }
 }
@@ -89,7 +101,8 @@ impl SparkContext {
     /// degenerate case, where arbitration provably never queues.
     pub fn new(config: SparkConfig) -> Self {
         let mut heap = Heap::new(config.heap);
-        if let ExecMode::TeraHeap { h2, device } = config.mode {
+        if let ExecMode::TeraHeap { h2, device } | ExecMode::Adaptive { h2, device } = config.mode
+        {
             let dev = SharedDevice::new(device, h2.footprint_bytes(), heap.clock().clone());
             heap.attach_h2(h2, &dev)
                 .expect("one-tenant SharedDevice attach cannot fail");
@@ -114,7 +127,7 @@ impl SparkContext {
         clock: Arc<SimClock>,
     ) -> Result<Self, AttachError> {
         let mut heap = Heap::with_clock(config.heap, clock);
-        if let ExecMode::TeraHeap { h2, .. } = config.mode {
+        if let ExecMode::TeraHeap { h2, .. } | ExecMode::Adaptive { h2, .. } = config.mode {
             heap.attach_h2(h2, device)?;
         }
         Ok(Self::with_heap(config, heap))
@@ -131,6 +144,25 @@ impl SparkContext {
             }
             ExecMode::OnHeap => CacheMode::OnHeapOnly,
             ExecMode::TeraHeap { .. } => CacheMode::TeraHeap,
+            ExecMode::Adaptive { device, .. } => {
+                heap.set_adaptive_placement(true);
+                let dev = SimDevice::new(device, 4 << 30, heap.clock().clone());
+                let cost = config.heap.cost;
+                // Seed the S/D estimate from the static cost model (per-KiB,
+                // one direction); real Kryo runs refine it online.
+                let serde_prior = cost.serde_byte_ns * 1024 + cost.serde_object_ns;
+                let model = PlacementModel::new(
+                    device,
+                    Some(device),
+                    serde_prior,
+                    cost.gc_copy_word_ns,
+                );
+                CacheMode::Adaptive {
+                    device: dev,
+                    onheap_budget_words: config.heap.h1_words() / 2,
+                    model,
+                }
+            }
         };
         let partition_class = heap.register_class("SparkPartition", 2, 1);
         let vertex_class = heap.register_class("Vertex", 1, 2);

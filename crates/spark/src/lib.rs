@@ -22,10 +22,12 @@
 
 pub mod block;
 pub mod context;
+pub mod placement;
 pub mod report;
 pub mod workloads;
 
 pub use block::{BlockId, BlockManager, CacheMode};
 pub use context::{ExecMode, SparkConfig, SparkContext};
+pub use placement::{Placement, PlacementInputs, PlacementModel};
 pub use report::RunReport;
 pub use workloads::{run_workload, run_workload_on, run_workload_traced, DatasetScale, Workload};

@@ -22,6 +22,15 @@ pub struct RunReport {
     pub major_gcs: u64,
     /// Objects moved to H2 (TeraHeap runs).
     pub h2_objects: u64,
+    /// Partitions the block manager serialized to the off-heap cache tier
+    /// (same source of truth as the `BlockSerde` obs events).
+    pub serializations: u64,
+    /// Partitions the block manager deserialized back from the off-heap
+    /// cache tier.
+    pub deserializations: u64,
+    /// Objects allocated straight into H2 by lifetime-profiled pretenuring
+    /// (adaptive runs; 0 otherwise).
+    pub pretenured: u64,
     /// A workload-defined checksum for cross-configuration validation —
     /// every mode must compute the same answer.
     pub checksum: f64,
@@ -39,6 +48,9 @@ impl RunReport {
             minor_gcs: 0,
             major_gcs: 0,
             h2_objects: 0,
+            serializations: 0,
+            deserializations: 0,
+            pretenured: 0,
             checksum: f64::NAN,
         }
     }

@@ -14,6 +14,7 @@
 use crate::block::BlockId;
 use crate::context::{SparkConfig, SparkContext};
 use crate::report::RunReport;
+use teraheap_core::Label;
 use teraheap_runtime::obs::SpanKind;
 use teraheap_runtime::{Handle, OomError};
 use teraheap_workloads::{powerlaw_graph, relational_dataset, vector_dataset, GraphDataset};
@@ -44,6 +45,11 @@ pub enum Workload {
     /// K-Means clustering (MLlib; appears in the Panthera comparison,
     /// Figure 12c).
     Km,
+    /// Mixed hot/cold cache workload (fig16 ablation): each iteration
+    /// ingests one new cold long-lived partition and rebuilds a set of hot
+    /// short-lived partitions that are re-read many times — the access
+    /// pattern where no static placement wins everywhere.
+    Mix,
 }
 
 impl Workload {
@@ -75,6 +81,7 @@ impl Workload {
             Workload::Bc => "BC",
             Workload::Rl => "RL",
             Workload::Km => "KM",
+            Workload::Mix => "MIX",
         }
     }
 
@@ -169,6 +176,9 @@ pub fn run_workload_traced(
                 minor_gcs: s.minor_count,
                 major_gcs: s.major_count,
                 h2_objects: s.objects_promoted_h2,
+                serializations: ctx.bm.serializations(),
+                deserializations: ctx.bm.deserializations(),
+                pretenured: s.pretenured_objects,
                 checksum,
             }
         }
@@ -217,6 +227,7 @@ fn exec(workload: Workload, ctx: &mut SparkContext, scale: DatasetScale) -> Resu
         Workload::Bc => naive_bayes(ctx, scale),
         Workload::Rl => relational(ctx, scale),
         Workload::Km => kmeans(ctx, scale),
+        Workload::Mix => mixed_hot_cold(ctx, scale),
     }
 }
 
@@ -807,6 +818,101 @@ fn relational(ctx: &mut SparkContext, scale: DatasetScale) -> Result<f64, OomErr
     Ok(result)
 }
 
+// ---------------------------------------------------------------------------
+// Mixed hot/cold workload (fig16 ablation)
+// ---------------------------------------------------------------------------
+
+/// Times each hot partition is re-read per iteration.
+const HOT_REPS: usize = 8;
+
+/// Streaming ingestion with a hot working set — the access pattern where no
+/// static placement wins everywhere. Each iteration:
+///
+/// 1. ingests one new *cold* partition (a large primitive array that stays
+///    cached for the rest of the run and is re-read roughly once per
+///    iteration afterwards) from a stable allocation site, then
+/// 2. rebuilds the *hot* partitions (small, unpersisted and re-created
+///    every iteration) and scans each [`HOT_REPS`] times.
+///
+/// Static H2 placement pays device faults on every hot get; static
+/// serialization pays S/D on every cold get; keeping everything on-heap
+/// drowns in GC (or OOMs). The adaptive plane should keep the hot set
+/// deserialized on H1, route the cold stream to H2, and — once the cold
+/// site's lifetime profile crosses the tenure threshold — pretenure cold
+/// ingests straight into H2, skipping survivor copying entirely.
+fn mixed_hot_cold(ctx: &mut SparkContext, scale: DatasetScale) -> Result<f64, OomError> {
+    let parts = ctx.config.partitions;
+    let cold_words = (scale.rows * scale.dims / 4).max(256);
+    let hot_words = (scale.dims * 16).max(64);
+    let cold_rdd = ctx.new_rdd();
+    let hot_rdd = ctx.new_rdd();
+    let mut cold_blocks: Vec<BlockId> = Vec::new();
+    let mut scratch: Vec<u64> = Vec::new();
+    let mut checksum = 0.0f64;
+    for it in 0..ctx.config.iterations {
+        let _stage = ctx.heap.span(SpanKind::Stage);
+        // 1. Cold ingest: one new long-lived partition from the cold site.
+        ctx.heap.set_alloc_site(Some(Label::new(cold_rdd)));
+        let part = ctx.heap.alloc(ctx.partition_class)?;
+        let arr = ctx.heap.alloc_prim_array(cold_words)?;
+        scratch.clear();
+        scratch.extend((0..cold_words as u64).map(|i| i.wrapping_mul(2654435761) ^ it as u64));
+        ctx.heap.write_prims(arr, 0, &scratch);
+        ctx.heap.write_ref(part, 0, arr);
+        ctx.heap.release(arr);
+        ctx.heap.write_prim(part, 0, it as u64);
+        ctx.heap.set_alloc_site(None);
+        let cid = BlockId { rdd: cold_rdd, partition: it as u32 };
+        ctx.bm.put(&mut ctx.heap, cid, part)?;
+        cold_blocks.push(cid);
+        // 2. Hot rebuild: drop last iteration's hot set, create this one's.
+        ctx.bm.unpersist(&mut ctx.heap, hot_rdd);
+        ctx.heap.set_alloc_site(Some(Label::new(hot_rdd)));
+        for p in 0..parts {
+            let hpart = ctx.heap.alloc(ctx.partition_class)?;
+            let harr = ctx.heap.alloc_prim_array(hot_words)?;
+            scratch.clear();
+            scratch.extend((0..hot_words as u64).map(|i| i + (it * parts + p) as u64));
+            ctx.heap.write_prims(harr, 0, &scratch);
+            ctx.heap.write_ref(hpart, 0, harr);
+            ctx.heap.release(harr);
+            ctx.heap.write_prim(hpart, 0, p as u64);
+            ctx.bm.put(&mut ctx.heap, BlockId { rdd: hot_rdd, partition: p as u32 }, hpart)?;
+        }
+        ctx.heap.set_alloc_site(None);
+        // 3. Hot phase: the working set is scanned HOT_REPS times.
+        for _rep in 0..HOT_REPS {
+            for p in 0..parts {
+                let h = ctx
+                    .bm
+                    .get(&mut ctx.heap, BlockId { rdd: hot_rdd, partition: p as u32 })?
+                    .expect("hot block cached");
+                let harr = ctx.heap.read_ref(h, 0).expect("hot data");
+                scratch.resize(hot_words, 0);
+                ctx.heap.read_prims(harr, 0, &mut scratch);
+                checksum += scratch.iter().map(|&v| v as f64).sum::<f64>();
+                ctx.heap.charge_ops(hot_words as u64 / 4);
+                ctx.heap.release(harr);
+                ctx.heap.release(h);
+            }
+        }
+        // 4. Cold phase: one historical partition is re-read, long after
+        //    its ingest (large reuse distance).
+        let cb = cold_blocks[(it * 7 + 3) % cold_blocks.len()];
+        let c = ctx.bm.get(&mut ctx.heap, cb)?.expect("cold block cached");
+        let carr = ctx.heap.read_ref(c, 0).expect("cold data");
+        scratch.resize(cold_words, 0);
+        ctx.heap.read_prims(carr, 0, &mut scratch);
+        checksum += scratch.iter().map(|&v| (v & 0xffff) as f64).sum::<f64>();
+        ctx.heap.charge_ops(cold_words as u64 / 8);
+        ctx.heap.release(carr);
+        ctx.heap.release(c);
+        // 5. Iteration results shuffle to the next stage.
+        ctx.charge_shuffle((parts * hot_words) as u64 / 2)?;
+    }
+    Ok(checksum)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -879,5 +985,62 @@ mod tests {
         assert_eq!(Workload::Pr.name(), "PR");
         assert_eq!(Workload::Lgr.name(), "LgR");
         assert_eq!(Workload::ALL.len(), 10);
+    }
+
+    fn adaptive_config() -> SparkConfig {
+        let th = th_config();
+        let ExecMode::TeraHeap { h2, device } = th.mode else { unreachable!() };
+        SparkConfig { mode: ExecMode::Adaptive { h2, device }, ..th }
+    }
+
+    #[test]
+    fn mixed_workload_checksums_agree_across_modes() {
+        let sd = run_workload(Workload::Mix, sd_config(), DatasetScale::tiny());
+        let th = run_workload(Workload::Mix, th_config(), DatasetScale::tiny());
+        let ad = run_workload(Workload::Mix, adaptive_config(), DatasetScale::tiny());
+        assert!(!sd.oom && !th.oom && !ad.oom, "MIX must complete in all modes");
+        for (name, r) in [("TeraHeap", &th), ("Adaptive", &ad)] {
+            assert!(
+                (sd.checksum - r.checksum).abs() < 1e-6 * sd.checksum.abs().max(1.0),
+                "MIX checksum differs under {}: {} vs {}",
+                name,
+                sd.checksum,
+                r.checksum
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_mix_pretenures_the_cold_site() {
+        // Heap close to the dataset so minors/majors run and the lifetime
+        // profiler accumulates evidence about the cold ingest site.
+        let mut cfg = adaptive_config();
+        cfg.heap = teraheap_runtime::HeapConfig::with_words(4 << 10, 24 << 10);
+        cfg.iterations = 12;
+        // Cold partitions of rows*dims/4 = 8000 words: big enough to
+        // overflow the on-heap cache budget and to carry real survival
+        // evidence per promotion.
+        let scale = DatasetScale { rows: 2_000, dims: 16, ..DatasetScale::tiny() };
+        let r = run_workload(Workload::Mix, cfg, scale);
+        assert!(!r.oom, "adaptive MIX must complete: {:?}", r.oom_context);
+        assert!(r.minor_gcs > 0, "pressure must trigger minor GCs");
+        assert!(
+            r.pretenured > 0,
+            "cold site must cross the tenure threshold and pretenure (minors {}, majors {}, h2 {})",
+            r.minor_gcs,
+            r.major_gcs,
+            r.h2_objects
+        );
+    }
+
+    #[test]
+    fn adaptive_mode_without_pressure_matches_checksum_and_uses_model() {
+        let r = run_workload(Workload::Pr, adaptive_config(), DatasetScale::tiny());
+        let sd = run_workload(Workload::Pr, sd_config(), DatasetScale::tiny());
+        assert!(!r.oom);
+        assert!(
+            (sd.checksum - r.checksum).abs() < 1e-6 * sd.checksum.abs().max(1.0),
+            "PR checksum differs under Adaptive"
+        );
     }
 }

@@ -226,6 +226,13 @@ impl MmapSim {
         &self.stats
     }
 
+    /// The device specification backing the mapping — the stats-probe API
+    /// used by online cost models to estimate per-access service time
+    /// (latency + bandwidth terms) without issuing traffic.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
     /// Whether the mapping bypasses the page cache (byte-addressable device).
     pub fn is_dax(&self) -> bool {
         self.spec.byte_addressable

@@ -104,6 +104,16 @@ cargo test -q --offline -p teraheap-server
 cargo test -q --offline -p teraheap-runtime --test fault_isolation
 echo "ok"
 
+# Adaptive-placement invariants (DESIGN.md §14): the lifetime profiler must
+# replay bit-identically and never retract a pretenure decision, region
+# group liveness must be merge-order invariant, and the placement cost
+# model must be deterministic and monotone in device latency and S/D cost.
+# Run both property suites explicitly.
+echo "== adaptive placement: lifetime-profile + cost-model properties =="
+cargo test -q --offline -p teraheap-core --test properties
+cargo test -q --offline -p mini-spark --test placement_properties
+echo "ok"
+
 # Faults smoke stage: one seeded chaos run per device profile (NVMe page
 # cache, Optane NVM, DRAM-DAX), injected through the production
 # TERAHEAP_FAULTS path with the full-heap checker armed at every GC
@@ -131,7 +141,7 @@ if [[ "${VERIFY_SKIP_RESULTS:-0}" != "1" ]]; then
     for bin in fig6_spark fig6_giraph fig7_timeline fig8_collectors \
                fig9_hints fig10_regions fig11_gc_overhead fig12_nvm \
                fig13_scaling fig13_gc_threads fig14_pause_cdf \
-               fig15_tenants table5_metadata ablations; do
+               fig15_tenants fig16_placement table5_metadata ablations; do
         echo "  regenerating: $bin"
         cargo run -q --release --offline -p teraheap-bench --bin "$bin" >/dev/null
     done
