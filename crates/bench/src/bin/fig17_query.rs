@@ -1,0 +1,131 @@
+//! Figure 17 (beyond the paper): query-serving latency over the dual heap.
+//!
+//! The paper evaluates TeraHeap on batch analytics; this figure measures
+//! the *interactive* story: closed-loop client sessions replaying a
+//! point-lookup / range-scan / aggregate mix against columnar tables with
+//! a hot (H1-cached) and a cold (H2-resident) copy, multiplexed over
+//! multi-tenant heaps sharing one arbitrated device (the PR 8 server
+//! plane). Sweeps:
+//!
+//! * sessions ∈ {1, 8, 64, 512} — concurrency, over `min(sessions, 4)`
+//!   tenant heaps; total operations are fixed, so arms differ only in how
+//!   the same op stream is packed onto sessions;
+//! * device ∈ {NVMe, Optane NVM, DAX} — the cold copy's fault cost;
+//! * hot fraction ∈ {10%, 90%} — how often an op is served from H1.
+//!
+//! Reported: p50/p99/p999 per-op latency, makespan, throughput, device
+//! arbitration counters. Self-gates (exit 1 on violation):
+//!
+//! * every arm's canonical answer checksum is bit-identical — placement,
+//!   concurrency and device model must never change results;
+//! * p99 at 512 sessions ≥ p99 at 1 session for every (device, hot%) —
+//!   closed-loop queueing behind a tenant's other sessions is structural.
+
+use teraheap_bench::harness::{run_parallel, write_csv};
+use teraheap_query::{run_query_plane, QueryPlaneConfig, QueryReport};
+use teraheap_storage::DeviceSpec;
+
+/// Total operations per arm, regardless of session count.
+const TOTAL_OPS: usize = 1024;
+
+/// Session-count sweep.
+const SESSIONS: [usize; 4] = [1, 8, 64, 512];
+
+/// Hot-fraction sweep (percent of ops served from the H1 copy).
+const HOT_PCT: [u8; 2] = [10, 90];
+
+fn arm_config(device: DeviceSpec, sessions: usize, hot_pct: u8) -> QueryPlaneConfig {
+    let mut cfg = QueryPlaneConfig::new(device);
+    cfg.sessions = sessions;
+    cfg.tenants = sessions.min(4);
+    cfg.total_ops = TOTAL_OPS;
+    cfg.hot_pct = hot_pct;
+    cfg
+}
+
+fn main() {
+    let devices: [(&str, DeviceSpec); 3] = [
+        ("nvme", DeviceSpec::nvme_ssd()),
+        ("nvm", DeviceSpec::optane_nvm()),
+        ("dax", DeviceSpec::dram()),
+    ];
+
+    println!("=== Figure 17: query-serving latency (sessions x device x hot fraction) ===\n");
+
+    let jobs: Vec<_> = devices
+        .iter()
+        .flat_map(|&(_, spec)| {
+            HOT_PCT
+                .iter()
+                .flat_map(move |&hot| SESSIONS.iter().map(move |&s| (spec, s, hot)))
+        })
+        .map(|(spec, s, hot)| move || run_query_plane(&arm_config(spec, s, hot)).expect("plane runs"))
+        .collect();
+    let reports = run_parallel(jobs);
+
+    let mut csv: Vec<String> = Vec::new();
+    let mut gates_ok = true;
+    let mut it = reports.iter();
+    let reference = reports[0].checksum;
+    for (dname, _) in devices {
+        for hot in HOT_PCT {
+            println!("--- device {dname}, hot {hot}% ---");
+            let mut p99_by_sessions: Vec<(usize, u64)> = Vec::new();
+            for sessions in SESSIONS {
+                let r: &QueryReport = it.next().unwrap();
+                println!(
+                    "  {sessions:>4} sessions: p50 {:>7} ns  p99 {:>8} ns  p999 {:>8} ns  \
+                     makespan {:>9} ns  {:>8.0} ops/s  [h2 chunks {}]",
+                    r.all.p50_ns, r.all.p99_ns, r.all.p999_ns, r.makespan_ns, r.ops_per_sec,
+                    r.h2_chunks
+                );
+                csv.push(format!(
+                    "{dname},{sessions},{hot},{},{},{},{},{},{},{},{},{:.3},{},{},{},{}",
+                    r.tenants,
+                    r.ops,
+                    r.all.p50_ns,
+                    r.all.p99_ns,
+                    r.all.p999_ns,
+                    r.all.max_ns,
+                    r.all.mean_ns,
+                    r.makespan_ns,
+                    r.ops_per_sec,
+                    r.device_vtime_ns,
+                    r.device_queued_ns,
+                    r.h2_chunks,
+                    r.checksum
+                ));
+                if r.checksum != reference {
+                    println!(
+                        "  GATE FAIL: checksum {} diverged from reference {} \
+                         ({dname}, {sessions} sessions, hot {hot}%)",
+                        r.checksum, reference
+                    );
+                    gates_ok = false;
+                }
+                p99_by_sessions.push((sessions, r.all.p99_ns));
+            }
+            let solo = p99_by_sessions.first().copied().unwrap();
+            let packed = p99_by_sessions.last().copied().unwrap();
+            if packed.1 < solo.1 {
+                println!(
+                    "  GATE FAIL: p99 at {} sessions ({} ns) below solo p99 ({} ns) on {dname}",
+                    packed.0, packed.1, solo.1
+                );
+                gates_ok = false;
+            }
+            println!();
+        }
+    }
+
+    let path = write_csv(
+        "fig17_query",
+        "device,sessions,hot_pct,tenants,ops,p50_ns,p99_ns,p999_ns,max_ns,mean_ns,\
+         makespan_ns,ops_per_sec,device_vtime_ns,device_queued_ns,h2_chunks,checksum",
+        &csv,
+    );
+    println!("wrote {}", path.display());
+    if !gates_ok {
+        std::process::exit(1);
+    }
+}

@@ -383,13 +383,27 @@ pub enum EventKind {
     /// (`deser == true`) of `bytes` bytes — the one source of truth the
     /// cost model, `RunReport` and the timeline exporter all read.
     BlockSerde { deser: bool, bytes: u64 },
+    /// A query-plane operation began on logical client session `session`;
+    /// `kind` indexes [`QUERY_OP_NAMES`] (0 point lookup, 1 range scan,
+    /// 2 aggregate).
+    QueryBegin { session: u32, kind: u8 },
+    /// The query-plane operation on `session` completed having matched
+    /// `rows` rows (the `QueryEnd - QueryBegin` ns delta is the op's
+    /// service latency).
+    QueryEnd { session: u32, rows: u64 },
+    /// A secondary-index probe consulted `runs` sorted chunk runs and
+    /// yielded `hits` candidate rows (query plane).
+    IndexProbe { runs: u32, hits: u64 },
 }
 
 /// Display names for [`EventKind::PlacementDecision::choice`].
 pub const PLACEMENT_NAMES: [&str; 3] = ["on_heap", "serialized", "h2"];
 
+/// Display names for [`EventKind::QueryBegin::kind`].
+pub const QUERY_OP_NAMES: [&str; 3] = ["point_lookup", "range_scan", "aggregate"];
+
 /// Number of distinct event classes (counter array dimension).
-pub const CLASS_COUNT: usize = 30;
+pub const CLASS_COUNT: usize = 33;
 
 /// Number of span slots tracked by the duration histograms: minor/major GC,
 /// the four major phases, the [`SpanKind`]s, then incremental GC slices.
@@ -442,6 +456,9 @@ impl EventKind {
             EventKind::Pretenure { .. } => "pretenure",
             EventKind::PlacementDecision { .. } => "placement_decision",
             EventKind::BlockSerde { .. } => "block_serde",
+            EventKind::QueryBegin { .. } => "query_begin",
+            EventKind::QueryEnd { .. } => "query_end",
+            EventKind::IndexProbe { .. } => "index_probe",
         }
     }
 
@@ -478,6 +495,9 @@ impl EventKind {
             EventKind::Pretenure { .. } => 27,
             EventKind::PlacementDecision { .. } => 28,
             EventKind::BlockSerde { .. } => 29,
+            EventKind::QueryBegin { .. } => 30,
+            EventKind::QueryEnd { .. } => 31,
+            EventKind::IndexProbe { .. } => 32,
         }
     }
 
@@ -513,6 +533,9 @@ impl EventKind {
         "pretenure",
         "placement_decision",
         "block_serde",
+        "query_begin",
+        "query_end",
+        "index_probe",
     ];
 
     /// If this event opens or closes a span, returns `(slot, is_begin)`

@@ -110,6 +110,16 @@ fn json_fields(kind: &EventKind) -> String {
         EventKind::BlockSerde { deser, bytes } => {
             format!("\"kind\":\"{name}\",\"deser\":{deser},\"bytes\":{bytes}")
         }
+        EventKind::QueryBegin { session, kind } => format!(
+            "\"kind\":\"{name}\",\"session\":{session},\"op\":\"{}\"",
+            crate::QUERY_OP_NAMES[*kind as usize]
+        ),
+        EventKind::QueryEnd { session, rows } => {
+            format!("\"kind\":\"{name}\",\"session\":{session},\"rows\":{rows}")
+        }
+        EventKind::IndexProbe { runs, hits } => {
+            format!("\"kind\":\"{name}\",\"runs\":{runs},\"hits\":{hits}")
+        }
     }
 }
 
@@ -205,6 +215,19 @@ pub fn to_csv_rows(events: &[Event]) -> Vec<String> {
                 ),
                 EventKind::BlockSerde { deser, bytes } => {
                     ("", deser.to_string(), bytes.to_string())
+                }
+                // Two payload slots: keep session + the second field; the
+                // JSONL export carries the op name.
+                EventKind::QueryBegin { session, kind } => (
+                    crate::QUERY_OP_NAMES[*kind as usize],
+                    session.to_string(),
+                    String::new(),
+                ),
+                EventKind::QueryEnd { session, rows } => {
+                    ("", session.to_string(), rows.to_string())
+                }
+                EventKind::IndexProbe { runs, hits } => {
+                    ("", runs.to_string(), hits.to_string())
                 }
             };
             format!("{},{},{},{},{},{}", e.seq, e.t_ns, e.kind.name(), detail, a, b)

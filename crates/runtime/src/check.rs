@@ -147,6 +147,30 @@ impl Heap {
         self.heap_check_walk(false)
     }
 
+    /// On-demand invariant sweep for long-running harnesses.
+    ///
+    /// The *armed* sweeps (`maybe_heap_check`) only fire at collection
+    /// boundaries, and only when checking was requested at heap
+    /// construction (`HeapConfig::heap_check` / `TERAHEAP_HEAP_CHECK=1`).
+    /// Endurance harnesses want a leak/corruption checkpoint at their own
+    /// cadence — e.g. every K churn rounds — regardless of how the heap
+    /// was built, and without paying the O(heap) walk at every GC in
+    /// between. This entry point runs the same full walk unconditionally,
+    /// counts the sweep in [`GcStats::heap_checks_on_demand`]
+    /// (so a harness can assert its checkpoints actually ran), and charges
+    /// nothing to simulated time: checking is instrumentation, not
+    /// workload.
+    ///
+    /// [`GcStats::heap_checks_on_demand`]: crate::GcStats::heap_checks_on_demand
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as a [`CheckError`].
+    pub fn heap_check_now(&mut self) -> Result<CheckReport, CheckError> {
+        self.stats.heap_checks_on_demand += 1;
+        self.heap_check()
+    }
+
     /// The relocation-window check: every live root must resolve — through
     /// the cycle's destination index — to a well-formed object header.
     fn heap_check_relocating(&self) -> Result<CheckReport, CheckError> {
@@ -639,5 +663,78 @@ mod coverage_tests {
     #[test]
     fn empty_domains_pass() {
         assert!(validate_unit_coverage("t", &mut Vec::new(), &mut Vec::new()).is_ok());
+    }
+}
+
+#[cfg(test)]
+mod on_demand_tests {
+    use super::CheckError;
+    use crate::heap::Heap;
+    use crate::object;
+    use crate::HeapConfig;
+    use teraheap_core::{H2Config, Label};
+    use teraheap_storage::{DeviceSpec, SharedDevice};
+
+    fn h2_heap() -> Heap {
+        let mut heap = Heap::new(HeapConfig::small());
+        let h2cfg = H2Config::builder()
+            .region_words(1 << 10)
+            .n_regions(16)
+            .card_seg_words(128)
+            .resident_budget_bytes(64 << 10)
+            .page_size(4096)
+            .promo_buffer_bytes(8 << 10)
+            .build()
+            .expect("valid H2 config");
+        let dev = SharedDevice::new(
+            DeviceSpec::nvme_ssd(),
+            h2cfg.footprint_bytes(),
+            heap.clock().clone(),
+        );
+        heap.attach_h2(h2cfg, &dev).unwrap();
+        heap
+    }
+
+    #[test]
+    fn on_demand_check_runs_unarmed_and_counts_sweeps() {
+        // No `heap_check` arming at construction: the per-GC sweeps are
+        // off, but the on-demand entry still walks the heap.
+        let mut heap = h2_heap();
+        let arr = heap.alloc_prim_array(32).unwrap();
+        heap.write_prim(arr, 0, 7);
+        let ns_before = heap.clock().total_ns();
+        let report = heap.heap_check_now().expect("clean heap passes");
+        assert!(report.h1_objects >= 1);
+        assert_eq!(heap.stats().heap_checks_on_demand, 1);
+        assert_eq!(heap.clock().total_ns(), ns_before, "checking charges nothing");
+        heap.heap_check_now().expect("still clean");
+        assert_eq!(heap.stats().heap_checks_on_demand, 2);
+    }
+
+    #[test]
+    fn on_demand_check_detects_planted_dangling_h2_ref() {
+        let mut heap = h2_heap();
+        let holder_class = heap.register_class("Holder", 1, 0);
+        let payload = heap.alloc_prim_array(16).unwrap();
+        heap.h2_tag_root(payload, Label::new(9));
+        heap.h2_move(Label::new(9));
+        heap.gc_major().unwrap();
+        assert!(heap.is_in_h2(payload), "payload moved to H2");
+        let holder = heap.alloc(holder_class).unwrap();
+        heap.write_ref(holder, 0, payload);
+        heap.heap_check_now().expect("intact H1->H2 ref passes");
+
+        // Plant the dangling ref: retarget the slot one word into the H2
+        // object — a device-resident address that is not an object start.
+        let bogus = heap.handle_addr(payload).add(1);
+        let slot = heap
+            .handle_addr(holder)
+            .add(object::HEADER_WORDS as u64);
+        heap.set_word(slot, bogus.raw());
+        match heap.heap_check_now() {
+            Err(CheckError::DanglingRef { to, .. }) => assert_eq!(to, bogus.raw()),
+            other => panic!("expected DanglingRef, got {other:?}"),
+        }
+        assert_eq!(heap.stats().heap_checks_on_demand, 2);
     }
 }

@@ -371,6 +371,34 @@ impl Heap {
         Ok(self.make_root(addr))
     }
 
+    /// Allocates a primitive array as a member of the labeled object group
+    /// `site`: the allocation is attributed to `site` for lifetime
+    /// profiling / pretenuring (so, with adaptive placement on, later
+    /// chunks of a long-lived group allocate straight into its
+    /// region-grouped H2 storage), and the object header is tagged with
+    /// `site` so a subsequent [`Heap::h2_move`] promotes the whole group
+    /// into contiguous same-label regions. The query plane allocates every
+    /// column chunk through this, one label per (table, column), so whole
+    /// columns move and die together at region granularity.
+    ///
+    /// The surrounding allocation-site bracket (if any) is preserved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OomError`] on exhaustion.
+    pub fn alloc_prim_array_labeled(&mut self, len: usize, site: Label) -> Result<Handle, OomError> {
+        let prev = self.alloc_site;
+        self.alloc_site = Some(site);
+        let r = self.alloc_prim_array(len);
+        self.alloc_site = prev;
+        let h = r?;
+        // Pretenured arrays already carry the label in their H2 header.
+        if !self.is_in_h2(h) {
+            self.h2_tag_root(h, site);
+        }
+        Ok(h)
+    }
+
     fn alloc_raw(&mut self, class: ClassId, words: usize, array_len: u64) -> Result<Addr, OomError> {
         if let Some(e) = self.pending_oom.take() {
             return Err(e);

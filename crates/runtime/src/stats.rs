@@ -67,6 +67,10 @@ pub struct GcStats {
     pub pretenured_objects: u64,
     /// Words allocated straight into H2 by pretenuring.
     pub pretenured_words: u64,
+    /// On-demand full-heap invariant sweeps run via
+    /// `Heap::heap_check_now` (endurance harness checkpoints; the armed
+    /// per-GC sweeps are not counted here).
+    pub heap_checks_on_demand: u64,
 }
 
 impl GcStats {

@@ -33,6 +33,19 @@ pub enum TenantWorkload {
         /// Graph generator seed.
         seed: u64,
     },
+    /// A query-serving round: closed-loop client sessions over columnar
+    /// tables (hot H1 copy + cold H2 copy) through the
+    /// `teraheap-query` executor.
+    Query {
+        /// Concurrent logical client sessions in the round.
+        sessions: usize,
+        /// Operations replayed across the sessions.
+        ops: usize,
+        /// Rows per table copy.
+        rows: usize,
+        /// Seed for table contents and the op stream.
+        seed: u64,
+    },
 }
 
 impl TenantWorkload {
@@ -41,6 +54,7 @@ impl TenantWorkload {
         match self {
             TenantWorkload::Spark { workload, .. } => format!("spark:{}", workload.name()),
             TenantWorkload::Giraph { workload, .. } => format!("giraph:{}", workload.name()),
+            TenantWorkload::Query { sessions, ops, .. } => format!("query:{sessions}x{ops}"),
         }
     }
 }

@@ -87,6 +87,18 @@ mod tests {
         .expect("valid tenant")
     }
 
+    fn query_tenant(name: &str, rounds: usize) -> TenantSpec {
+        TenantSpec::builder(
+            name,
+            TenantWorkload::Query { sessions: 4, ops: 96, rows: 512, seed: 11 },
+        )
+        .h2(small_h2())
+        .heap(HeapConfig::with_words(16 << 10, 96 << 10))
+        .rounds(rounds)
+        .build()
+        .expect("valid tenant")
+    }
+
     #[test]
     fn builder_rejects_zero_tenants() {
         let err = ServerConfig::builder(DeviceSpec::nvme_ssd(), 1 << 30)
@@ -198,5 +210,36 @@ mod tests {
             .unwrap();
         let solo = Server::new(solo_g).unwrap().run();
         assert_eq!(report.tenants[1].checksum, solo.tenants[0].checksum);
+    }
+
+    #[test]
+    fn query_tenant_serves_rounds_and_answers_survive_contention() {
+        // A query tenant colocated with a batch Spark tenant: rounds
+        // complete, the run is deterministic, and the query answers are
+        // bit-identical to a run with the device to itself — contention
+        // moves latency, never results.
+        let mk = || {
+            ServerConfig::builder(DeviceSpec::nvme_ssd(), 1 << 30)
+                .tenant(spark_tenant("spark-0", 2))
+                .tenant(query_tenant("query-0", 2))
+                .build()
+                .unwrap()
+        };
+        let a = Server::new(mk()).unwrap().run();
+        let b = Server::new(mk()).unwrap().run();
+        let q = &a.tenants[1];
+        assert_eq!(q.workload, "query:4x96");
+        assert_eq!(q.rounds, 2);
+        assert_eq!(q.oom_rounds, 0);
+        assert!(q.checksum != 0.0, "query rounds must produce a real checksum");
+        assert_eq!(q.checksum, b.tenants[1].checksum);
+        assert_eq!(q.total_ns, b.tenants[1].total_ns, "query rounds must replay exactly");
+
+        let solo = ServerConfig::builder(DeviceSpec::nvme_ssd(), 1 << 30)
+            .tenant(query_tenant("query-0", 2))
+            .build()
+            .unwrap();
+        let solo = Server::new(solo).unwrap().run();
+        assert_eq!(q.checksum, solo.tenants[0].checksum);
     }
 }

@@ -270,6 +270,12 @@ impl Server {
                     }
                 }
             }
+            TenantWorkload::Query { sessions, ops, rows, seed } => {
+                teraheap_query::run_tenant_round(
+                    spec.heap, spec.h2, &self.device, clock, sessions, ops, rows, seed,
+                )
+                .ok()
+            }
         }
     }
 }

@@ -121,10 +121,35 @@ impl BlockManager {
     ///
     /// Returns [`OomError`] if serialization pressure exhausts the heap.
     pub fn put(&mut self, heap: &mut Heap, id: BlockId, partition: Handle) -> Result<(), OomError> {
+        self.put_labeled(heap, id, partition, Label::new(id.rdd))
+    }
+
+    /// [`BlockManager::put`] with an explicit placement label instead of the
+    /// RDD id. Callers that cache many logical streams under one RDD
+    /// namespace — the query plane caches one column chunk per block and
+    /// labels it per (table, column) — use this so H2 groups whole columns
+    /// into contiguous same-label regions rather than lumping every chunk
+    /// of a table together.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OomError`] if serialization pressure exhausts the heap.
+    pub fn put_labeled(
+        &mut self,
+        heap: &mut Heap,
+        id: BlockId,
+        partition: Handle,
+        label: Label,
+    ) -> Result<(), OomError> {
         match &mut self.mode {
             CacheMode::TeraHeap => {
-                heap.h2_tag_root(partition, Label::new(id.rdd));
-                heap.h2_move(Label::new(id.rdd));
+                // An already-H2-resident partition (group-labeled chunk
+                // allocation pretenured it) carries its label; re-tagging
+                // would touch the device for nothing.
+                if !heap.is_in_h2(partition) {
+                    heap.h2_tag_root(partition, label);
+                }
+                heap.h2_move(label);
                 self.slots.insert(id, Slot::OnHeap(partition));
             }
             CacheMode::OnHeapOnly => {
@@ -182,8 +207,8 @@ impl BlockManager {
                         self.slots.insert(id, Slot::OnHeap(partition));
                     }
                     Placement::H2 => {
-                        heap.h2_tag_root(partition, Label::new(id.rdd));
-                        heap.h2_move(Label::new(id.rdd));
+                        heap.h2_tag_root(partition, label);
+                        heap.h2_move(label);
                         self.slots.insert(id, Slot::OnHeap(partition));
                     }
                     Placement::Serialized => {

@@ -60,6 +60,15 @@
 #   (adaptive off) must stay < 2% wall-clock over the BENCH_tenants.json
 #   baseline, best of BENCH_PLACEMENT_REPS runs (default 3). Also records
 #   the fig16_placement ablation sweep.
+#
+# Special mode: scripts/bench.sh query
+#   Measures the query-plane era's host overhead and writes
+#   BENCH_query.json. The query crate is linked into the workspace but no
+#   batch workload ever calls it, so the figure binaries pay only its
+#   presence (code size, its obs event classes); gate: fig6_spark must stay
+#   < 2% wall-clock over the BENCH_placement.json baseline, best of
+#   BENCH_QUERY_REPS runs (default 3). Also records the fig17_query
+#   session-latency sweep.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -71,7 +80,7 @@ out="BENCH_${name}.json"
 fig_bins=(fig6_spark fig6_giraph fig7_timeline fig8_collectors fig9_hints
           fig10_regions fig11_gc_overhead fig12_nvm fig13_scaling
           fig13_gc_threads fig14_pause_cdf fig15_tenants fig16_placement
-          table5_metadata ablations)
+          fig17_query table5_metadata ablations)
 
 echo "== release build =="
 cargo build --release --offline --workspace
@@ -395,6 +404,58 @@ if [[ "$name" == "placement" ]]; then
         fi
     else
         echo "note: BENCH_tenants.json not found; no regression gate applied"
+    fi
+    exit 0
+fi
+
+if [[ "$name" == "query" ]]; then
+    reps="${BENCH_QUERY_REPS:-3}"
+    declare -A secs
+    for b in fig6_spark fig17_query; do
+        best=""
+        for _ in $(seq "$reps"); do
+            t0=$(now_ms)
+            "target/release/$b" >/dev/null
+            t=$(awk "BEGIN{printf \"%.3f\", ($(now_ms)-$t0)/1000}")
+            if [[ -z "$best" ]] || awk "BEGIN{exit !($t < $best)}"; then
+                best=$t
+            fi
+        done
+        secs[$b]=$best
+        echo "$b: ${best}s (best of $reps)"
+    done
+    baseline=""
+    if [[ -f BENCH_placement.json ]]; then
+        baseline=$(sed -n 's/^[[:space:]]*"fig6_spark": \([0-9.]*\),*$/\1/p' \
+            BENCH_placement.json | head -1)
+    fi
+    {
+        echo "{"
+        echo "  \"name\": \"query\","
+        echo "  \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+        echo "  \"reps\": ${reps},"
+        echo "  \"target_fig6_spark_regression_percent\": 2.0,"
+        if [[ -n "$baseline" ]]; then
+            pct=$(awk "BEGIN{printf \"%.2f\", (${secs[fig6_spark]}-$baseline)/$baseline*100}")
+            echo "  \"baseline_fig6_spark_secs\": ${baseline},"
+            echo "  \"fig6_spark_regression_percent\": ${pct},"
+        fi
+        echo "  \"wall_clock_secs\": {"
+        echo "    \"fig6_spark\": ${secs[fig6_spark]},"
+        echo "    \"fig17_query\": ${secs[fig17_query]}"
+        echo "  }"
+        echo "}"
+    } > "$out"
+    echo "wrote $out"
+    if [[ -n "$baseline" ]]; then
+        echo "fig6_spark: ${secs[fig6_spark]}s vs baseline ${baseline}s (${pct}%)"
+        if awk "BEGIN{exit !($pct >= 2.0)}"; then
+            echo "ERROR: fig6_spark regressed ${pct}% (>= 2% vs BENCH_placement.json)" >&2
+            echo "(the query plane must be free when no one queries)" >&2
+            exit 1
+        fi
+    else
+        echo "note: BENCH_placement.json not found; no regression gate applied"
     fi
     exit 0
 fi

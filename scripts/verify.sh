@@ -114,6 +114,19 @@ cargo test -q --offline -p teraheap-core --test properties
 cargo test -q --offline -p mini-spark --test placement_properties
 echo "ok"
 
+# Query-plane invariants (DESIGN.md §15): the executor must match its
+# naive oracle with the index plan answer-bit-equal to the full scan and
+# answers invariant across runtime knobs; the retriever-style endurance
+# loop must stay leak-free with the heap checker armed; and with the query
+# crate linked but idle the runtime golden must reproduce bit-identically
+# (the events, labeled entry points and server variant cost nothing
+# unused). Run the three suites explicitly.
+echo "== query plane: oracle properties, endurance churn, linked-idle golden =="
+cargo test -q --offline -p teraheap-query --test query_properties
+cargo test -q --offline -p teraheap-query --test endurance
+cargo test -q --offline -p teraheap-query --test gc_equivalence
+echo "ok"
+
 # Faults smoke stage: one seeded chaos run per device profile (NVMe page
 # cache, Optane NVM, DRAM-DAX), injected through the production
 # TERAHEAP_FAULTS path with the full-heap checker armed at every GC
@@ -141,7 +154,8 @@ if [[ "${VERIFY_SKIP_RESULTS:-0}" != "1" ]]; then
     for bin in fig6_spark fig6_giraph fig7_timeline fig8_collectors \
                fig9_hints fig10_regions fig11_gc_overhead fig12_nvm \
                fig13_scaling fig13_gc_threads fig14_pause_cdf \
-               fig15_tenants fig16_placement table5_metadata ablations; do
+               fig15_tenants fig16_placement fig17_query table5_metadata \
+               ablations; do
         echo "  regenerating: $bin"
         cargo run -q --release --offline -p teraheap-bench --bin "$bin" >/dev/null
     done
